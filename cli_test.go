@@ -1,0 +1,151 @@
+package repro
+
+// End-to-end tests of the command-line tools: each binary is built once
+// into a temporary directory and exercised with fast flag combinations,
+// checking exit status and the shape of its output.
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var buildDir string
+
+// TestMain builds every command once into a shared temporary directory that
+// outlives individual tests.
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "repro-cli")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cli_test:", err)
+		os.Exit(1)
+	}
+	for _, name := range []string{"wstables", "wssim", "wsfixed", "wsode", "wssweep"} {
+		out := filepath.Join(dir, name)
+		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+name)
+		if msg, err := cmd.CombinedOutput(); err != nil {
+			fmt.Fprintf(os.Stderr, "cli_test: building %s: %v\n%s", name, err, msg)
+			os.RemoveAll(dir)
+			os.Exit(1)
+		}
+	}
+	buildDir = dir
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+// buildCmds returns the shared binary directory.
+func buildCmds(t *testing.T) string {
+	t.Helper()
+	return buildDir
+}
+
+// run executes a built command and returns its combined output.
+func run(t *testing.T, name string, args ...string) string {
+	t.Helper()
+	dir := buildCmds(t)
+	out, err := exec.Command(filepath.Join(dir, name), args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", name, args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLIWsfixed(t *testing.T) {
+	out := run(t, "wsfixed", "-model", "simple", "-lambda", "0.5", "-tails", "3")
+	if !strings.Contains(out, "1.618034") {
+		t.Errorf("wsfixed missing golden-ratio estimate:\n%s", out)
+	}
+	if !strings.Contains(out, "π_0") {
+		t.Errorf("wsfixed missing tails:\n%s", out)
+	}
+}
+
+func TestCLIWsfixedAllModels(t *testing.T) {
+	for _, m := range []string{"nosteal", "threshold", "preemptive", "repeated",
+		"choices", "multisteal", "stealhalf", "spawning", "transfer", "rebalance", "repeated-transfer"} {
+		args := []string{"-model", m, "-lambda", "0.7", "-tails", "2", "-T", "4", "-B", "1", "-k", "2"}
+		out := run(t, "wsfixed", args...)
+		if !strings.Contains(out, "time in sys") {
+			t.Errorf("wsfixed -model %s produced no metrics:\n%s", m, out)
+		}
+	}
+}
+
+func TestCLIWsfixedRejectsUnknownModel(t *testing.T) {
+	dir := buildCmds(t)
+	out, err := exec.Command(filepath.Join(dir, "wsfixed"), "-model", "bogus").CombinedOutput()
+	if err == nil {
+		t.Errorf("unknown model accepted:\n%s", out)
+	}
+}
+
+func TestCLIWssim(t *testing.T) {
+	out := run(t, "wssim", "-n", "16", "-lambda", "0.7", "-policy", "steal", "-T", "2",
+		"-horizon", "2000", "-warmup", "200", "-reps", "2")
+	if !strings.Contains(out, "time in system") || !strings.Contains(out, "stealSuccesses") {
+		t.Errorf("wssim output malformed:\n%s", out)
+	}
+}
+
+func TestCLIWssimStatic(t *testing.T) {
+	out := run(t, "wssim", "-n", "16", "-policy", "steal", "-T", "2", "-retry", "5",
+		"-initial", "4", "-horizon", "1000", "-reps", "2")
+	if !strings.Contains(out, "drain time") {
+		t.Errorf("static wssim missing drain time:\n%s", out)
+	}
+}
+
+func TestCLIWstablesSingle(t *testing.T) {
+	out := run(t, "wstables", "-table", "threshold")
+	if !strings.Contains(out, "Threshold sweep") {
+		t.Errorf("wstables -table threshold:\n%s", out)
+	}
+}
+
+func TestCLIWstablesCSV(t *testing.T) {
+	out := run(t, "wstables", "-table", "tails", "-csv")
+	if !strings.Contains(out, "model,measured ratio") {
+		t.Errorf("CSV header missing:\n%s", out)
+	}
+}
+
+func TestCLIWstablesRejectsUnknown(t *testing.T) {
+	dir := buildCmds(t)
+	out, err := exec.Command(filepath.Join(dir, "wstables"), "-table", "nope").CombinedOutput()
+	if err == nil {
+		t.Errorf("unknown table accepted:\n%s", out)
+	}
+}
+
+func TestCLIWsode(t *testing.T) {
+	out := run(t, "wsode", "-model", "simple", "-lambda", "0.8", "-span", "10", "-dt", "2")
+	if !strings.Contains(out, "t,mean_tasks") {
+		t.Errorf("wsode CSV header missing:\n%s", out)
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) < 6 {
+		t.Errorf("wsode produced too few rows:\n%s", out)
+	}
+}
+
+func TestCLIWsodePlot(t *testing.T) {
+	out := run(t, "wsode", "-model", "simple", "-lambda", "0.8", "-span", "20", "-dt", "1", "-plot")
+	if !strings.Contains(out, "mean tasks per processor") || !strings.Contains(out, "*") {
+		t.Errorf("wsode -plot chart missing:\n%s", out)
+	}
+}
+
+func TestCLIWssweep(t *testing.T) {
+	out := run(t, "wssweep", "-sweep", "multisteal", "-lambda", "0.9", "-T", "6")
+	if !strings.Contains(out, "k=1") || !strings.Contains(out, "⌈j/2⌉") {
+		t.Errorf("wssweep multisteal output:\n%s", out)
+	}
+	out = run(t, "wssweep", "-sweep", "lambda", "-model", "simple")
+	if !strings.Contains(out, "λ=0.99") {
+		t.Errorf("wssweep lambda output:\n%s", out)
+	}
+}

@@ -1,0 +1,91 @@
+// Command wsfixed computes the mean-field fixed point of any model in the
+// repository and prints its key metrics and leading tail entries.
+//
+// Usage:
+//
+//	wsfixed -model simple -lambda 0.9
+//	wsfixed -model threshold -lambda 0.9 -T 3
+//	wsfixed -model preemptive -lambda 0.9 -B 1 -T 4
+//	wsfixed -model repeated -lambda 0.9 -T 2 -r 4
+//	wsfixed -model choices -lambda 0.9 -T 2 -d 2
+//	wsfixed -model multisteal -lambda 0.9 -T 6 -k 3
+//	wsfixed -model stages -lambda 0.9 -c 20
+//	wsfixed -model transfer -lambda 0.9 -T 4 -r 0.25
+//	wsfixed -model rebalance -lambda 0.9 -r 2
+//	wsfixed -model nosteal -lambda 0.9
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/meanfield"
+)
+
+func main() {
+	model := flag.String("model", "simple", "model: nosteal, simple, threshold, preemptive, repeated, choices, multisteal, stages, transfer, rebalance, stealhalf, spawning, repeated-transfer")
+	lambda := flag.Float64("lambda", 0.9, "arrival rate λ in (0,1)")
+	tFlag := flag.Int("T", 2, "victim threshold")
+	bFlag := flag.Int("B", 0, "preemptive steal-begin level")
+	dFlag := flag.Int("d", 2, "victim choices")
+	kFlag := flag.Int("k", 2, "tasks per steal")
+	cFlag := flag.Int("c", 10, "Erlang stages per task")
+	rFlag := flag.Float64("r", 1, "rate parameter (retry, transfer, or rebalance rate)")
+	raFlag := flag.Float64("ra", 1, "retry rate for -model repeated-transfer")
+	liFlag := flag.Float64("li", 0.3, "internal spawn rate for -model spawning")
+	tails := flag.Int("tails", 12, "how many tail entries to print")
+	flag.Parse()
+
+	var m core.Model
+	switch *model {
+	case "nosteal":
+		m = meanfield.NewNoSteal(*lambda)
+	case "simple":
+		m = meanfield.NewSimpleWS(*lambda)
+	case "threshold":
+		m = meanfield.NewThreshold(*lambda, *tFlag)
+	case "preemptive":
+		m = meanfield.NewPreemptive(*lambda, *bFlag, *tFlag)
+	case "repeated":
+		m = meanfield.NewRepeated(*lambda, *tFlag, *rFlag)
+	case "choices":
+		m = meanfield.NewChoices(*lambda, *tFlag, *dFlag)
+	case "multisteal":
+		m = meanfield.NewMultiSteal(*lambda, *tFlag, *kFlag)
+	case "stages":
+		m = meanfield.NewStages(*lambda, *cFlag, *tFlag)
+	case "transfer":
+		m = meanfield.NewTransfer(*lambda, *tFlag, *rFlag)
+	case "rebalance":
+		m = meanfield.NewRebalance(*lambda, meanfield.ConstRate(*rFlag), *rFlag)
+	case "stealhalf":
+		m = meanfield.NewStealHalf(*lambda, *tFlag)
+	case "spawning":
+		m = meanfield.NewSpawning(*lambda*(1-*liFlag), *liFlag, *tFlag)
+	case "repeated-transfer":
+		m = meanfield.NewRepeatedTransfer(*lambda, *tFlag, *raFlag, *rFlag)
+	default:
+		fmt.Fprintf(os.Stderr, "wsfixed: unknown model %q\n", *model)
+		os.Exit(2)
+	}
+
+	fp, err := meanfield.Solve(m, meanfield.SolveOptions{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wsfixed:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("model:            %s\n", m.Name())
+	fmt.Printf("dimension:        %d\n", m.Dim())
+	fmt.Printf("residual:         %.3e\n", fp.Residual)
+	fmt.Printf("mean tasks E[L]:  %.6f\n", fp.MeanTasks())
+	fmt.Printf("time in sys E[T]: %.6f   (no stealing: %.6f)\n",
+		fp.SojournTime(), meanfield.MM1SojournTime(*lambda))
+	ratio := core.TailRatio(fp.State, *tFlag+1, 1e-6)
+	fmt.Printf("tail decay ratio: %.6f   (no stealing: %.6f)\n", ratio, *lambda)
+	fmt.Println("tails:")
+	for i := 0; i < *tails && i < m.Dim(); i++ {
+		fmt.Printf("  π_%-3d = %.8f\n", i, fp.State[i])
+	}
+}

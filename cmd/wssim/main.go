@@ -1,0 +1,117 @@
+// Command wssim runs one work-stealing simulation configuration and prints
+// its measurements with 95% confidence intervals over replications.
+//
+// Examples:
+//
+//	wssim -n 128 -lambda 0.9 -policy steal -T 2
+//	wssim -n 128 -lambda 0.9 -policy steal -T 2 -d 2
+//	wssim -n 128 -lambda 0.8 -policy steal -T 4 -transfer 0.25
+//	wssim -n 64 -policy steal -T 2 -retry 10 -initial 8    (static drain)
+//	wssim -n 64 -lambda 0.9 -policy rebalance -rebalance 2
+//	wssim -n 64 -lambda 0.9 -policy steal -T 2 -service const
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dist"
+	"repro/internal/sim"
+)
+
+func main() {
+	n := flag.Int("n", 128, "number of processors")
+	lambda := flag.Float64("lambda", 0, "external per-processor arrival rate")
+	lambdaInt := flag.Float64("lambda-int", 0, "internal spawn rate while busy")
+	policy := flag.String("policy", "steal", "policy: none, steal, rebalance")
+	service := flag.String("service", "exp", "service distribution: exp, const, erlang, hyper, uniform")
+	stages := flag.Int("stages", 10, "stages for -service erlang")
+	tFlag := flag.Int("T", 2, "victim threshold")
+	bFlag := flag.Int("B", 0, "preemptive steal-begin level")
+	dFlag := flag.Int("d", 1, "victim choices per attempt")
+	kFlag := flag.Int("k", 1, "tasks per steal")
+	half := flag.Bool("half", false, "steal half the victim's queue per success")
+	retry := flag.Float64("retry", 0, "retry rate for idle thieves")
+	transfer := flag.Float64("transfer", 0, "transfer completion rate (0 = instantaneous)")
+	rebalance := flag.Float64("rebalance", 0, "rebalancing rate (policy rebalance)")
+	initial := flag.Int("initial", 0, "initial tasks per processor (static runs)")
+	horizon := flag.Float64("horizon", 100_000, "simulated time")
+	warmup := flag.Float64("warmup", 10_000, "warmup time excluded from stats")
+	reps := flag.Int("reps", 10, "independent replications")
+	seed := flag.Uint64("seed", 1, "random seed")
+	flag.Parse()
+
+	var svc dist.Distribution
+	switch *service {
+	case "exp":
+		svc = dist.NewExponential(1)
+	case "const":
+		svc = dist.NewDeterministic(1)
+	case "erlang":
+		svc = dist.ErlangWithMean(*stages, 1)
+	case "hyper":
+		svc = dist.NewHyperExponential(0.5, 2, 2.0/3)
+	case "uniform":
+		svc = dist.NewUniform(0.5, 1.5)
+	default:
+		fmt.Fprintf(os.Stderr, "wssim: unknown service %q\n", *service)
+		os.Exit(2)
+	}
+
+	var pk sim.PolicyKind
+	switch *policy {
+	case "none":
+		pk = sim.PolicyNone
+	case "steal":
+		pk = sim.PolicySteal
+	case "rebalance":
+		pk = sim.PolicyRebalance
+	default:
+		fmt.Fprintf(os.Stderr, "wssim: unknown policy %q\n", *policy)
+		os.Exit(2)
+	}
+
+	// Static runs drop the warmup by default.
+	w := *warmup
+	if *lambda == 0 && *initial > 0 {
+		w = 0
+	}
+	opts := sim.Options{
+		N:             *n,
+		Lambda:        *lambda,
+		LambdaInt:     *lambdaInt,
+		Service:       svc,
+		Policy:        pk,
+		T:             *tFlag,
+		B:             *bFlag,
+		D:             *dFlag,
+		K:             *kFlag,
+		Half:          *half,
+		RetryRate:     *retry,
+		TransferRate:  *transfer,
+		RebalanceRate: *rebalance,
+		InitialLoad:   *initial,
+		Horizon:       *horizon,
+		Warmup:        w,
+		Seed:          *seed,
+	}
+	agg, err := sim.Replication{Reps: *reps}.Run(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wssim:", err)
+		os.Exit(1)
+	}
+
+	first := agg.Results[0]
+	fmt.Printf("processors:       %d    service: %s    policy: %s\n", *n, svc, *policy)
+	fmt.Printf("replications:     %d × horizon %.0f (warmup %.0f)\n", *reps, *horizon, w)
+	if agg.Sojourn.N > 0 {
+		fmt.Printf("time in system:   %s\n", agg.Sojourn)
+	}
+	fmt.Printf("tasks/processor:  %s\n", agg.Load)
+	if agg.Drain.N > 0 {
+		fmt.Printf("drain time:       %s\n", agg.Drain)
+	}
+	fmt.Printf("rep[0] detail:    arrived=%d completed=%d stealAttempts=%d stealSuccesses=%d rebalances=%d\n",
+		first.Arrived, first.Completed, first.StealAttempts, first.StealSuccesses, first.Rebalances)
+}

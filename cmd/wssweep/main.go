@@ -1,0 +1,89 @@
+// Command wssweep sweeps one model parameter and prints E[T] from the
+// mean-field fixed point for each value — the quick way to explore design
+// questions like "what threshold should I use for my transfer latency?".
+//
+// Examples:
+//
+//	wssweep -sweep threshold -lambda 0.9 -max 8
+//	wssweep -sweep transfer-threshold -lambda 0.8 -r 0.25 -max 8
+//	wssweep -sweep choices -lambda 0.95 -max 5
+//	wssweep -sweep retry -lambda 0.9 -T 2
+//	wssweep -sweep multisteal -lambda 0.9 -T 10
+//	wssweep -sweep lambda -model simple
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/meanfield"
+	"repro/internal/table"
+)
+
+func main() {
+	sweep := flag.String("sweep", "threshold", "parameter to sweep: threshold, transfer-threshold, choices, retry, multisteal, lambda")
+	model := flag.String("model", "simple", "model for -sweep lambda: nosteal, simple, choices")
+	lambda := flag.Float64("lambda", 0.9, "arrival rate")
+	tFlag := flag.Int("T", 2, "victim threshold (for retry and multisteal sweeps)")
+	rFlag := flag.Float64("r", 0.25, "transfer rate (for transfer-threshold sweep)")
+	maxV := flag.Int("max", 8, "largest swept integer value")
+	flag.Parse()
+
+	t := table.New(fmt.Sprintf("Sweep %s (λ = %g)", *sweep, *lambda), "value", "E[T]")
+	add := func(label string, v float64) {
+		t.AddRow(label, fmt.Sprintf("%.4f", v))
+	}
+
+	switch *sweep {
+	case "threshold":
+		for T := 2; T <= *maxV; T++ {
+			add(fmt.Sprintf("T=%d", T), meanfield.SolveThreshold(*lambda, T).SojournTime())
+		}
+	case "transfer-threshold":
+		for T := 2; T <= *maxV; T++ {
+			fp := meanfield.MustSolve(meanfield.NewTransfer(*lambda, T, *rFlag), meanfield.SolveOptions{})
+			add(fmt.Sprintf("T=%d", T), fp.SojournTime())
+		}
+	case "choices":
+		for d := 1; d <= *maxV; d++ {
+			fp := meanfield.MustSolve(meanfield.NewChoices(*lambda, 2, d), meanfield.SolveOptions{})
+			add(fmt.Sprintf("d=%d", d), fp.SojournTime())
+		}
+	case "retry":
+		for _, r := range []float64{0, 0.25, 0.5, 1, 2, 4, 8, 16} {
+			fp := meanfield.MustSolve(meanfield.NewRepeated(*lambda, *tFlag, r), meanfield.SolveOptions{})
+			add(fmt.Sprintf("r=%g", r), fp.SojournTime())
+		}
+	case "multisteal":
+		for k := 1; 2*k <= *tFlag; k++ {
+			fp := meanfield.MustSolve(meanfield.NewMultiSteal(*lambda, *tFlag, k), meanfield.SolveOptions{})
+			add(fmt.Sprintf("k=%d", k), fp.SojournTime())
+		}
+		half := meanfield.MustSolve(meanfield.NewStealHalf(*lambda, *tFlag), meanfield.SolveOptions{})
+		add("k=⌈j/2⌉", half.SojournTime())
+	case "lambda":
+		for _, lam := range []float64{0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99} {
+			var v float64
+			switch *model {
+			case "nosteal":
+				v = meanfield.MM1SojournTime(lam)
+			case "simple":
+				v = meanfield.SolveSimpleWS(lam).SojournTime()
+			case "choices":
+				v = meanfield.MustSolve(meanfield.NewChoices(lam, 2, 2), meanfield.SolveOptions{}).SojournTime()
+			default:
+				fmt.Fprintf(os.Stderr, "wssweep: unknown model %q\n", *model)
+				os.Exit(2)
+			}
+			add(fmt.Sprintf("λ=%g", lam), v)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "wssweep: unknown sweep %q\n", *sweep)
+		os.Exit(2)
+	}
+	if err := t.WriteText(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "wssweep:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,100 @@
+// Command wstables regenerates the paper's evaluation tables (and the
+// extension studies) by running the discrete-event simulator against the
+// mean-field fixed-point estimates.
+//
+// Usage:
+//
+//	wstables [-table all|1|2|3|4|tails|threshold|repeated|multisteal|
+//	          preemptive|rebalance|hetero|static|stability]
+//	         [-full] [-reps N] [-horizon T] [-csv]
+//
+// By default a reduced scale runs in seconds; -full reproduces the paper's
+// 10 × 100,000-second simulations for 16–128 processors (minutes).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/table"
+)
+
+func main() {
+	which := flag.String("table", "all", "which table to produce: all, 1, 2, 3, 4, tails, threshold, repeated, multisteal, preemptive, rebalance, hetero, static, stability, convergence, transient, empirical-tails")
+	full := flag.Bool("full", false, "use the paper's full simulation scale (10 reps × 100k seconds, n up to 128)")
+	reps := flag.Int("reps", 0, "override the number of replications")
+	horizon := flag.Float64("horizon", 0, "override the simulated horizon")
+	seed := flag.Uint64("seed", 1998, "random seed")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	flag.Parse()
+
+	sc := experiments.QuickScale
+	if *full {
+		sc = experiments.PaperScale
+	}
+	sc.Seed = *seed
+	if *reps > 0 {
+		sc.Reps = *reps
+	}
+	if *horizon > 0 {
+		sc.Horizon = *horizon
+		sc.Warmup = *horizon / 10
+	}
+
+	emit := func(t *table.Table) {
+		var err error
+		if *csv {
+			err = t.WriteCSV(os.Stdout)
+		} else {
+			err = t.WriteText(os.Stdout)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wstables:", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	builders := map[string]func() *table.Table{
+		"1":          func() *table.Table { return experiments.Table1(sc) },
+		"2":          func() *table.Table { return experiments.Table2(sc) },
+		"3":          func() *table.Table { return experiments.Table3(sc) },
+		"4":          func() *table.Table { return experiments.Table4(sc) },
+		"tails":      func() *table.Table { return experiments.TailDecay(0.9) },
+		"threshold":  func() *table.Table { return experiments.ThresholdSweep(0.9, []int{2, 3, 4, 5, 6, 8}) },
+		"repeated":   func() *table.Table { return experiments.RepeatedSweep(0.9, 2, []float64{0, 0.5, 1, 2, 4, 8, 16}) },
+		"multisteal": func() *table.Table { return experiments.MultiStealSweep(0.9, 8) },
+		"preemptive": func() *table.Table { return experiments.PreemptiveSweep(0.9, []int{0, 1, 2, 3}, 5) },
+		"rebalance":  func() *table.Table { return experiments.RebalanceStudy(0.9, []float64{0.5, 1, 2, 4}, sc) },
+		"hetero":     func() *table.Table { return experiments.HeteroStudy(sc) },
+		"static":     func() *table.Table { return experiments.StaticDrain(8, sc) },
+		"stability":  func() *table.Table { return experiments.StabilityStudy([]float64{0.3, 0.5, 0.7, 0.8, 0.9, 0.95}) },
+		"convergence": func() *table.Table {
+			return experiments.ConvergenceInN(0.9, []int{8, 16, 32, 64, 128}, sc)
+		},
+		"transient": func() *table.Table {
+			return experiments.TransientTable(0.9, 256, 60, 2, sc.Reps, sc.Seed)
+		},
+		"empirical-tails": func() *table.Table { return experiments.EmpiricalTails(0.9, 12, sc) },
+		"relaxation":      func() *table.Table { return experiments.RelaxationStudy([]float64{0.3, 0.5, 0.7, 0.8, 0.9, 0.95}) },
+		"latency":         func() *table.Table { return experiments.TailLatency(0.9, sc) },
+	}
+	order := []string{"1", "2", "3", "4", "tails", "threshold", "repeated", "multisteal", "preemptive", "rebalance", "hetero", "static", "stability", "convergence", "transient", "empirical-tails", "relaxation", "latency"}
+
+	switch *which {
+	case "all":
+		for _, k := range order {
+			emit(builders[k]())
+		}
+	default:
+		b, ok := builders[*which]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "wstables: unknown table %q (options: all, %s)\n", *which, strings.Join(order, ", "))
+			os.Exit(2)
+		}
+		emit(b())
+	}
+}

@@ -1,0 +1,160 @@
+// Package asciiplot renders small time-series charts as plain text, so the
+// CLI tools and examples can show trajectories — mean load filling up from
+// the empty state, L1 distance decaying toward the fixed point, drain
+// curves — without any graphics dependencies.
+package asciiplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Options controls chart geometry.
+type Options struct {
+	// Width and Height of the plotting area in characters.
+	// Zero values default to 64 × 16.
+	Width, Height int
+	// YMin and YMax fix the vertical range; when both are zero the range
+	// is taken from the data with a small margin.
+	YMin, YMax float64
+	// Title is printed above the chart when non-empty.
+	Title string
+}
+
+// Series is one named line of (x, y) points. Xs must be non-decreasing and
+// the same length as Ys.
+type Series struct {
+	Name string
+	Xs   []float64
+	Ys   []float64
+}
+
+// markers assigns one rune per series, in order.
+var markers = []rune{'*', '+', 'o', 'x', '#', '@'}
+
+// Render draws the series into a text chart with a y-axis scale, an x-axis
+// range line, and a legend. It returns an error for empty or malformed
+// input.
+func Render(opt Options, series ...Series) (string, error) {
+	if len(series) == 0 {
+		return "", fmt.Errorf("asciiplot: no series")
+	}
+	w, h := opt.Width, opt.Height
+	if w <= 0 {
+		w = 64
+	}
+	if h <= 0 {
+		h = 16
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		if len(s.Xs) == 0 || len(s.Xs) != len(s.Ys) {
+			return "", fmt.Errorf("asciiplot: series %q has %d xs and %d ys", s.Name, len(s.Xs), len(s.Ys))
+		}
+		for i := range s.Xs {
+			if math.IsNaN(s.Xs[i]) || math.IsNaN(s.Ys[i]) {
+				continue
+			}
+			xmin = math.Min(xmin, s.Xs[i])
+			xmax = math.Max(xmax, s.Xs[i])
+			ymin = math.Min(ymin, s.Ys[i])
+			ymax = math.Max(ymax, s.Ys[i])
+		}
+	}
+	if math.IsInf(xmin, 1) {
+		return "", fmt.Errorf("asciiplot: no finite points")
+	}
+	if opt.YMin != 0 || opt.YMax != 0 {
+		ymin, ymax = opt.YMin, opt.YMax
+	} else {
+		margin := (ymax - ymin) * 0.05
+		if margin == 0 {
+			margin = math.Max(math.Abs(ymax)*0.05, 0.5)
+		}
+		ymin -= margin
+		ymax += margin
+	}
+	if ymax <= ymin {
+		ymax = ymin + 1
+	}
+	if xmax <= xmin {
+		xmax = xmin + 1
+	}
+
+	grid := make([][]rune, h)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", w))
+	}
+	col := func(x float64) int {
+		c := int((x - xmin) / (xmax - xmin) * float64(w-1))
+		if c < 0 {
+			c = 0
+		}
+		if c >= w {
+			c = w - 1
+		}
+		return c
+	}
+	row := func(y float64) int {
+		r := int((ymax - y) / (ymax - ymin) * float64(h-1))
+		if r < 0 {
+			r = 0
+		}
+		if r >= h {
+			r = h - 1
+		}
+		return r
+	}
+	for si, s := range series {
+		mark := markers[si%len(markers)]
+		for i := range s.Xs {
+			if math.IsNaN(s.Xs[i]) || math.IsNaN(s.Ys[i]) {
+				continue
+			}
+			grid[row(s.Ys[i])][col(s.Xs[i])] = mark
+		}
+	}
+
+	var b strings.Builder
+	if opt.Title != "" {
+		b.WriteString(opt.Title)
+		b.WriteByte('\n')
+	}
+	label := func(v float64) string { return fmt.Sprintf("%8.3f", v) }
+	for r := 0; r < h; r++ {
+		switch r {
+		case 0:
+			b.WriteString(label(ymax))
+		case h - 1:
+			b.WriteString(label(ymin))
+		default:
+			b.WriteString(strings.Repeat(" ", 8))
+		}
+		b.WriteString(" |")
+		b.WriteString(string(grid[r]))
+		b.WriteByte('\n')
+	}
+	b.WriteString(strings.Repeat(" ", 9))
+	b.WriteByte('+')
+	b.WriteString(strings.Repeat("-", w))
+	b.WriteByte('\n')
+	b.WriteString(fmt.Sprintf("%9s%-10.4g%s%10.4g\n", "", xmin, strings.Repeat(" ", maxInt(0, w-20)), xmax))
+	// Legend.
+	for si, s := range series {
+		name := s.Name
+		if name == "" {
+			name = fmt.Sprintf("series %d", si+1)
+		}
+		b.WriteString(fmt.Sprintf("%9s%c %s\n", "", markers[si%len(markers)], name))
+	}
+	return b.String(), nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,101 @@
+package asciiplot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func ramp(n int) ([]float64, []float64) {
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = float64(i) * 2
+	}
+	return xs, ys
+}
+
+func TestRenderBasic(t *testing.T) {
+	xs, ys := ramp(20)
+	out, err := Render(Options{Title: "ramp", Width: 40, Height: 10}, Series{Name: "line", Xs: xs, Ys: ys})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "ramp") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "line") {
+		t.Error("missing legend")
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("missing data marks")
+	}
+	lines := strings.Split(out, "\n")
+	// title + 10 rows + axis + range + legend.
+	if len(lines) < 13 {
+		t.Errorf("only %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestRenderTwoSeriesDistinctMarkers(t *testing.T) {
+	xs, ys := ramp(10)
+	ys2 := make([]float64, len(ys))
+	for i := range ys2 {
+		ys2[i] = 20 - ys[i]
+	}
+	out, err := Render(Options{}, Series{Name: "up", Xs: xs, Ys: ys}, Series{Name: "down", Xs: xs, Ys: ys2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Error("expected two distinct markers")
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	if _, err := Render(Options{}); err == nil {
+		t.Error("no series should error")
+	}
+	if _, err := Render(Options{}, Series{Xs: []float64{1}, Ys: []float64{}}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	nan := math.NaN()
+	if _, err := Render(Options{}, Series{Xs: []float64{nan}, Ys: []float64{nan}}); err == nil {
+		t.Error("all-NaN should error")
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	// Degenerate vertical range must not divide by zero.
+	out, err := Render(Options{}, Series{Xs: []float64{0, 1, 2}, Ys: []float64{5, 5, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("constant series lost its marks")
+	}
+}
+
+func TestRenderExplicitRange(t *testing.T) {
+	xs, ys := ramp(10)
+	out, err := Render(Options{YMin: 0, YMax: 100, Height: 5}, Series{Xs: xs, Ys: ys})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "100.000") {
+		t.Errorf("explicit ymax not in scale:\n%s", out)
+	}
+}
+
+func TestRenderSkipsNaNPoints(t *testing.T) {
+	out, err := Render(Options{},
+		Series{Xs: []float64{0, 1, 2}, Ys: []float64{1, math.NaN(), 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two data marks plus the one in the legend.
+	if strings.Count(out, "*") != 3 {
+		t.Errorf("expected 2 data marks + 1 legend mark, got %d total", strings.Count(out, "*"))
+	}
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// toyModel is a minimal Model for exercising the metric helpers.
+type toyModel struct {
+	lambda float64
+	state  []float64
+}
+
+func (m *toyModel) Name() string         { return "toy" }
+func (m *toyModel) Dim() int             { return len(m.state) }
+func (m *toyModel) Initial() []float64   { return EmptyTails(len(m.state)) }
+func (m *toyModel) ArrivalRate() float64 { return m.lambda }
+func (m *toyModel) Project(x []float64)  { ProjectTails(x) }
+func (m *toyModel) MeanTasks(x []float64) float64 {
+	return MeanFromTails(x)
+}
+func (m *toyModel) Derivs(x, dx []float64) {
+	for i := range dx {
+		dx[i] = 0
+	}
+}
+
+func TestSojournTimeLittlesLaw(t *testing.T) {
+	m := &toyModel{lambda: 0.5, state: []float64{1, 0.5, 0.25, 0}}
+	// E[L] = 0.75, λ = 0.5 → E[T] = 1.5.
+	if got := SojournTime(m, m.state); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("SojournTime = %v, want 1.5", got)
+	}
+}
+
+func TestFixedPointMethods(t *testing.T) {
+	m := &toyModel{lambda: 0.5, state: []float64{1, 0.5, 0.25, 0}}
+	fp := FixedPoint{Model: m, State: m.state, Residual: 1e-13}
+	if math.Abs(fp.MeanTasks()-0.75) > 1e-12 {
+		t.Errorf("MeanTasks = %v", fp.MeanTasks())
+	}
+	if math.Abs(fp.SojournTime()-1.5) > 1e-12 {
+		t.Errorf("SojournTime = %v", fp.SojournTime())
+	}
+}
+
+func TestGeometricTails(t *testing.T) {
+	s := GeometricTails(0.5, 4)
+	want := []float64{1, 0.5, 0.25, 0.125}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Errorf("s[%d] = %v, want %v", i, s[i], want[i])
+		}
+	}
+}

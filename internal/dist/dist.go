@@ -1,0 +1,172 @@
+// Package dist defines the service-time and inter-arrival distributions used
+// by the work-stealing simulator.
+//
+// The paper's base model uses exponential service with mean 1; Section 3.1
+// extends the analysis to constant service times by Erlang's method of
+// stages, and notes that any positive distribution can be approximated by
+// mixtures of gamma (Erlang) distributions. This package provides all of
+// those plus a hyperexponential and a uniform distribution for
+// high-variance / bounded-variance experiments.
+package dist
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// Distribution is a positive random variable that can be sampled using a
+// caller-supplied random source. Implementations must be stateless so a
+// single Distribution value can be shared by concurrent replications, each
+// with its own *rng.Source.
+type Distribution interface {
+	// Sample draws one value using r.
+	Sample(r *rng.Source) float64
+	// Mean returns the expected value.
+	Mean() float64
+	// Var returns the variance.
+	Var() float64
+	// String describes the distribution, e.g. "Exp(1)".
+	String() string
+}
+
+// Exponential is the memoryless distribution with the given rate
+// (mean 1/Rate). It is the paper's base service-time model.
+type Exponential struct {
+	Rate float64
+}
+
+// NewExponential returns an Exponential with the given rate.
+// It panics if rate <= 0.
+func NewExponential(rate float64) Exponential {
+	if rate <= 0 {
+		panic("dist: Exponential rate must be positive")
+	}
+	return Exponential{Rate: rate}
+}
+
+func (d Exponential) Sample(r *rng.Source) float64 { return r.Exp(d.Rate) }
+func (d Exponential) Mean() float64                { return 1 / d.Rate }
+func (d Exponential) Var() float64                 { return 1 / (d.Rate * d.Rate) }
+func (d Exponential) String() string               { return fmt.Sprintf("Exp(rate=%g)", d.Rate) }
+
+// Deterministic always returns Value. Used for the constant-service-time
+// experiments (Table 2), where the mean-field side approximates it with
+// Erlang stages.
+type Deterministic struct {
+	Value float64
+}
+
+// NewDeterministic returns a Deterministic distribution.
+// It panics if v < 0.
+func NewDeterministic(v float64) Deterministic {
+	if v < 0 {
+		panic("dist: Deterministic value must be non-negative")
+	}
+	return Deterministic{Value: v}
+}
+
+func (d Deterministic) Sample(*rng.Source) float64 { return d.Value }
+func (d Deterministic) Mean() float64              { return d.Value }
+func (d Deterministic) Var() float64               { return 0 }
+func (d Deterministic) String() string             { return fmt.Sprintf("Const(%g)", d.Value) }
+
+// Erlang is the sum of K exponentials each with rate Rate (mean K/Rate).
+// With K stages and Rate = K/mean it approximates a constant equal to mean
+// as K grows; this is exactly the "method of stages" of Section 3.1.
+type Erlang struct {
+	K    int
+	Rate float64
+}
+
+// NewErlang returns an Erlang distribution with k stages and total mean
+// k/rate. It panics on non-positive parameters.
+func NewErlang(k int, rate float64) Erlang {
+	if k <= 0 || rate <= 0 {
+		panic("dist: Erlang needs k > 0 and rate > 0")
+	}
+	return Erlang{K: k, Rate: rate}
+}
+
+// ErlangWithMean returns an Erlang with k stages and the given overall mean.
+func ErlangWithMean(k int, mean float64) Erlang {
+	return NewErlang(k, float64(k)/mean)
+}
+
+func (d Erlang) Sample(r *rng.Source) float64 { return r.Erlang(d.K, d.Rate) }
+func (d Erlang) Mean() float64                { return float64(d.K) / d.Rate }
+func (d Erlang) Var() float64                 { return float64(d.K) / (d.Rate * d.Rate) }
+func (d Erlang) String() string               { return fmt.Sprintf("Erlang(k=%d, rate=%g)", d.K, d.Rate) }
+
+// HyperExponential mixes two exponentials: with probability P the sample is
+// Exp(Rate1), otherwise Exp(Rate2). Coefficient of variation exceeds 1,
+// giving a high-variance contrast to Deterministic.
+type HyperExponential struct {
+	P            float64
+	Rate1, Rate2 float64
+}
+
+// NewHyperExponential returns a two-phase hyperexponential.
+// It panics on invalid parameters.
+func NewHyperExponential(p, rate1, rate2 float64) HyperExponential {
+	if p < 0 || p > 1 || rate1 <= 0 || rate2 <= 0 {
+		panic("dist: invalid HyperExponential parameters")
+	}
+	return HyperExponential{P: p, Rate1: rate1, Rate2: rate2}
+}
+
+func (d HyperExponential) Sample(r *rng.Source) float64 {
+	if r.Bernoulli(d.P) {
+		return r.Exp(d.Rate1)
+	}
+	return r.Exp(d.Rate2)
+}
+
+func (d HyperExponential) Mean() float64 {
+	return d.P/d.Rate1 + (1-d.P)/d.Rate2
+}
+
+func (d HyperExponential) Var() float64 {
+	// E[X^2] for a mixture: p·2/r1² + (1−p)·2/r2².
+	ex2 := 2*d.P/(d.Rate1*d.Rate1) + 2*(1-d.P)/(d.Rate2*d.Rate2)
+	m := d.Mean()
+	return ex2 - m*m
+}
+
+func (d HyperExponential) String() string {
+	return fmt.Sprintf("HyperExp(p=%g, r1=%g, r2=%g)", d.P, d.Rate1, d.Rate2)
+}
+
+// Uniform is continuous uniform on [Lo, Hi].
+type Uniform struct {
+	Lo, Hi float64
+}
+
+// NewUniform returns a Uniform distribution on [lo, hi].
+// It panics unless 0 <= lo < hi.
+func NewUniform(lo, hi float64) Uniform {
+	if lo < 0 || hi <= lo {
+		panic("dist: Uniform needs 0 <= lo < hi")
+	}
+	return Uniform{Lo: lo, Hi: hi}
+}
+
+func (d Uniform) Sample(r *rng.Source) float64 {
+	return d.Lo + (d.Hi-d.Lo)*r.Float64()
+}
+func (d Uniform) Mean() float64 { return (d.Lo + d.Hi) / 2 }
+func (d Uniform) Var() float64  { w := d.Hi - d.Lo; return w * w / 12 }
+func (d Uniform) String() string {
+	return fmt.Sprintf("Uniform[%g, %g]", d.Lo, d.Hi)
+}
+
+// SCV returns the squared coefficient of variation Var/Mean² of d, the usual
+// single-number summary of service-time variability (1 for exponential,
+// 0 for deterministic, >1 for hyperexponential).
+func SCV(d Distribution) float64 {
+	m := d.Mean()
+	if m == 0 {
+		return 0
+	}
+	return d.Var() / (m * m)
+}

@@ -1,0 +1,156 @@
+package dist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+// checkMoments samples d many times and verifies the empirical mean and
+// variance against the declared Mean()/Var() within a loose tolerance.
+func checkMoments(t *testing.T, d Distribution, n int, tol float64) {
+	t.Helper()
+	r := rng.New(12345)
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		x := d.Sample(r)
+		if x < 0 {
+			t.Fatalf("%s produced negative sample %v", d, x)
+		}
+		sum += x
+		sumsq += x * x
+	}
+	mean := sum / float64(n)
+	variance := sumsq/float64(n) - mean*mean
+	if d.Mean() != 0 && math.Abs(mean-d.Mean())/d.Mean() > tol {
+		t.Errorf("%s empirical mean %v, declared %v", d, mean, d.Mean())
+	}
+	if d.Var() == 0 {
+		if variance > 1e-20 {
+			t.Errorf("%s should have zero variance, got %v", d, variance)
+		}
+	} else if math.Abs(variance-d.Var())/d.Var() > 3*tol {
+		t.Errorf("%s empirical variance %v, declared %v", d, variance, d.Var())
+	}
+}
+
+func TestExponentialMoments(t *testing.T) {
+	checkMoments(t, NewExponential(1), 400000, 0.01)
+	checkMoments(t, NewExponential(4), 400000, 0.01)
+}
+
+func TestDeterministic(t *testing.T) {
+	d := NewDeterministic(2.5)
+	checkMoments(t, d, 100, 1e-12)
+	if d.Sample(rng.New(1)) != 2.5 {
+		t.Error("Deterministic sample wrong")
+	}
+}
+
+func TestErlangMoments(t *testing.T) {
+	checkMoments(t, NewErlang(5, 5), 300000, 0.015)
+	checkMoments(t, ErlangWithMean(20, 1), 300000, 0.015)
+}
+
+func TestErlangWithMean(t *testing.T) {
+	d := ErlangWithMean(10, 3)
+	if math.Abs(d.Mean()-3) > 1e-12 {
+		t.Errorf("ErlangWithMean mean = %v, want 3", d.Mean())
+	}
+	if d.K != 10 {
+		t.Errorf("ErlangWithMean K = %d", d.K)
+	}
+}
+
+func TestHyperExponentialMoments(t *testing.T) {
+	checkMoments(t, NewHyperExponential(0.3, 0.5, 2), 600000, 0.02)
+}
+
+func TestUniformMoments(t *testing.T) {
+	checkMoments(t, NewUniform(0.5, 1.5), 300000, 0.01)
+}
+
+func TestSCV(t *testing.T) {
+	if got := SCV(NewExponential(3)); math.Abs(got-1) > 1e-12 {
+		t.Errorf("SCV(Exp) = %v, want 1", got)
+	}
+	if got := SCV(NewDeterministic(2)); got != 0 {
+		t.Errorf("SCV(Const) = %v, want 0", got)
+	}
+	if got := SCV(NewErlang(4, 4)); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("SCV(Erlang 4) = %v, want 0.25", got)
+	}
+	h := NewHyperExponential(0.3, 0.5, 2)
+	if SCV(h) <= 1 {
+		t.Errorf("SCV(HyperExp) = %v, want > 1", SCV(h))
+	}
+	if SCV(NewDeterministic(0)) != 0 {
+		t.Error("SCV of zero-mean distribution should be 0")
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	cases := []func(){
+		func() { NewExponential(0) },
+		func() { NewExponential(-1) },
+		func() { NewDeterministic(-1) },
+		func() { NewErlang(0, 1) },
+		func() { NewErlang(1, 0) },
+		func() { NewHyperExponential(1.5, 1, 1) },
+		func() { NewHyperExponential(0.5, 0, 1) },
+		func() { NewUniform(1, 1) },
+		func() { NewUniform(-1, 1) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: constructor should panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestStrings(t *testing.T) {
+	for _, d := range []Distribution{
+		NewExponential(1), NewDeterministic(1), NewErlang(2, 2),
+		NewHyperExponential(0.5, 1, 2), NewUniform(0, 1),
+	} {
+		if d.String() == "" {
+			t.Errorf("%T has empty String()", d)
+		}
+	}
+}
+
+// Property: Erlang with k stages and rate k has mean 1 regardless of k,
+// and its SCV is 1/k.
+func TestErlangStageProperty(t *testing.T) {
+	f := func(kRaw uint8) bool {
+		k := int(kRaw%30) + 1
+		d := ErlangWithMean(k, 1)
+		return math.Abs(d.Mean()-1) < 1e-12 && math.Abs(SCV(d)-1/float64(k)) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: samples are always non-negative for every distribution family.
+func TestSamplesNonNegative(t *testing.T) {
+	r := rng.New(99)
+	ds := []Distribution{
+		NewExponential(0.1), NewDeterministic(0), NewErlang(3, 1),
+		NewHyperExponential(0.9, 10, 0.1), NewUniform(0, 2),
+	}
+	for _, d := range ds {
+		for i := 0; i < 10000; i++ {
+			if d.Sample(r) < 0 {
+				t.Fatalf("%s produced a negative sample", d)
+			}
+		}
+	}
+}

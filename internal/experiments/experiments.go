@@ -1,0 +1,222 @@
+// Package experiments regenerates every table in the paper's evaluation
+// (and the extension studies listed in DESIGN.md) by combining the
+// mean-field fixed points of package meanfield with the finite-n
+// simulations of package sim.
+//
+// Each Table function returns a rendered table whose rows and columns match
+// the paper's layout. The Scale parameter controls fidelity: PaperScale
+// reproduces the paper's 10 × 100,000-second simulations, QuickScale keeps
+// everything under a few seconds for tests and benches.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+	"repro/internal/meanfield"
+	"repro/internal/sim"
+	"repro/internal/table"
+)
+
+// Scale sets the fidelity of the simulation side of each experiment.
+type Scale struct {
+	// Reps is the number of independent replications per cell.
+	Reps int
+	// Horizon and Warmup are the simulated time span and the discarded
+	// prefix (the paper uses 100,000 and 10,000 seconds).
+	Horizon float64
+	Warmup  float64
+	// Ns are the processor counts for the simulation columns.
+	Ns []int
+	// Lambdas overrides the default arrival-rate rows when non-nil.
+	Lambdas []float64
+	// Seed selects the random streams.
+	Seed uint64
+	// Workers bounds the parallel replication goroutines (0 = GOMAXPROCS).
+	Workers int
+}
+
+// PaperScale matches the paper: 10 replications of 100,000 seconds each
+// with the first 10,000 discarded, for 16–128 processors.
+var PaperScale = Scale{
+	Reps:    10,
+	Horizon: 100_000,
+	Warmup:  10_000,
+	Ns:      []int{16, 32, 64, 128},
+	Seed:    1998,
+}
+
+// QuickScale runs the same structure at a fraction of the cost, for tests,
+// benches, and interactive use. Statistical error is a few percent.
+var QuickScale = Scale{
+	Reps:    4,
+	Horizon: 8_000,
+	Warmup:  800,
+	Ns:      []int{16, 64},
+	Lambdas: []float64{0.50, 0.80, 0.95},
+	Seed:    1998,
+}
+
+// lambdas returns the row set, defaulting to def when not overridden.
+func (sc Scale) lambdas(def []float64) []float64 {
+	if sc.Lambdas != nil {
+		return sc.Lambdas
+	}
+	return def
+}
+
+// table1Lambdas is the arrival-rate column of Tables 1, 2 and 4.
+var table1Lambdas = []float64{0.50, 0.70, 0.80, 0.90, 0.95, 0.99}
+
+// table3Lambdas is the arrival-rate column of Table 3.
+var table3Lambdas = []float64{0.50, 0.70, 0.80, 0.90, 0.95}
+
+// simSojourn runs replications of opts and returns the mean sojourn time.
+func simSojourn(opts sim.Options, sc Scale) float64 {
+	opts.Horizon = sc.Horizon
+	opts.Warmup = sc.Warmup
+	opts.Seed = sc.Seed
+	agg, err := sim.Replication{Reps: sc.Reps, Workers: sc.Workers}.Run(opts)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: simulation failed: %v", err))
+	}
+	return agg.Sojourn.Mean
+}
+
+// Table1 reproduces the paper's Table 1: simulations of the simplest WS
+// model (steal one task on emptying, victim ≥ 2, exponential service) for
+// each processor count, against the fixed-point estimate, with the relative
+// error between the largest simulation and the estimate.
+func Table1(sc Scale) *table.Table {
+	lams := sc.lambdas(table1Lambdas)
+	headers := []string{"λ"}
+	for _, n := range sc.Ns {
+		headers = append(headers, fmt.Sprintf("Sim(%d)", n))
+	}
+	headers = append(headers, "Estimate", "Rel Error (%)")
+	t := table.New("Table 1: simplest WS model — simulations vs fixed-point estimate", headers...)
+
+	for _, lam := range lams {
+		row := []float64{lam}
+		var last float64
+		for _, n := range sc.Ns {
+			v := simSojourn(sim.Options{
+				N:       n,
+				Lambda:  lam,
+				Service: dist.NewExponential(1),
+				Policy:  sim.PolicySteal,
+				T:       2,
+			}, sc)
+			row = append(row, v)
+			last = v
+		}
+		est := meanfield.SolveSimpleWS(lam).SojournTime()
+		relErr := 100 * (last - est) / est
+		if relErr < 0 {
+			relErr = -relErr
+		}
+		row = append(row, est, relErr)
+		t.AddNumericRow(3, row...)
+	}
+	return t
+}
+
+// Table2 reproduces Table 2: constant service times (T = 2). Simulations
+// use Deterministic(1) service; estimates use the Erlang stage model with
+// c = 10 and c = 20 stages.
+func Table2(sc Scale) *table.Table {
+	lams := sc.lambdas(table1Lambdas)
+	headers := []string{"λ"}
+	for _, n := range sc.Ns {
+		headers = append(headers, fmt.Sprintf("Sim(%d)", n))
+	}
+	headers = append(headers, "c = 10", "c = 20")
+	t := table.New("Table 2: constant service times (T = 2) — simulations vs stage estimates", headers...)
+
+	// Estimates depend only on λ; solve each once.
+	est := map[int]map[float64]float64{10: {}, 20: {}}
+	for _, c := range []int{10, 20} {
+		for _, lam := range lams {
+			fp := meanfield.MustSolve(meanfield.NewStages(lam, c, 2), meanfield.SolveOptions{})
+			est[c][lam] = fp.SojournTime()
+		}
+	}
+	for _, lam := range lams {
+		row := []float64{lam}
+		for _, n := range sc.Ns {
+			row = append(row, simSojourn(sim.Options{
+				N:       n,
+				Lambda:  lam,
+				Service: dist.NewDeterministic(1),
+				Policy:  sim.PolicySteal,
+				T:       2,
+			}, sc))
+		}
+		row = append(row, est[10][lam], est[20][lam])
+		t.AddNumericRow(3, row...)
+	}
+	return t
+}
+
+// Table3 reproduces Table 3: transfer times with r = 0.25. For each
+// threshold T in {3,4,5,6} the table shows the largest-n simulation and the
+// fixed-point estimate; the best threshold is ~1/r at small arrival rates
+// and larger at high ones.
+func Table3(sc Scale) *table.Table {
+	const r = 0.25
+	lams := sc.lambdas(table3Lambdas)
+	n := sc.Ns[len(sc.Ns)-1] // the paper reports only its largest system
+	ts := []int{3, 4, 5, 6}
+	headers := []string{"λ"}
+	for _, T := range ts {
+		headers = append(headers, fmt.Sprintf("T=%d Sim(%d)", T, n), fmt.Sprintf("T=%d Est.", T))
+	}
+	t := table.New("Table 3: transfer times (r = 0.25) — simulations vs estimates", headers...)
+
+	for _, lam := range lams {
+		row := []float64{lam}
+		for _, T := range ts {
+			v := simSojourn(sim.Options{
+				N:            n,
+				Lambda:       lam,
+				Service:      dist.NewExponential(1),
+				Policy:       sim.PolicySteal,
+				T:            T,
+				TransferRate: r,
+			}, sc)
+			fp := meanfield.MustSolve(meanfield.NewTransfer(lam, T, r), meanfield.SolveOptions{})
+			row = append(row, v, fp.SojournTime())
+		}
+		t.AddNumericRow(3, row...)
+	}
+	return t
+}
+
+// Table4 reproduces Table 4: one victim choice versus two (T = 2), with the
+// two-choices fixed-point estimate.
+func Table4(sc Scale) *table.Table {
+	lams := sc.lambdas(table1Lambdas)
+	n := sc.Ns[len(sc.Ns)-1]
+	t := table.New(
+		"Table 4: one choice vs two choices (T = 2)",
+		"λ",
+		fmt.Sprintf("Sim(%d) 1 choice", n),
+		fmt.Sprintf("Sim(%d) 2 choices", n),
+		"Estimate 2 choices",
+	)
+	for _, lam := range lams {
+		base := sim.Options{
+			N:       n,
+			Lambda:  lam,
+			Service: dist.NewExponential(1),
+			Policy:  sim.PolicySteal,
+			T:       2,
+		}
+		one := simSojourn(base, sc)
+		base.D = 2
+		two := simSojourn(base, sc)
+		est := meanfield.MustSolve(meanfield.NewChoices(lam, 2, 2), meanfield.SolveOptions{}).SojournTime()
+		t.AddNumericRow(3, lam, one, two, est)
+	}
+	return t
+}

@@ -1,0 +1,247 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// tiny scale keeps the integration tests fast; statistical error is ~5-10%.
+var tiny = Scale{
+	Reps:    3,
+	Horizon: 4000,
+	Warmup:  400,
+	Ns:      []int{16, 64},
+	Lambdas: []float64{0.50, 0.80},
+	Seed:    7,
+}
+
+// cellF parses a numeric table cell.
+func cellF(t *testing.T, tb interface{ Cell(int, int) string }, r, c int) float64 {
+	t.Helper()
+	s := tb.Cell(r, c)
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		t.Fatalf("cell (%d,%d) = %q not numeric: %v", r, c, s, err)
+	}
+	return v
+}
+
+func TestTable1ShapeAndAccuracy(t *testing.T) {
+	tb := Table1(tiny)
+	if tb.NumRows() != 2 {
+		t.Fatalf("rows = %d", tb.NumRows())
+	}
+	for r := 0; r < tb.NumRows(); r++ {
+		sim16 := cellF(t, tb, r, 1)
+		sim64 := cellF(t, tb, r, 2)
+		est := cellF(t, tb, r, 3)
+		relErr := cellF(t, tb, r, 4)
+		// The paper's shape: simulations upper-bound the estimate and the
+		// prediction improves with n.
+		for _, v := range []float64{sim16, sim64} {
+			if v < est*0.9 || v > est*1.5 {
+				t.Errorf("row %d: sim %v far from estimate %v", r, v, est)
+			}
+		}
+		if relErr > 25 {
+			t.Errorf("row %d: relative error %v%% too large", r, relErr)
+		}
+	}
+	// λ = 0.5 row: estimate is the golden ratio.
+	if est := cellF(t, tb, 0, 3); est < 1.61 || est > 1.63 {
+		t.Errorf("λ=0.5 estimate %v, want 1.618", est)
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	tb := Table2(tiny)
+	for r := 0; r < tb.NumRows(); r++ {
+		sim64 := cellF(t, tb, r, 2)
+		c10 := cellF(t, tb, r, 3)
+		c20 := cellF(t, tb, r, 4)
+		// c = 20 approximates "constant" better, so it should sit below the
+		// c = 10 estimate (constant service is the best case).
+		if c20 >= c10 {
+			t.Errorf("row %d: c=20 estimate %v not below c=10 %v", r, c20, c10)
+		}
+		// Simulation of truly constant service should be within a band of
+		// the c = 20 estimate.
+		if sim64 < c20*0.85 || sim64 > c20*1.35 {
+			t.Errorf("row %d: sim %v far from c=20 estimate %v", r, sim64, c20)
+		}
+	}
+}
+
+func TestTable2BeatsTable1(t *testing.T) {
+	// Constant service beats exponential service at equal λ.
+	t1 := Table1(tiny)
+	t2 := Table2(tiny)
+	for r := 0; r < t1.NumRows(); r++ {
+		expo := cellF(t, t1, r, 2)
+		cons := cellF(t, t2, r, 2)
+		if cons >= expo {
+			t.Errorf("row %d: constant service sim %v not below exponential %v", r, cons, expo)
+		}
+	}
+}
+
+func TestTable3ShapeAndThresholdRule(t *testing.T) {
+	sc := tiny
+	sc.Lambdas = []float64{0.50}
+	tb := Table3(sc)
+	// Columns: λ, then (sim, est) × T ∈ {3,4,5,6}.
+	sims := map[int]float64{}
+	ests := map[int]float64{}
+	for i, T := range []int{3, 4, 5, 6} {
+		sims[T] = cellF(t, tb, 0, 1+2*i)
+		ests[T] = cellF(t, tb, 0, 2+2*i)
+	}
+	// Estimates should track simulations within a band.
+	for _, T := range []int{3, 4, 5, 6} {
+		if sims[T] < ests[T]*0.85 || sims[T] > ests[T]*1.25 {
+			t.Errorf("T=%d: sim %v far from estimate %v", T, sims[T], ests[T])
+		}
+	}
+	// The paper's rule of thumb at small λ: best threshold ≈ 1/r = 4.
+	if !(ests[4] < ests[3] && ests[4] < ests[6]) {
+		t.Errorf("estimate at T=4 (%v) should beat T=3 (%v) and T=6 (%v)", ests[4], ests[3], ests[6])
+	}
+}
+
+func TestTable4TwoChoicesWin(t *testing.T) {
+	tb := Table4(tiny)
+	for r := 0; r < tb.NumRows(); r++ {
+		one := cellF(t, tb, r, 1)
+		two := cellF(t, tb, r, 2)
+		est := cellF(t, tb, r, 3)
+		if two >= one {
+			t.Errorf("row %d: two choices %v not better than one %v", r, two, one)
+		}
+		if two < est*0.85 || two > est*1.3 {
+			t.Errorf("row %d: sim %v far from estimate %v", r, two, est)
+		}
+	}
+}
+
+func TestTailDecayTable(t *testing.T) {
+	tb := TailDecay(0.8)
+	if tb.NumRows() != 5 {
+		t.Fatalf("rows = %d", tb.NumRows())
+	}
+	// Every stealing model's ratio must beat the no-stealing ratio λ.
+	noSteal := cellF(t, tb, 0, 1)
+	for r := 1; r < tb.NumRows(); r++ {
+		measured := cellF(t, tb, r, 1)
+		predicted := cellF(t, tb, r, 2)
+		if measured >= noSteal {
+			t.Errorf("row %d: ratio %v not faster than no stealing %v", r, measured, noSteal)
+		}
+		if diff := measured - predicted; diff > 0.001 || diff < -0.001 {
+			t.Errorf("row %d: measured %v vs predicted %v", r, measured, predicted)
+		}
+	}
+}
+
+func TestThresholdSweepTable(t *testing.T) {
+	tb := ThresholdSweep(0.9, []int{2, 3, 5})
+	prev := 0.0
+	for r := 0; r < tb.NumRows(); r++ {
+		cf := cellF(t, tb, r, 1)
+		od := cellF(t, tb, r, 2)
+		if d := cf - od; d > 1e-6 || d < -1e-6 {
+			t.Errorf("row %d: closed form %v vs ODE %v", r, cf, od)
+		}
+		if cf < prev {
+			t.Errorf("E[T] decreased with larger T at row %d", r)
+		}
+		prev = cf
+	}
+}
+
+func TestRepeatedSweepTable(t *testing.T) {
+	tb := RepeatedSweep(0.9, 2, []float64{0, 1, 10})
+	prev := 1.0
+	for r := 0; r < tb.NumRows(); r++ {
+		piT := cellF(t, tb, r, 1)
+		if piT > prev {
+			t.Errorf("π_T increased at row %d", r)
+		}
+		prev = piT
+	}
+}
+
+func TestMultiStealSweepTable(t *testing.T) {
+	tb := MultiStealSweep(0.9, 6)
+	if tb.NumRows() != 4 { // k = 1, 2, 3 plus the steal-half row
+		t.Fatalf("rows = %d", tb.NumRows())
+	}
+	if !(cellF(t, tb, 2, 1) < cellF(t, tb, 0, 1)) {
+		t.Error("k=3 should beat k=1 at T=6")
+	}
+	if !(cellF(t, tb, 3, 1) < cellF(t, tb, 0, 1)) {
+		t.Error("steal-half should beat k=1 at T=6")
+	}
+}
+
+func TestPreemptiveSweepTable(t *testing.T) {
+	tb := PreemptiveSweep(0.9, []int{0, 1, 2}, 4)
+	if !(cellF(t, tb, 2, 1) < cellF(t, tb, 0, 1)) {
+		t.Error("earlier stealing (larger B) should reduce E[T] with free transfers")
+	}
+}
+
+func TestRebalanceStudyTable(t *testing.T) {
+	sc := tiny
+	tb := RebalanceStudy(0.8, []float64{1}, sc)
+	simV := cellF(t, tb, 0, 1)
+	est := cellF(t, tb, 0, 2)
+	if simV < est*0.85 || simV > est*1.3 {
+		t.Errorf("rebalance sim %v far from estimate %v", simV, est)
+	}
+}
+
+func TestHeteroStudyTable(t *testing.T) {
+	tb := HeteroStudy(tiny)
+	for r := 0; r < tb.NumRows(); r++ {
+		simV := cellF(t, tb, r, 1)
+		est := cellF(t, tb, r, 2)
+		if simV < est*0.7 || simV > est*1.5 {
+			t.Errorf("row %d: hetero sim %v far from estimate %v", r, simV, est)
+		}
+	}
+}
+
+func TestStaticDrainTable(t *testing.T) {
+	tb := StaticDrain(4, tiny)
+	noSteal := cellF(t, tb, 0, 1)
+	steal := cellF(t, tb, 1, 1)
+	if steal >= noSteal {
+		t.Errorf("stealing drain %v not faster than none %v", steal, noSteal)
+	}
+}
+
+func TestStabilityStudyTable(t *testing.T) {
+	tb := StabilityStudy([]float64{0.5, 0.9})
+	if tb.Cell(0, 2) != "yes" {
+		t.Errorf("λ=0.5 should satisfy π₂ < 1/2, got %q", tb.Cell(0, 2))
+	}
+	if tb.Cell(1, 2) != "no" {
+		t.Errorf("λ=0.9 should violate π₂ < 1/2, got %q", tb.Cell(1, 2))
+	}
+	if inc := cellF(t, tb, 0, 3); inc > 1e-9 {
+		t.Errorf("λ=0.5 trajectories moved away: %v", inc)
+	}
+}
+
+func TestRelaxationStudyTable(t *testing.T) {
+	tb := RelaxationStudy([]float64{0.5, 0.9})
+	if tb.NumRows() != 2 {
+		t.Fatalf("rows = %d", tb.NumRows())
+	}
+	fast := cellF(t, tb, 0, 1)
+	slow := cellF(t, tb, 1, 1)
+	if slow <= fast {
+		t.Errorf("relaxation at λ=0.9 (%v) should exceed λ=0.5 (%v)", slow, fast)
+	}
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func TestConvergenceInN(t *testing.T) {
+	sc := Scale{Reps: 6, Horizon: 8000, Warmup: 800, Seed: 13}
+	tb := ConvergenceInN(0.9, []int{8, 32, 128}, sc)
+	if tb.NumRows() != 4 { // 3 data rows + the power-law fit row
+		t.Fatalf("rows = %d", tb.NumRows())
+	}
+	gaps := make([]float64, 3)
+	for r := 0; r < 3; r++ {
+		gaps[r] = cellF(t, tb, r, 2)
+	}
+	// The bias is positive (finite systems are worse than the limit) and
+	// shrinks with n.
+	if gaps[0] <= 0 {
+		t.Errorf("n=8 gap %v should be positive", gaps[0])
+	}
+	if !(gaps[2] < gaps[0]) {
+		t.Errorf("gap did not shrink: %v", gaps)
+	}
+}
+
+func TestTransientTracksODE(t *testing.T) {
+	res := Transient(0.8, 256, 30, 1, 3, 5)
+	if len(res.Times) < 20 {
+		t.Fatalf("series too short: %d points", len(res.Times))
+	}
+	// The empty start is exact, the curve should rise, and the simulated
+	// trajectory must hug the ODE solution at n = 256.
+	if res.SimLoads[0] != 0 || res.OdeLoads[0] != 0 {
+		t.Errorf("trajectories must start at 0: %v, %v", res.SimLoads[0], res.OdeLoads[0])
+	}
+	last := len(res.Times) - 1
+	if res.SimLoads[last] < 0.5*res.OdeLoads[last] {
+		t.Errorf("simulated load did not rise: %v vs %v", res.SimLoads[last], res.OdeLoads[last])
+	}
+	// The pointwise max is dominated by sampling noise ~1/√(n·reps); the
+	// mean gap isolates the systematic deviation from the ODE trajectory.
+	if res.MeanAbsGap > 0.05 {
+		t.Errorf("mean transient gap %v too large for n=256", res.MeanAbsGap)
+	}
+	if res.MaxAbsGap > 0.25 {
+		t.Errorf("max transient gap %v too large for n=256", res.MaxAbsGap)
+	}
+}
+
+func TestTransientTable(t *testing.T) {
+	tb := TransientTable(0.7, 64, 20, 1, 2, 3)
+	if tb.NumRows() < 5 {
+		t.Fatalf("rows = %d", tb.NumRows())
+	}
+	// Columns parse as numbers and the ODE column is monotone rising from 0
+	// over this span.
+	prev := -1.0
+	for r := 0; r < tb.NumRows(); r++ {
+		v := cellF(t, tb, r, 2)
+		if v < prev-1e-9 {
+			t.Errorf("ODE load not monotone at row %d", r)
+		}
+		prev = v
+	}
+	if math.Abs(cellF(t, tb, 0, 1)) > 1e-12 {
+		t.Error("first sim sample should be 0 (empty start)")
+	}
+}
+
+func TestTailLatencyStealingShrinksTails(t *testing.T) {
+	sc := Scale{Reps: 3, Horizon: 10000, Warmup: 1000, Ns: []int{64}, Seed: 3}
+	tb := TailLatency(0.9, sc)
+	if tb.NumRows() != 2 {
+		t.Fatalf("rows = %d", tb.NumRows())
+	}
+	noneP99 := cellF(t, tb, 0, 4)
+	stealP99 := cellF(t, tb, 1, 4)
+	if stealP99 >= noneP99 {
+		t.Errorf("stealing P99 (%v) not below no-stealing P99 (%v)", stealP99, noneP99)
+	}
+	// For M/M/1 the sojourn is Exp(μ−λ): P99 = ln(100)/(1−λ) ≈ 46.
+	wantP99 := math.Log(100) / (1 - 0.9)
+	if math.Abs(noneP99-wantP99)/wantP99 > 0.15 {
+		t.Errorf("M/M/1 P99 = %v, want ≈ %v", noneP99, wantP99)
+	}
+	// The tail improves at least as strongly as the mean.
+	noneMean := cellF(t, tb, 0, 1)
+	stealMean := cellF(t, tb, 1, 1)
+	if stealP99/noneP99 > stealMean/noneMean*1.15 {
+		t.Errorf("tail improvement (%v) much weaker than mean improvement (%v)",
+			stealP99/noneP99, stealMean/noneMean)
+	}
+}
+
+func TestConvergenceFitRow(t *testing.T) {
+	sc := Scale{Reps: 8, Horizon: 10000, Warmup: 1000, Seed: 13}
+	tb := ConvergenceInN(0.9, []int{8, 16, 32, 64}, sc)
+	if tb.NumRows() != 5 { // 4 data rows + fit row
+		t.Fatalf("rows = %d", tb.NumRows())
+	}
+	if tb.Cell(4, 0) != "fit" {
+		t.Fatalf("missing fit row: %q", tb.Cell(4, 0))
+	}
+	// The fitted order should be negative (gap shrinks with n) and in the
+	// vicinity of −1 (Kurtz bias); allow wide noise margins.
+	var p float64
+	if _, err := fmt.Sscanf(tb.Cell(4, 2), "order n^%f", &p); err != nil {
+		t.Fatalf("cannot parse fit cell %q: %v", tb.Cell(4, 2), err)
+	}
+	if p > -0.4 || p < -2.0 {
+		t.Errorf("fitted order %v outside plausible range around -1", p)
+	}
+}

@@ -1,0 +1,111 @@
+package meanfield
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+)
+
+// Choices is the multiple-choices model (§3.3), the stealing analogue of
+// the power of two choices in load sharing: a thief samples d potential
+// victims uniformly at random and steals from the most heavily loaded one
+// provided its load is at least T. The limiting system is
+//
+//	ds₁/dt = λ(s₀−s₁) − (s₁−s₂)(1 − s_T)^d
+//	ds_i/dt = λ(s_{i−1}−s_i) − (s_i−s_{i+1}),                        2 ≤ i ≤ T−1
+//	ds_i/dt = λ(s_{i−1}−s_i) − (s_i−s_{i+1})
+//	          − ((1−s_{i+1})^d − (1−s_i)^d)(s₁−s₂),                  i ≥ T
+//
+// (1−s_T)^d is the probability all d sampled victims fall below the
+// threshold; (1−s_{i+1})^d − (1−s_i)^d is the probability the maximum of
+// the d sampled loads is exactly i. d = 1 recovers Threshold.
+type Choices struct {
+	base
+	t, d int
+}
+
+// NewChoices constructs the d-choices model with arrival rate λ,
+// threshold T ≥ 2 and d ≥ 1 victim samples.
+func NewChoices(lambda float64, t, d int) *Choices {
+	checkLambda(lambda)
+	if t < 2 {
+		panic("meanfield: Choices needs T >= 2")
+	}
+	if d < 1 {
+		panic("meanfield: Choices needs d >= 1")
+	}
+	dim := taskDim(lambda)
+	if dim < t+8 {
+		dim = t + 8
+	}
+	return &Choices{
+		base: base{name: fmt.Sprintf("choices(T=%d,d=%d)", t, d), lambda: lambda, dim: dim},
+		t:    t,
+		d:    d,
+	}
+}
+
+// T returns the stealing threshold.
+func (m *Choices) T() int { return m.t }
+
+// D returns the number of victims sampled per steal attempt.
+func (m *Choices) D() int { return m.d }
+
+// Initial returns the empty system.
+func (m *Choices) Initial() []float64 { return core.EmptyTails(m.dim) }
+
+// WarmStart returns the single-choice closed form; more choices only thin
+// the tails further.
+func (m *Choices) WarmStart() []float64 {
+	cf := SolveThreshold(m.lambda, m.t)
+	x := make([]float64, m.dim)
+	for i := range x {
+		x[i] = cf.Pi(i)
+	}
+	return x
+}
+
+// powd raises v to the integer power d, cheap for the small d used here.
+func powd(v float64, d int) float64 {
+	switch d {
+	case 1:
+		return v
+	case 2:
+		return v * v
+	case 3:
+		return v * v * v
+	default:
+		return math.Pow(v, float64(d))
+	}
+}
+
+// Derivs implements the system above with boundary s_{dim} = 0.
+func (m *Choices) Derivs(x, dx []float64) {
+	lambda := m.lambda
+	n := len(x)
+	at := func(i int) float64 {
+		if i >= n {
+			return 0
+		}
+		return x[i]
+	}
+	theta := x[1] - x[2]
+	sT := at(m.t)
+	dx[0] = 0
+	dx[1] = lambda*(x[0]-x[1]) - (x[1]-x[2])*powd(1-sT, m.d)
+	for i := 2; i < n; i++ {
+		next := at(i + 1)
+		d := lambda*(x[i-1]-x[i]) - (x[i] - next)
+		if i >= m.t {
+			d -= (powd(1-next, m.d) - powd(1-x[i], m.d)) * theta
+		}
+		dx[i] = d
+	}
+}
+
+// Project restores tail feasibility.
+func (m *Choices) Project(x []float64) { core.ProjectTails(x) }
+
+// MeanTasks returns the expected tasks per processor at state x.
+func (m *Choices) MeanTasks(x []float64) float64 { return core.MeanFromTails(x) }

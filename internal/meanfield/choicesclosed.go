@@ -1,0 +1,79 @@
+package meanfield
+
+import (
+	"fmt"
+
+	"repro/internal/numeric"
+)
+
+// ChoicesFixedPoint computes the equilibrium of the d-choices model with
+// T = 2 semi-analytically, without integrating the differential equations:
+// the balance equations are solved level by level with one-dimensional
+// root-finding. This is the natural hand computation the paper's
+// methodology implies, and it cross-checks the generic ODE solver.
+//
+// At the fixed point, π₀ = 1 and π₁ = λ. The ds₁/dt equation gives the
+// scalar equation for π₂:
+//
+//	λ(1−λ) = (λ−π₂)(1−π₂)^d,
+//
+// and for i ≥ 2 the ds_i/dt balance determines π_{i+1} implicitly:
+//
+//	λ(π_{i−1}−π_i) = (π_i−π_{i+1}) + ((1−π_{i+1})^d − (1−π_i)^d)(λ−π₂).
+//
+// The left side is known; the right side is strictly increasing in
+// −π_{i+1}, so bisection on π_{i+1} ∈ [0, π_i] converges quickly.
+func ChoicesFixedPoint(lambda float64, d int, levels int) ([]float64, error) {
+	checkLambda(lambda)
+	if d < 1 {
+		return nil, fmt.Errorf("meanfield: ChoicesFixedPoint needs d >= 1")
+	}
+	if levels < 3 {
+		levels = 3
+	}
+	pi := make([]float64, levels)
+	pi[0] = 1
+	pi[1] = lambda
+
+	// Solve λ(1−λ) = (λ−x)(1−x)^d for x = π₂ in (0, λ).
+	f := func(x float64) float64 {
+		return (lambda-x)*powd(1-x, d) - lambda*(1-lambda)
+	}
+	pi2, err := numeric.Brent(f, 0, lambda, 1e-14)
+	if err != nil {
+		return nil, fmt.Errorf("meanfield: solving π₂: %w", err)
+	}
+	pi[2] = pi2
+	theta := lambda - pi2
+
+	for i := 2; i+1 < levels; i++ {
+		lhs := lambda * (pi[i-1] - pi[i])
+		g := func(next float64) float64 {
+			return (pi[i] - next) + (powd(1-next, d)-powd(1-pi[i], d))*theta - lhs
+		}
+		// Root is bracketed by [0, π_i]: g(π_i) = −lhs ≤ 0 and g(0) ≥ 0
+		// whenever the tail continues to decay; if g(0) < 0 the remaining
+		// tail mass is below root-finding precision.
+		if g(0) <= 0 {
+			break
+		}
+		next, err := numeric.Brent(g, 0, pi[i], 1e-14)
+		if err != nil {
+			return nil, fmt.Errorf("meanfield: solving π_%d: %w", i+1, err)
+		}
+		pi[i+1] = next
+		if next < 1e-15 {
+			break
+		}
+	}
+	return pi, nil
+}
+
+// ChoicesSojournTime returns E[T] from a ChoicesFixedPoint tail vector.
+func ChoicesSojournTime(pi []float64, lambda float64) float64 {
+	var sum numeric.KahanSum
+	for i := 1; i < len(pi); i++ {
+		sum.Add(pi[i])
+	}
+	return sum.Sum() / lambda
+}

@@ -1,0 +1,62 @@
+package meanfield
+
+import (
+	"math"
+	"testing"
+)
+
+func TestChoicesFixedPointMatchesODE(t *testing.T) {
+	for _, d := range []int{1, 2, 3} {
+		lambda := 0.9
+		pi, err := ChoicesFixedPoint(lambda, d, 200)
+		if err != nil {
+			t.Fatalf("d=%d: %v", d, err)
+		}
+		fp := MustSolve(NewChoices(lambda, 2, d), SolveOptions{})
+		for i := 0; i < 15; i++ {
+			if math.Abs(pi[i]-fp.State[i]) > 1e-8 {
+				t.Errorf("d=%d: semi-analytic π_%d = %v, ODE %v", d, i, pi[i], fp.State[i])
+			}
+		}
+		if math.Abs(ChoicesSojournTime(pi, lambda)-fp.SojournTime()) > 1e-7 {
+			t.Errorf("d=%d: E[T] %v vs ODE %v", d, ChoicesSojournTime(pi, lambda), fp.SojournTime())
+		}
+	}
+}
+
+func TestChoicesFixedPointD1IsClosedForm(t *testing.T) {
+	lambda := 0.8
+	pi, err := ChoicesFixedPoint(lambda, 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf := SolveSimpleWS(lambda)
+	for i := 0; i < 12; i++ {
+		if math.Abs(pi[i]-cf.Pi(i)) > 1e-10 {
+			t.Errorf("π_%d = %v, closed form %v", i, pi[i], cf.Pi(i))
+		}
+	}
+}
+
+// Table 4's estimate column, re-derived without any ODE integration.
+func TestChoicesFixedPointTable4(t *testing.T) {
+	cases := []struct{ lambda, want float64 }{
+		{0.50, 1.433}, {0.90, 2.220}, {0.99, 4.011},
+	}
+	for _, c := range cases {
+		pi, err := ChoicesFixedPoint(c.lambda, 2, 400)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := ChoicesSojournTime(pi, c.lambda)
+		if math.Abs(got-c.want) > 2e-3 {
+			t.Errorf("λ=%v: semi-analytic estimate %v, paper %v", c.lambda, got, c.want)
+		}
+	}
+}
+
+func TestChoicesFixedPointErrors(t *testing.T) {
+	if _, err := ChoicesFixedPoint(0.5, 0, 10); err == nil {
+		t.Error("d=0 should fail")
+	}
+}

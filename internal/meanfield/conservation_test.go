@@ -1,0 +1,243 @@
+package meanfield
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/numeric"
+	"repro/internal/rng"
+)
+
+// Work stealing moves tasks between queues but never creates or destroys
+// them, so at EVERY feasible state (not just the fixed point) the
+// derivative of the mean task count must equal arrivals minus throughput:
+//
+//	d E[L] / dt = λ − s₁        (task-indexed models)
+//	d E[S] / dt = c(λ − s₁)     (stage-indexed model, S = stages)
+//	d E[L] / dt = λ − (s₁+w₁)   (transfer model, counting in-flight tasks)
+//
+// These identities are sharp tests of the steal terms in every Derivs: any
+// bookkeeping error (a band off by one, a missing thief gain) breaks them.
+
+// randomFeasible builds a random projected state for m with compact
+// support: the last third of the vector is exactly zero, so the
+// conservation identities hold without truncation-boundary corrections
+// (the infinite system conserves exactly; a fat tail touching the
+// truncation edge leaks mass through the s_dim = 0 boundary condition).
+func randomFeasible(m core.Model, r *rng.Source) []float64 {
+	x := make([]float64, m.Dim())
+	ratio := 0.3 + 0.65*r.Float64()
+	cut := 2 * m.Dim() / 3
+	v := 1.0
+	for i := 0; i < cut; i++ {
+		x[i] = v * r.Float64()
+		v *= ratio
+	}
+	x[0] = 1
+	m.Project(x)
+	return x
+}
+
+// sumDerivs returns Σ_{i in idx} dx_i at state x.
+func sumDerivs(m core.Model, x []float64, from, to int) float64 {
+	dx := make([]float64, m.Dim())
+	m.Derivs(x, dx)
+	var k numeric.KahanSum
+	for i := from; i < to; i++ {
+		k.Add(dx[i])
+	}
+	return k.Sum()
+}
+
+// checkTaskConservation verifies dE[L]/dt = λ − s₁ on random states.
+func checkTaskConservation(t *testing.T, build func() core.Model, lambda float64) {
+	t.Helper()
+	m := build()
+	f := func(seed uint64) bool {
+		x := randomFeasible(m, rng.New(seed))
+		got := sumDerivs(m, x, 1, m.Dim())
+		want := lambda - x[1]
+		return math.Abs(got-want) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Errorf("%s: task conservation violated: %v", m.Name(), err)
+	}
+}
+
+func TestConservationSimpleWS(t *testing.T) {
+	checkTaskConservation(t, func() core.Model { return NewSimpleWS(0.8) }, 0.8)
+}
+
+func TestConservationNoSteal(t *testing.T) {
+	checkTaskConservation(t, func() core.Model { return NewNoSteal(0.7) }, 0.7)
+}
+
+func TestConservationThreshold(t *testing.T) {
+	checkTaskConservation(t, func() core.Model { return NewThreshold(0.8, 4) }, 0.8)
+}
+
+func TestConservationPreemptive(t *testing.T) {
+	checkTaskConservation(t, func() core.Model { return NewPreemptive(0.8, 2, 5) }, 0.8)
+}
+
+func TestConservationRepeated(t *testing.T) {
+	checkTaskConservation(t, func() core.Model { return NewRepeated(0.8, 3, 2) }, 0.8)
+}
+
+func TestConservationChoices(t *testing.T) {
+	checkTaskConservation(t, func() core.Model { return NewChoices(0.8, 3, 3) }, 0.8)
+}
+
+func TestConservationMultiSteal(t *testing.T) {
+	checkTaskConservation(t, func() core.Model { return NewMultiSteal(0.8, 6, 3) }, 0.8)
+}
+
+func TestConservationRebalance(t *testing.T) {
+	checkTaskConservation(t, func() core.Model { return NewRebalance(0.8, ConstRate(2), 2) }, 0.8)
+}
+
+func TestConservationStages(t *testing.T) {
+	// Stage model: dΣ_{i≥1}s_i/dt = c(λ − s₁) since an arrival adds c
+	// stages and each busy processor burns stages at rate c.
+	m := NewStages(0.8, 5, 2)
+	f := func(seed uint64) bool {
+		x := randomFeasible(m, rng.New(seed))
+		got := sumDerivs(m, x, 1, m.Dim())
+		want := 5 * (0.8 - x[1])
+		return math.Abs(got-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Errorf("stages conservation violated: %v", err)
+	}
+}
+
+func TestConservationTransfer(t *testing.T) {
+	// Transfer model: E[L] = Σ_{i≥1}(s_i + w_i) + w₀ (in-flight tasks);
+	// dE[L]/dt = λ(s₀+w₀) − (s₁+w₁) = λ − (s₁+w₁).
+	m := NewTransfer(0.8, 4, 0.25)
+	f := func(seed uint64) bool {
+		x := randomSplitFeasible(m.Dim(), m.Project, rng.New(seed))
+		s, w := m.Split(x)
+		dx := make([]float64, m.Dim())
+		m.Derivs(x, dx)
+		ds, dw := m.Split(dx)
+		var k numeric.KahanSum
+		for i := 1; i < len(ds); i++ {
+			k.Add(ds[i])
+			k.Add(dw[i])
+		}
+		k.Add(dw[0])
+		want := 0.8 - (s[1] + w[1])
+		return math.Abs(k.Sum()-want) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Errorf("transfer conservation violated: %v", err)
+	}
+}
+
+func TestConservationTransferPopulation(t *testing.T) {
+	// The processor population is conserved: d(s₀+w₀)/dt = 0.
+	m := NewTransfer(0.8, 3, 0.5)
+	f := func(seed uint64) bool {
+		x := randomSplitFeasible(m.Dim(), m.Project, rng.New(seed))
+		dx := make([]float64, m.Dim())
+		m.Derivs(x, dx)
+		ds, dw := m.Split(dx)
+		return math.Abs(ds[0]+dw[0]) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Errorf("transfer population not conserved: %v", err)
+	}
+}
+
+func TestConservationHetero(t *testing.T) {
+	// Two-class model: dE[L]/dt = (qλf + (1−q)λs) − (μf·u₁ + μs·v₁).
+	const q, lf, ls, muF, muS = 0.5, 0.3, 1.1, 2.0, 1.0
+	m := NewHetero(q, lf, ls, muF, muS, 2)
+	f := func(seed uint64) bool {
+		x := randomSplitFeasible(m.Dim(), m.Project, rng.New(seed))
+		u, v := m.Split(x)
+		dx := make([]float64, m.Dim())
+		m.Derivs(x, dx)
+		du, dv := m.Split(dx)
+		var k numeric.KahanSum
+		for i := 1; i < len(du); i++ {
+			k.Add(du[i])
+			k.Add(dv[i])
+		}
+		want := (q*lf + (1-q)*ls) - (muF*u[1] + muS*v[1])
+		return math.Abs(k.Sum()-want) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Errorf("hetero conservation violated: %v", err)
+	}
+}
+
+func TestConservationStatic(t *testing.T) {
+	// Static system: no external arrivals, spawn rate λint at busy
+	// processors only: dE[L]/dt = λint·s₁ − s₁ = (λint − 1)s₁.
+	m := NewStatic(UniformInitial(5), 0.4, 2)
+	f := func(seed uint64) bool {
+		x := randomFeasible(m, rng.New(seed))
+		got := sumDerivs(m, x, 1, m.Dim())
+		want := (0.4 - 1) * x[1]
+		return math.Abs(got-want) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Errorf("static conservation violated: %v", err)
+	}
+}
+
+// Feasibility is preserved by the flow: short integrations from feasible
+// states stay (approximately) feasible for all models.
+func TestFlowPreservesFeasibility(t *testing.T) {
+	models := []core.Model{
+		NewSimpleWS(0.9),
+		NewThreshold(0.9, 3),
+		NewPreemptive(0.9, 1, 4),
+		NewRepeated(0.9, 2, 2),
+		NewChoices(0.9, 2, 2),
+		NewMultiSteal(0.9, 6, 2),
+	}
+	r := rng.New(1)
+	for _, m := range models {
+		x := randomFeasible(m, r)
+		dx := make([]float64, m.Dim())
+		// 200 small Euler steps; tails must remain monotone in [0,1].
+		for step := 0; step < 200; step++ {
+			m.Derivs(x, dx)
+			for i := range x {
+				x[i] += 0.01 * dx[i]
+			}
+		}
+		for i := 1; i < m.Dim(); i++ {
+			if x[i] > x[i-1]+1e-9 || x[i] < -1e-9 {
+				t.Errorf("%s: flow broke feasibility at index %d (%v > %v)", m.Name(), i, x[i], x[i-1])
+				break
+			}
+		}
+	}
+}
+
+// randomSplitFeasible builds a compact-support random state for two-vector
+// models (transfer, hetero): each half gets a decaying profile whose last
+// third is exactly zero, then the model's projection restores feasibility.
+func randomSplitFeasible(dim int, project func([]float64), r *rng.Source) []float64 {
+	x := make([]float64, dim)
+	half := dim / 2
+	fill := func(seg []float64) {
+		ratio := 0.3 + 0.6*r.Float64()
+		cut := 2 * len(seg) / 3
+		v := 1.0
+		for i := 0; i < cut; i++ {
+			seg[i] = v * r.Float64()
+			v *= ratio
+		}
+	}
+	fill(x[:half])
+	fill(x[half:])
+	project(x)
+	return x
+}

@@ -1,0 +1,60 @@
+package meanfield_test
+
+import (
+	"fmt"
+
+	"repro/internal/meanfield"
+)
+
+// The closed-form fixed point of the basic work-stealing model: at λ = 1/2
+// the expected time in system is the golden ratio.
+func ExampleSolveSimpleWS() {
+	fp := meanfield.SolveSimpleWS(0.5)
+	fmt.Printf("pi2  = %.6f\n", fp.Pi2)
+	fmt.Printf("beta = %.6f\n", fp.Beta)
+	fmt.Printf("E[T] = %.6f\n", fp.SojournTime())
+	// Output:
+	// pi2  = 0.190983
+	// beta = 0.381966
+	// E[T] = 1.618034
+}
+
+// Solving a model without a closed form: the two-choices variant of §3.3.
+// Table 4's λ = 0.9 estimate is 2.220.
+func ExampleSolve() {
+	m := meanfield.NewChoices(0.9, 2, 2)
+	fp, err := meanfield.Solve(m, meanfield.SolveOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("E[T] with 2 choices = %.3f\n", fp.SojournTime())
+	fmt.Printf("E[T] without stealing = %.3f\n", meanfield.MM1SojournTime(0.9))
+	// Output:
+	// E[T] with 2 choices = 2.220
+	// E[T] without stealing = 10.000
+}
+
+// Threshold stealing in closed form (§2.3): raising the threshold delays
+// steals when transfers are free.
+func ExampleSolveThreshold() {
+	for _, T := range []int{2, 4, 8} {
+		fp := meanfield.SolveThreshold(0.9, T)
+		fmt.Printf("T=%d: E[T] = %.3f\n", T, fp.SojournTime())
+	}
+	// Output:
+	// T=2: E[T] = 3.541
+	// T=4: E[T] = 4.687
+	// T=8: E[T] = 6.057
+}
+
+// A static system (§3.5): time to drain all queues from four tasks per
+// processor, with and without stealing.
+func ExampleStatic_DrainTime() {
+	withSteal := meanfield.NewStatic(meanfield.UniformInitial(4), 0, 2)
+	noSteal := meanfield.NewStatic(meanfield.UniformInitial(4), 0, 100)
+	a := withSteal.DrainTime(0.01, 0.1, 500)
+	b := noSteal.DrainTime(0.01, 0.1, 500)
+	fmt.Printf("stealing drains faster: %v\n", a.Time < b.Time)
+	// Output:
+	// stealing drains faster: true
+}

@@ -1,0 +1,72 @@
+package meanfield
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ode"
+	"repro/internal/solver"
+)
+
+// These tests deliberately avoid the closed-form warm starts so the numeric
+// machinery independently confirms the closed forms.
+
+func solveFromGeometric(t *testing.T, m core.Model, lambda float64) []float64 {
+	t.Helper()
+	res, err := solver.FixedPoint(m.Derivs, core.GeometricTails(lambda, m.Dim()), solver.Options{
+		Tol:     1e-11,
+		Horizon: 20,
+		Step:    0.1,
+		Memory:  6,
+		MaxIter: 2000,
+		Project: m.Project,
+	})
+	if err != nil {
+		t.Fatalf("independent solve of %s failed: %v", m.Name(), err)
+	}
+	return res.X
+}
+
+func TestSimpleWSIndependentSolve(t *testing.T) {
+	for _, lambda := range []float64{0.5, 0.9} {
+		m := NewSimpleWS(lambda)
+		x := solveFromGeometric(t, m, lambda)
+		cf := SolveSimpleWS(lambda)
+		for i := 0; i < 12; i++ {
+			if math.Abs(x[i]-cf.Pi(i)) > 1e-8 {
+				t.Errorf("λ=%v: independent π_%d = %v, closed form %v", lambda, i, x[i], cf.Pi(i))
+			}
+		}
+	}
+}
+
+func TestThresholdIndependentSolve(t *testing.T) {
+	lambda := 0.8
+	for _, T := range []int{2, 3, 5} {
+		m := NewThreshold(lambda, T)
+		x := solveFromGeometric(t, m, lambda)
+		cf := SolveThreshold(lambda, T)
+		for i := 0; i < 12; i++ {
+			if math.Abs(x[i]-cf.Pi(i)) > 1e-8 {
+				t.Errorf("T=%d: independent π_%d = %v, closed form %v", T, i, x[i], cf.Pi(i))
+			}
+		}
+	}
+}
+
+// The trajectory from the empty system should converge to the same fixed
+// point (the paper integrates from the empty state; simulations likewise
+// start empty).
+func TestTrajectoryFromEmptyConverges(t *testing.T) {
+	lambda := 0.7
+	m := NewSimpleWS(lambda)
+	x := m.Initial()
+	ode.Integrate(m.Derivs, x, 400, 0.05)
+	cf := SolveSimpleWS(lambda)
+	for i := 0; i < 10; i++ {
+		if math.Abs(x[i]-cf.Pi(i)) > 1e-6 {
+			t.Errorf("π_%d after integration = %v, closed form %v", i, x[i], cf.Pi(i))
+		}
+	}
+}

@@ -1,0 +1,139 @@
+// Package meanfield implements every mean-field work-stealing model in the
+// paper as a system of differential equations over tail densities, together
+// with fixed-point solvers and the closed forms the paper derives.
+//
+// Models (paper section in parentheses):
+//
+//	NoSteal     (§2.2)  no stealing baseline; fixed point π_i = λ^i (M/M/1)
+//	SimpleWS    (§2.2)  steal one task on emptying from a victim with ≥ 2
+//	Threshold   (§2.3)  steal on emptying from a victim with ≥ T
+//	Preemptive  (§2.4)  begin stealing at ≤ B tasks, victim ≥ thief + T
+//	Repeated    (§2.5)  empty processors retry steals at rate r
+//	Stages      (§3.1)  constant service times via Erlang's method of stages
+//	Transfer    (§3.2)  stolen tasks take Exp(mean 1/r) to arrive
+//	Choices     (§3.3)  d victims sampled, steal from the most loaded
+//	MultiSteal  (§3.4)  steal k ≤ T/2 tasks at once
+//	Rebalance   (§3.4)  pairwise load balancing at rate r (Rudolph et al.)
+//	Hetero      (§3.5)  fast/slow processor classes
+//	Static      (§3.5)  no external arrivals; drain from an initial state
+//
+// Every model implements core.Model; Solve finds its fixed point with the
+// Anderson-accelerated solver, and the closed forms in closedform.go provide
+// independent cross-checks for the models the paper solves analytically.
+package meanfield
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/numeric"
+	"repro/internal/solver"
+)
+
+// TruncTol is the tail mass at which state vectors are truncated. Chosen so
+// truncation error is far below both simulation noise and the 4-significant-
+// digit precision of the paper's tables.
+const TruncTol = 1e-13
+
+// maxDim caps state dimensions so that λ → 1 cannot demand unbounded
+// vectors. At the cap the discarded mass is still < 1e-6 of a single
+// processor for λ = 0.995.
+const maxDim = 8192
+
+// taskDim picks the truncation for a task-indexed tail vector at arrival
+// rate λ: without stealing tails decay like λ^i, and stealing only makes
+// them decay faster, so λ is a safe worst-case ratio.
+func taskDim(lambda float64) int {
+	return core.TruncationDim(lambda, TruncTol, 32, maxDim)
+}
+
+// base carries the fields shared by every model.
+type base struct {
+	name   string
+	lambda float64
+	dim    int
+}
+
+func (b base) Name() string         { return b.name }
+func (b base) ArrivalRate() float64 { return b.lambda }
+func (b base) Dim() int             { return b.dim }
+
+// checkLambda panics unless 0 < λ < 1, the stability region of every model.
+func checkLambda(lambda float64) {
+	if lambda <= 0 || lambda >= 1 {
+		panic(fmt.Sprintf("meanfield: arrival rate λ = %v outside (0, 1)", lambda))
+	}
+}
+
+// SolveOptions tunes Solve. The zero value requests defaults appropriate to
+// the model.
+type SolveOptions struct {
+	// Tol is the residual tolerance; 0 defaults to 1e-12.
+	Tol float64
+	// MaxIter bounds outer Anderson iterations; 0 defaults to 800.
+	MaxIter int
+}
+
+// warmStarter is implemented by models that can supply a better starting
+// point than the empty system (typically the no-stealing geometric
+// equilibrium, which is an upper bound on the stealing equilibrium).
+type warmStarter interface {
+	WarmStart() []float64
+}
+
+// maxRater is implemented by models whose per-component transition rates
+// exceed the default λ + steal + service ≤ 4 bound (the Erlang-stage model
+// scales rates by c). Solve uses it to pick a stable RK4 step.
+type maxRater interface {
+	MaxRate() float64
+}
+
+// Solve finds the fixed point of model m using Anderson-accelerated Picard
+// iteration on the RK4 flow, starting from the model's warm start (or its
+// initial state), and validates the result.
+func Solve(m core.Model, opt SolveOptions) (core.FixedPoint, error) {
+	if opt.Tol == 0 {
+		opt.Tol = 1e-11
+	}
+	if opt.MaxIter == 0 {
+		opt.MaxIter = 800
+	}
+	var x0 []float64
+	if ws, ok := m.(warmStarter); ok {
+		x0 = ws.WarmStart()
+	} else {
+		x0 = m.Initial()
+	}
+	rate := 4.0
+	if mr, ok := m.(maxRater); ok {
+		rate = mr.MaxRate()
+	}
+	step := 0.5 / rate
+	// The slowest relaxation mode decays like exp(−(1−λ)²·t/const), so give
+	// one Picard application a horizon that grows as λ → 1; Anderson mixing
+	// then needs only tens of applications.
+	horizon := numeric.Clamp(1.5/(1-m.ArrivalRate()), 40*step, 120)
+	res, err := solver.FixedPoint(m.Derivs, x0, solver.Options{
+		Tol:     opt.Tol,
+		Horizon: horizon,
+		Step:    step,
+		Memory:  6,
+		MaxIter: opt.MaxIter,
+		Project: m.Project,
+	})
+	fp := core.FixedPoint{Model: m, State: res.X, Residual: res.Residual}
+	if err != nil {
+		return fp, fmt.Errorf("meanfield: solving %s: %w", m.Name(), err)
+	}
+	return fp, nil
+}
+
+// MustSolve is Solve but panics on failure; used by examples and benches
+// where a solver failure is a programming error.
+func MustSolve(m core.Model, opt SolveOptions) core.FixedPoint {
+	fp, err := Solve(m, opt)
+	if err != nil {
+		panic(err)
+	}
+	return fp
+}

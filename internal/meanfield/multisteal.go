@@ -1,0 +1,105 @@
+package meanfield
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// MultiSteal is the multiple-steals model (§3.4): when the threshold T for
+// stealing is high, taking k ≤ T/2 tasks per steal amortizes the attempt.
+// A steal moves the thief from 0 to k tasks and the victim from j ≥ T to
+// j − k. The limiting system is
+//
+//	ds₁/dt = λ(s₀−s₁) − (s₁−s₂)(1 − s_T)
+//	ds_i/dt = λ(s_{i−1}−s_i) − (s_i−s_{i+1}) + (s₁−s₂)s_T,          2 ≤ i ≤ k
+//	ds_i/dt = λ(s_{i−1}−s_i) − (s_i−s_{i+1}),                        k+1 ≤ i ≤ T−k
+//	ds_i/dt = λ(s_{i−1}−s_i) − (s_i−s_{i+1}) − (s₁−s₂)(s_T−s_{i+k}), T−k+1 ≤ i ≤ T
+//	ds_i/dt = λ(s_{i−1}−s_i) − (s_i−s_{i+1}) − (s₁−s₂)(s_i−s_{i+k}), i ≥ T+1
+//
+// The victim-loss term at index i covers victims with loads in
+// [max(i, T), i+k−1], whose steal drops them below i. k = 1 recovers
+// Threshold.
+type MultiSteal struct {
+	base
+	t, k int
+}
+
+// NewMultiSteal constructs the model with arrival rate λ, threshold T ≥ 2,
+// and k tasks stolen per success, requiring 1 ≤ k ≤ T/2 as in the paper.
+func NewMultiSteal(lambda float64, t, k int) *MultiSteal {
+	checkLambda(lambda)
+	if t < 2 {
+		panic("meanfield: MultiSteal needs T >= 2")
+	}
+	if k < 1 || 2*k > t {
+		panic(fmt.Sprintf("meanfield: MultiSteal needs 1 <= k <= T/2, got k=%d T=%d", k, t))
+	}
+	dim := taskDim(lambda)
+	if dim < t+k+8 {
+		dim = t + k + 8
+	}
+	return &MultiSteal{
+		base: base{name: fmt.Sprintf("multisteal(T=%d,k=%d)", t, k), lambda: lambda, dim: dim},
+		t:    t,
+		k:    k,
+	}
+}
+
+// T returns the stealing threshold.
+func (m *MultiSteal) T() int { return m.t }
+
+// K returns the number of tasks taken per steal.
+func (m *MultiSteal) K() int { return m.k }
+
+// Initial returns the empty system.
+func (m *MultiSteal) Initial() []float64 { return core.EmptyTails(m.dim) }
+
+// WarmStart returns the k = 1 closed form.
+func (m *MultiSteal) WarmStart() []float64 {
+	cf := SolveThreshold(m.lambda, m.t)
+	x := make([]float64, m.dim)
+	for i := range x {
+		x[i] = cf.Pi(i)
+	}
+	return x
+}
+
+// Derivs implements the five-band system with boundary s_{dim} = 0.
+func (m *MultiSteal) Derivs(x, dx []float64) {
+	lambda := m.lambda
+	n := len(x)
+	at := func(i int) float64 {
+		if i >= n {
+			return 0
+		}
+		return x[i]
+	}
+	theta := x[1] - x[2]
+	sT := at(m.t)
+	dx[0] = 0
+	dx[1] = lambda*(x[0]-x[1]) - (x[1]-x[2])*(1-sT)
+	for i := 2; i < n; i++ {
+		d := lambda*(x[i-1]-x[i]) - (x[i] - at(i+1))
+		switch {
+		case i <= m.k:
+			// Thief gain: a successful steal jumps the thief 0 → k.
+			d += theta * sT
+		case i <= m.t-m.k:
+			// Neither thieves nor victims cross level i.
+		case i <= m.t:
+			// Victims with loads in [T, i+k−1] drop below i.
+			d -= theta * (sT - at(i+m.k))
+		default:
+			// Victims with loads in [i, i+k−1] drop below i.
+			d -= theta * (x[i] - at(i+m.k))
+		}
+		dx[i] = d
+	}
+}
+
+// Project restores tail feasibility.
+func (m *MultiSteal) Project(x []float64) { core.ProjectTails(x) }
+
+// MeanTasks returns the expected tasks per processor at state x.
+func (m *MultiSteal) MeanTasks(x []float64) float64 { return core.MeanFromTails(x) }

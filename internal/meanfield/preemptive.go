@@ -1,0 +1,108 @@
+package meanfield
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Preemptive is the preemptive-stealing model (§2.4): instead of waiting
+// until it is empty, a processor begins steal attempts as soon as its queue
+// drops to B or fewer tasks; a thief holding i tasks only steals from a
+// victim holding at least i + T tasks. The limiting system is
+//
+//	ds_i/dt = λ(s_{i−1}−s_i) − (s_i−s_{i+1})(1 − s_{i+T−1}),        1 ≤ i ≤ B+1
+//	ds_i/dt = λ(s_{i−1}−s_i) − (s_i−s_{i+1}),                       B+2 ≤ i ≤ T−1
+//	ds_i/dt = λ(s_{i−1}−s_i) − (s_i−s_{i+1})
+//	          − (s_i−s_{i+1})(s₁ − s_{min(B+2, i−T+2)}),            i ≥ T
+//
+// For the first band: a processor at load i completes at rate s_i − s_{i+1}
+// and drops to i−1 ≤ B, so it attempts a steal, which succeeds (leaving its
+// load at i) with probability s_{(i−1)+T}. For the victim band, thieves
+// are processors dropping to loads 0..min(B, i−T), whose density is
+// s₁ − s_{min(B+2, i−T+2)}.
+//
+// B = 0 recovers Threshold. The construction requires T ≥ B + 2 so thief
+// and victim bands do not overlap, matching the paper's presentation.
+type Preemptive struct {
+	base
+	b, t int
+}
+
+// NewPreemptive constructs the preemptive model with arrival rate λ,
+// steal-begin level B ≥ 0, and offset threshold T ≥ B + 2.
+func NewPreemptive(lambda float64, b, t int) *Preemptive {
+	checkLambda(lambda)
+	if b < 0 {
+		panic("meanfield: Preemptive needs B >= 0")
+	}
+	if t < b+2 {
+		panic(fmt.Sprintf("meanfield: Preemptive needs T >= B+2, got B=%d T=%d", b, t))
+	}
+	dim := taskDim(lambda)
+	if dim < b+t+8 {
+		dim = b + t + 8
+	}
+	return &Preemptive{
+		base: base{name: fmt.Sprintf("preemptive(B=%d,T=%d)", b, t), lambda: lambda, dim: dim},
+		b:    b,
+		t:    t,
+	}
+}
+
+// B returns the queue length at which steal attempts begin.
+func (m *Preemptive) B() int { return m.b }
+
+// T returns the offset threshold.
+func (m *Preemptive) T() int { return m.t }
+
+// Initial returns the empty system.
+func (m *Preemptive) Initial() []float64 { return core.EmptyTails(m.dim) }
+
+// WarmStart returns the threshold-model closed form, which has the right
+// tail shape above B + T.
+func (m *Preemptive) WarmStart() []float64 {
+	cf := SolveThreshold(m.lambda, m.t)
+	x := make([]float64, m.dim)
+	for i := range x {
+		x[i] = cf.Pi(i)
+	}
+	return x
+}
+
+// Derivs implements the three-band system with boundary s_{dim} = 0.
+func (m *Preemptive) Derivs(x, dx []float64) {
+	lambda := m.lambda
+	n := len(x)
+	at := func(i int) float64 {
+		if i >= n {
+			return 0
+		}
+		return x[i]
+	}
+	dx[0] = 0
+	for i := 1; i < n; i++ {
+		gap := x[i] - at(i+1)
+		d := lambda*(x[i-1]-x[i]) - gap
+		switch {
+		case i <= m.b+1:
+			// Completion is cancelled out when the post-completion steal
+			// succeeds: effective departure rate gap·(1 − s_{i+T−1}).
+			d += gap * at(i+m.t-1)
+		case i >= m.t:
+			// Victim loss to thieves dropping to loads 0..min(B, i−T).
+			hi := m.b + 2
+			if alt := i - m.t + 2; alt < hi {
+				hi = alt
+			}
+			d -= gap * (x[1] - at(hi))
+		}
+		dx[i] = d
+	}
+}
+
+// Project restores tail feasibility.
+func (m *Preemptive) Project(x []float64) { core.ProjectTails(x) }
+
+// MeanTasks returns the expected tasks per processor at state x.
+func (m *Preemptive) MeanTasks(x []float64) float64 { return core.MeanFromTails(x) }

@@ -1,0 +1,103 @@
+package meanfield
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Repeated is the repeated-steal-attempts model (§2.5): as in the WS
+// algorithm of Blumofe and Leiserson, a thief that fails keeps trying.
+// Empty processors make steal attempts at exponential rate r (in addition to
+// the attempt made at the moment of emptying); a victim must hold at least
+// T tasks. The limiting system is
+//
+//	ds₁/dt = λ(s₀−s₁) + r(s₀−s₁)s_T − (s₁−s₂)(1 − s_T)
+//	ds_i/dt = λ(s_{i−1}−s_i) − (s_i−s_{i+1}),                      2 ≤ i ≤ T−1
+//	ds_i/dt = λ(s_{i−1}−s_i) − (s_i−s_{i+1})
+//	          − (s₁−s₂)(s_i−s_{i+1}) − r(s₀−s₁)(s_i−s_{i+1}),      i ≥ T
+//
+// As r → ∞ the fraction π_T at the fixed point goes to 0: any processor
+// reaching T tasks is immediately robbed.
+type Repeated struct {
+	base
+	t int
+	r float64
+}
+
+// NewRepeated constructs the repeated-attempts model with arrival rate λ,
+// threshold T ≥ 2 and retry rate r ≥ 0. r = 0 recovers Threshold.
+func NewRepeated(lambda float64, t int, r float64) *Repeated {
+	checkLambda(lambda)
+	if t < 2 {
+		panic("meanfield: Repeated needs T >= 2")
+	}
+	if r < 0 {
+		panic("meanfield: Repeated needs r >= 0")
+	}
+	dim := taskDim(lambda)
+	if dim < t+8 {
+		dim = t + 8
+	}
+	return &Repeated{
+		base: base{name: fmt.Sprintf("repeated(T=%d,r=%g)", t, r), lambda: lambda, dim: dim},
+		t:    t,
+		r:    r,
+	}
+}
+
+// T returns the stealing threshold.
+func (m *Repeated) T() int { return m.t }
+
+// R returns the retry rate of empty processors.
+func (m *Repeated) R() float64 { return m.r }
+
+// MaxRate bounds the per-component transition rate, which grows with r.
+func (m *Repeated) MaxRate() float64 { return 4 + m.r }
+
+// Initial returns the empty system.
+func (m *Repeated) Initial() []float64 { return core.EmptyTails(m.dim) }
+
+// WarmStart returns the threshold-model closed form (exact for r = 0 and a
+// good shape otherwise).
+func (m *Repeated) WarmStart() []float64 {
+	cf := SolveThreshold(m.lambda, m.t)
+	x := make([]float64, m.dim)
+	for i := range x {
+		x[i] = cf.Pi(i)
+	}
+	return x
+}
+
+// Derivs implements the system above with boundary s_{dim} = 0.
+func (m *Repeated) Derivs(x, dx []float64) {
+	lambda := m.lambda
+	n := len(x)
+	at := func(i int) float64 {
+		if i >= n {
+			return 0
+		}
+		return x[i]
+	}
+	sT := at(m.t)
+	emptying := x[1] - x[2] // processors completing their final task
+	idle := x[0] - x[1]     // empty processors retrying at rate r
+	thieves := emptying + m.r*idle
+
+	dx[0] = 0
+	dx[1] = lambda*(x[0]-x[1]) + m.r*idle*sT - emptying*(1-sT)
+	for i := 2; i < n; i++ {
+		gap := x[i] - at(i+1)
+		d := lambda*(x[i-1]-x[i]) - gap
+		if i >= m.t {
+			d -= gap * thieves
+		}
+		dx[i] = d
+	}
+}
+
+// Project restores tail feasibility.
+func (m *Repeated) Project(x []float64) { core.ProjectTails(x) }
+
+// MeanTasks returns the expected tasks per processor at state x.
+func (m *Repeated) MeanTasks(x []float64) float64 { return core.MeanFromTails(x) }

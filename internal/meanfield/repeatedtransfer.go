@@ -1,0 +1,151 @@
+package meanfield
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/numeric"
+)
+
+// RepeatedTransfer combines the repeated-attempts model of §2.5 with the
+// transfer-time model of §3.2 — the paper notes in §3 that "the extensions
+// can be combined as desired", and this combination is the most realistic
+// rendering of the WS algorithm: idle processors keep retrying steals at
+// rate ra, and a successful steal takes Exp(mean 1/rt) to move, with at
+// most one task in flight per thief.
+//
+// With θ = (s₁−s₂) + ra(s₀−s₁) the total steal-attempt rate (processors
+// emptying plus idle retriers) and S = s_T + w_T the per-attempt success
+// probability:
+//
+//	ds₀/dt = rt·w₀ − θ·S
+//	ds₁/dt = λ(s₀−s₁) + rt·w₀ − (s₁−s₂)
+//	ds_i/dt = λ(s_{i−1}−s_i) + rt·w_{i−1} − (s_i−s_{i+1})
+//	          − [i ≥ T]·θ·(s_i−s_{i+1})
+//	dw₀/dt = −rt·w₀ + θ·S
+//	dw_i/dt = λ(w_{i−1}−w_i) − rt·w_i − (w_i−w_{i+1})
+//	          − [i ≥ T]·θ·(w_i−w_{i+1})
+//
+// ra = 0 recovers Transfer; rt → ∞ recovers Repeated.
+type RepeatedTransfer struct {
+	base
+	t      int
+	ra, rt float64
+	l      int
+}
+
+// NewRepeatedTransfer constructs the combined model with arrival rate λ,
+// threshold T ≥ 2, retry rate ra ≥ 0, and transfer rate rt > 0.
+func NewRepeatedTransfer(lambda float64, t int, ra, rt float64) *RepeatedTransfer {
+	checkLambda(lambda)
+	if t < 2 {
+		panic("meanfield: RepeatedTransfer needs T >= 2")
+	}
+	if ra < 0 || rt <= 0 {
+		panic("meanfield: RepeatedTransfer needs ra >= 0 and rt > 0")
+	}
+	l := taskDim(lambda)
+	if l < t+8 {
+		l = t + 8
+	}
+	return &RepeatedTransfer{
+		base: base{
+			name:   fmt.Sprintf("repeated-transfer(T=%d,ra=%g,rt=%g)", t, ra, rt),
+			lambda: lambda,
+			dim:    2 * l,
+		},
+		t: t, ra: ra, rt: rt, l: l,
+	}
+}
+
+// T returns the stealing threshold.
+func (m *RepeatedTransfer) T() int { return m.t }
+
+// MaxRate bounds the per-component transition rates.
+func (m *RepeatedTransfer) MaxRate() float64 { return 4 + m.ra + m.rt }
+
+// Split returns the s (not awaiting) and w (awaiting) views of a state.
+func (m *RepeatedTransfer) Split(x []float64) (s, w []float64) {
+	return x[:m.l], x[m.l : 2*m.l]
+}
+
+// Initial returns the empty system.
+func (m *RepeatedTransfer) Initial() []float64 {
+	x := make([]float64, m.dim)
+	x[0] = 1
+	return x
+}
+
+// Derivs implements the combined system with boundary s_l = w_l = 0.
+func (m *RepeatedTransfer) Derivs(x, dx []float64) {
+	lambda, ra, rt := m.lambda, m.ra, m.rt
+	s, w := m.Split(x)
+	ds, dw := m.Split(dx)
+	l := m.l
+	at := func(v []float64, i int) float64 {
+		if i >= l {
+			return 0
+		}
+		return v[i]
+	}
+	theta := (s[1] - at(s, 2)) + ra*(s[0]-s[1])
+	succ := at(s, m.t) + at(w, m.t)
+
+	ds[0] = rt*w[0] - theta*succ
+	ds[1] = lambda*(s[0]-s[1]) + rt*w[0] - (s[1] - at(s, 2))
+	for i := 2; i < l; i++ {
+		gap := s[i] - at(s, i+1)
+		d := lambda*(s[i-1]-s[i]) + rt*w[i-1] - gap
+		if i >= m.t {
+			d -= gap * theta
+		}
+		ds[i] = d
+	}
+	dw[0] = -rt*w[0] + theta*succ
+	for i := 1; i < l; i++ {
+		gap := w[i] - at(w, i+1)
+		d := lambda*(w[i-1]-w[i]) - rt*w[i] - gap
+		if i >= m.t {
+			d -= gap * theta
+		}
+		dw[i] = d
+	}
+}
+
+// Project restores feasibility (same invariants as Transfer).
+func (m *RepeatedTransfer) Project(x []float64) {
+	s, w := m.Split(x)
+	prev := 1.0
+	for i := 0; i < m.l; i++ {
+		v := numeric.Clamp(w[i], 0, 1)
+		if v > prev {
+			v = prev
+		}
+		w[i] = v
+		prev = v
+	}
+	s[0] = 1 - w[0]
+	prev = s[0]
+	for i := 1; i < m.l; i++ {
+		v := numeric.Clamp(s[i], 0, 1)
+		if v > prev {
+			v = prev
+		}
+		s[i] = v
+		prev = v
+	}
+}
+
+// MeanTasks counts queued tasks plus tasks in flight.
+func (m *RepeatedTransfer) MeanTasks(x []float64) float64 {
+	s, w := m.Split(x)
+	var sum numeric.KahanSum
+	for i := 1; i < m.l; i++ {
+		sum.Add(s[i])
+		sum.Add(w[i])
+	}
+	sum.Add(w[0])
+	return sum.Sum()
+}
+
+var _ core.Model = (*RepeatedTransfer)(nil)

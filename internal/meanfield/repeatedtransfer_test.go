@@ -1,0 +1,94 @@
+package meanfield
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/numeric"
+	"repro/internal/rng"
+)
+
+func TestRepeatedTransferReducesToTransfer(t *testing.T) {
+	// ra = 0: no retries, exactly the §3.2 transfer model.
+	lambda, T, rt := 0.8, 4, 0.25
+	a := MustSolve(NewRepeatedTransfer(lambda, T, 0, rt), SolveOptions{})
+	b := MustSolve(NewTransfer(lambda, T, rt), SolveOptions{})
+	if numeric.RelErr(a.SojournTime(), b.SojournTime()) > 1e-8 {
+		t.Errorf("ra=0: combined %v vs transfer %v", a.SojournTime(), b.SojournTime())
+	}
+}
+
+func TestRepeatedTransferApproachesRepeated(t *testing.T) {
+	// rt → ∞: instantaneous transfers, exactly the §2.5 repeated model.
+	lambda, T, ra := 0.8, 2, 2.0
+	fast := MustSolve(NewRepeatedTransfer(lambda, T, ra, 2000), SolveOptions{})
+	want := MustSolve(NewRepeated(lambda, T, ra), SolveOptions{})
+	if math.Abs(fast.SojournTime()-want.SojournTime()) > 5e-3 {
+		t.Errorf("rt→∞: combined %v vs repeated %v", fast.SojournTime(), want.SojournTime())
+	}
+}
+
+func TestRepeatedTransferRetriesHelp(t *testing.T) {
+	// With slow transfers, retries still reduce E[T]: idle processors that
+	// failed once get another chance.
+	lambda, T, rt := 0.9, 4, 0.5
+	none := MustSolve(NewRepeatedTransfer(lambda, T, 0, rt), SolveOptions{}).SojournTime()
+	some := MustSolve(NewRepeatedTransfer(lambda, T, 4, rt), SolveOptions{}).SojournTime()
+	if some >= none {
+		t.Errorf("retries did not help under transfer delays: %v vs %v", some, none)
+	}
+}
+
+func TestRepeatedTransferPopulationConserved(t *testing.T) {
+	m := NewRepeatedTransfer(0.8, 3, 2, 0.5)
+	fp := MustSolve(m, SolveOptions{})
+	s, w := m.Split(fp.State)
+	if math.Abs(s[0]+w[0]-1) > 1e-9 {
+		t.Errorf("s₀+w₀ = %v", s[0]+w[0])
+	}
+	if math.Abs(s[1]+w[1]-0.8) > 1e-8 {
+		t.Errorf("throughput s₁+w₁ = %v, want λ", s[1]+w[1])
+	}
+}
+
+func TestRepeatedTransferConservation(t *testing.T) {
+	// dE[L]/dt = λ − (s₁+w₁) at every compact-support feasible state, and
+	// the population derivative is zero.
+	m := NewRepeatedTransfer(0.8, 3, 2, 0.5)
+	f := func(seed uint64) bool {
+		x := randomSplitFeasible(m.Dim(), m.Project, rng.New(seed))
+		s, w := m.Split(x)
+		dx := make([]float64, m.Dim())
+		m.Derivs(x, dx)
+		ds, dw := m.Split(dx)
+		var k numeric.KahanSum
+		for i := 1; i < len(ds); i++ {
+			k.Add(ds[i])
+			k.Add(dw[i])
+		}
+		k.Add(dw[0])
+		want := 0.8 - (s[1] + w[1])
+		return math.Abs(k.Sum()-want) < 1e-10 && math.Abs(ds[0]+dw[0]) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Errorf("repeated-transfer conservation violated: %v", err)
+	}
+}
+
+func TestRepeatedTransferConstructorPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewRepeatedTransfer(0.5, 1, 1, 1) },
+		func() { NewRepeatedTransfer(0.5, 2, -1, 1) },
+		func() { NewRepeatedTransfer(0.5, 2, 1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

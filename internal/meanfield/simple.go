@@ -1,0 +1,61 @@
+package meanfield
+
+import "repro/internal/core"
+
+// SimpleWS is the paper's basic work-stealing model (§2.2, equations (2) and
+// (3)): when a processor completes its final task it attempts to steal from
+// one victim chosen uniformly at random, succeeding when the victim holds at
+// least two tasks. The limiting system is
+//
+//	ds₁/dt = λ(s₀ − s₁) − (s₁ − s₂)(1 − s₂)
+//	ds_i/dt = λ(s_{i−1} − s_i) − (s_i − s_{i+1}) − (s_i − s_{i+1})(s₁ − s₂),  i ≥ 2
+//
+// The (s₁ − s₂) factor is the rate at which thieves appear (processors
+// completing their final task); a steal hits a load-i victim with
+// probability s_i − s_{i+1}.
+type SimpleWS struct {
+	base
+}
+
+// NewSimpleWS constructs the simple work-stealing model at arrival rate λ.
+func NewSimpleWS(lambda float64) *SimpleWS {
+	checkLambda(lambda)
+	return &SimpleWS{base{name: "simple-ws", lambda: lambda, dim: taskDim(lambda)}}
+}
+
+// Initial returns the empty system.
+func (m *SimpleWS) Initial() []float64 { return core.EmptyTails(m.dim) }
+
+// WarmStart returns the closed-form equilibrium, so the numeric solver only
+// has to confirm it (and correct the tiny truncation boundary effect).
+func (m *SimpleWS) WarmStart() []float64 {
+	cf := SolveSimpleWS(m.lambda)
+	x := make([]float64, m.dim)
+	for i := range x {
+		x[i] = cf.Pi(i)
+	}
+	return x
+}
+
+// Derivs implements equations (2)–(3) with boundary s_{dim} = 0.
+func (m *SimpleWS) Derivs(x, dx []float64) {
+	lambda := m.lambda
+	n := len(x)
+	theta := x[1] - x[2] // thief appearance rate s₁ − s₂
+	dx[0] = 0
+	dx[1] = lambda*(x[0]-x[1]) - (x[1]-x[2])*(1-x[2])
+	for i := 2; i < n; i++ {
+		next := 0.0
+		if i+1 < n {
+			next = x[i+1]
+		}
+		gap := x[i] - next
+		dx[i] = lambda*(x[i-1]-x[i]) - gap - gap*theta
+	}
+}
+
+// Project restores tail feasibility.
+func (m *SimpleWS) Project(x []float64) { core.ProjectTails(x) }
+
+// MeanTasks returns the expected tasks per processor at state x.
+func (m *SimpleWS) MeanTasks(x []float64) float64 { return core.MeanFromTails(x) }

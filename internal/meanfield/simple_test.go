@@ -1,0 +1,152 @@
+package meanfield
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/numeric"
+)
+
+func TestSolveSimpleWSGoldenRatio(t *testing.T) {
+	// At λ = 1/2 the expected time in system is the golden ratio
+	// (Table 1's first estimate, 1.618).
+	f := SolveSimpleWS(0.5)
+	phi := (1 + math.Sqrt(5)) / 2
+	if math.Abs(f.SojournTime()-phi) > 1e-12 {
+		t.Errorf("SojournTime(0.5) = %v, want φ = %v", f.SojournTime(), phi)
+	}
+}
+
+// Table 1's estimate column.
+func TestSimpleWSTable1Estimates(t *testing.T) {
+	cases := []struct{ lambda, want float64 }{
+		{0.50, 1.618}, {0.70, 2.107}, {0.80, 2.562},
+		{0.90, 3.541}, {0.95, 4.887}, {0.99, 10.462},
+	}
+	for _, c := range cases {
+		got := SolveSimpleWS(c.lambda).SojournTime()
+		if math.Abs(got-c.want) > 5e-4 {
+			t.Errorf("λ=%v: estimate %v, paper %v", c.lambda, got, c.want)
+		}
+	}
+}
+
+func TestSimpleWSNumericMatchesClosedForm(t *testing.T) {
+	for _, lambda := range []float64{0.3, 0.5, 0.7, 0.9, 0.95} {
+		m := NewSimpleWS(lambda)
+		fp, err := Solve(m, SolveOptions{})
+		if err != nil {
+			t.Fatalf("λ=%v: %v", lambda, err)
+		}
+		cf := SolveSimpleWS(lambda)
+		for i := 0; i < 10; i++ {
+			if math.Abs(fp.State[i]-cf.Pi(i)) > 1e-8 {
+				t.Errorf("λ=%v: numeric π_%d = %v, closed form %v", lambda, i, fp.State[i], cf.Pi(i))
+			}
+		}
+		if numeric.RelErr(fp.SojournTime(), cf.SojournTime()) > 1e-8 {
+			t.Errorf("λ=%v: numeric E[T] = %v, closed form %v", lambda, fp.SojournTime(), cf.SojournTime())
+		}
+	}
+}
+
+func TestSimpleWSHighLambda(t *testing.T) {
+	// The λ = 0.99 row is the hardest numerically.
+	m := NewSimpleWS(0.99)
+	fp, err := Solve(m, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf := SolveSimpleWS(0.99)
+	if numeric.RelErr(fp.SojournTime(), cf.SojournTime()) > 1e-6 {
+		t.Errorf("E[T] numeric %v vs closed form %v", fp.SojournTime(), cf.SojournTime())
+	}
+	if math.Abs(cf.SojournTime()-10.462) > 1e-3 {
+		t.Errorf("λ=0.99 estimate %v, paper 10.462", cf.SojournTime())
+	}
+}
+
+func TestClosedFormIsFixedPointOfODE(t *testing.T) {
+	// The closed-form tails must zero the derivative field.
+	for _, lambda := range []float64{0.4, 0.8, 0.95} {
+		m := NewSimpleWS(lambda)
+		cf := SolveSimpleWS(lambda)
+		x := make([]float64, m.Dim())
+		for i := range x {
+			x[i] = cf.Pi(i)
+		}
+		dx := make([]float64, m.Dim())
+		m.Derivs(x, dx)
+		if r := numeric.NormInf(dx); r > 1e-12 {
+			t.Errorf("λ=%v: closed form residual %v", lambda, r)
+		}
+	}
+}
+
+func TestNoStealIsMM1(t *testing.T) {
+	for _, lambda := range []float64{0.3, 0.7, 0.9} {
+		m := NewNoSteal(lambda)
+		fp, err := Solve(m, SolveOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if numeric.RelErr(fp.SojournTime(), MM1SojournTime(lambda)) > 1e-8 {
+			t.Errorf("λ=%v: NoSteal E[T] = %v, want %v", lambda, fp.SojournTime(), MM1SojournTime(lambda))
+		}
+		for i := 0; i < 8; i++ {
+			if math.Abs(fp.State[i]-MM1Pi(lambda, i)) > 1e-9 {
+				t.Errorf("λ=%v: π_%d = %v, want λ^i = %v", lambda, i, fp.State[i], MM1Pi(lambda, i))
+			}
+		}
+	}
+}
+
+func TestStealingBeatsNoStealing(t *testing.T) {
+	for _, lambda := range []float64{0.5, 0.8, 0.95} {
+		ws := SolveSimpleWS(lambda).SojournTime()
+		mm1 := MM1SojournTime(lambda)
+		if ws >= mm1 {
+			t.Errorf("λ=%v: stealing E[T]=%v not better than no stealing %v", lambda, ws, mm1)
+		}
+	}
+}
+
+func TestSimpleWSTailsGeometric(t *testing.T) {
+	// §2.2's headline: tails decrease geometrically at ratio λ/(1+λ−π₂),
+	// strictly faster than λ.
+	lambda := 0.8
+	m := NewSimpleWS(lambda)
+	fp := MustSolve(m, SolveOptions{})
+	cf := SolveSimpleWS(lambda)
+	ratio := core.TailRatio(fp.State, 3, 1e-10)
+	if math.Abs(ratio-cf.Beta) > 1e-6 {
+		t.Errorf("tail ratio %v, want β = %v", ratio, cf.Beta)
+	}
+	if cf.Beta >= lambda {
+		t.Errorf("β = %v should beat the no-stealing ratio λ = %v", cf.Beta, lambda)
+	}
+}
+
+func TestSimpleWSFixedPointValid(t *testing.T) {
+	fp := MustSolve(NewSimpleWS(0.9), SolveOptions{})
+	if err := core.ValidateTails(fp.State, 1e-9, 1e-9); err != nil {
+		t.Errorf("fixed point invalid: %v", err)
+	}
+	if fp.State[1] < 0.9-1e-9 || fp.State[1] > 0.9+1e-9 {
+		t.Errorf("π₁ = %v, want λ = 0.9", fp.State[1])
+	}
+}
+
+func TestCheckLambdaPanics(t *testing.T) {
+	for _, bad := range []float64{0, 1, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("λ=%v should panic", bad)
+				}
+			}()
+			NewSimpleWS(bad)
+		}()
+	}
+}

@@ -1,0 +1,101 @@
+package meanfield
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Spawning implements §3.5's decomposition of the arrival rate into
+// λ_ext + λ_int: external tasks arrive at every processor at rate λ_ext,
+// while running tasks spawn new tasks at rate λ_int — but only while the
+// processor is busy, which is how multithreaded (Cilk-style) computations
+// generate work. Stealing follows the threshold rule with victim ≥ T.
+//
+//	ds₁/dt = λe(s₀−s₁) − (s₁−s₂)(1 − s_T)
+//	ds_i/dt = λe(s_{i−1}−s_i) + λi(s_{i−1}−s_i) − (s_i−s_{i+1}) − ...,  i ≥ 2
+//
+// (for i ≥ 2 the spawning term applies because a processor at load
+// i−1 ≥ 1 is busy). Stability requires the effective utilization
+// ρ = λe/(1−λi) < 1: each external task brings a geometric cascade of
+// spawned descendants with mean 1/(1−λi).
+type Spawning struct {
+	base
+	le, li float64
+	t      int
+}
+
+// NewSpawning constructs the model with external rate λe > 0, internal
+// spawn rate λi ≥ 0, and threshold T ≥ 2. It panics unless the effective
+// utilization λe/(1−λi) lies in (0, 1).
+func NewSpawning(le, li float64, t int) *Spawning {
+	if le <= 0 || li < 0 || li >= 1 {
+		panic("meanfield: Spawning needs λe > 0 and 0 <= λi < 1")
+	}
+	rho := le / (1 - li)
+	checkLambda(rho)
+	if t < 2 {
+		panic("meanfield: Spawning needs T >= 2")
+	}
+	dim := taskDim(rho)
+	if dim < t+8 {
+		dim = t + 8
+	}
+	return &Spawning{
+		base: base{
+			name: fmt.Sprintf("spawning(λe=%g,λi=%g,T=%d)", le, li, t),
+			// ArrivalRate reports the total long-run task rate per
+			// processor λe + λi·P(busy) = λe + λi·ρ = ρ, so Little's law
+			// applies with this value.
+			lambda: rho,
+			dim:    dim,
+		},
+		le: le, li: li, t: t,
+	}
+}
+
+// ExternalRate returns λ_ext.
+func (m *Spawning) ExternalRate() float64 { return m.le }
+
+// InternalRate returns λ_int.
+func (m *Spawning) InternalRate() float64 { return m.li }
+
+// T returns the stealing threshold.
+func (m *Spawning) T() int { return m.t }
+
+// Initial returns the empty system.
+func (m *Spawning) Initial() []float64 { return core.EmptyTails(m.dim) }
+
+// WarmStart returns the geometric profile at the effective utilization.
+func (m *Spawning) WarmStart() []float64 { return core.GeometricTails(m.lambda, m.dim) }
+
+// Derivs implements the spawning system with boundary s_{dim} = 0.
+func (m *Spawning) Derivs(x, dx []float64) {
+	n := len(x)
+	at := func(i int) float64 {
+		if i >= n {
+			return 0
+		}
+		return x[i]
+	}
+	theta := x[1] - at(2)
+	sT := at(m.t)
+	dx[0] = 0
+	dx[1] = m.le*(x[0]-x[1]) - theta*(1-sT)
+	for i := 2; i < n; i++ {
+		gap := x[i] - at(i+1)
+		d := (m.le+m.li)*(x[i-1]-x[i]) - gap
+		if i >= m.t {
+			d -= gap * theta
+		}
+		dx[i] = d
+	}
+}
+
+// Project restores tail feasibility.
+func (m *Spawning) Project(x []float64) { core.ProjectTails(x) }
+
+// MeanTasks returns the expected tasks per processor at state x.
+func (m *Spawning) MeanTasks(x []float64) float64 { return core.MeanFromTails(x) }
+
+var _ core.Model = (*Spawning)(nil)

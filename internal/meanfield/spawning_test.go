@@ -1,0 +1,76 @@
+package meanfield
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestSpawningZeroInternalIsThreshold(t *testing.T) {
+	// λi = 0 recovers the plain threshold model.
+	le, T := 0.8, 3
+	fp := MustSolve(NewSpawning(le, 0, T), SolveOptions{})
+	cf := SolveThreshold(le, T)
+	for i := 0; i < 12; i++ {
+		if math.Abs(fp.State[i]-cf.Pi(i)) > 1e-8 {
+			t.Errorf("spawning(λi=0) π_%d = %v, threshold %v", i, fp.State[i], cf.Pi(i))
+		}
+	}
+}
+
+func TestSpawningThroughputIdentity(t *testing.T) {
+	// At the fixed point the busy fraction equals the effective
+	// utilization ρ = λe/(1−λi): completions (rate s₁) must balance
+	// externals plus spawns (λe + λi·s₁).
+	le, li := 0.4, 0.5
+	fp := MustSolve(NewSpawning(le, li, 2), SolveOptions{})
+	rho := le / (1 - li)
+	if math.Abs(fp.State[1]-rho) > 1e-8 {
+		t.Errorf("busy fraction %v, want ρ = %v", fp.State[1], rho)
+	}
+}
+
+func TestSpawningConservation(t *testing.T) {
+	// dE[L]/dt = λe + λi·s₁ − s₁ at every compact-support feasible state.
+	le, li := 0.4, 0.5
+	m := NewSpawning(le, li, 2)
+	f := func(seed uint64) bool {
+		x := randomFeasible(m, rng.New(seed))
+		got := sumDerivs(m, x, 1, m.Dim())
+		want := le + li*x[1] - x[1]
+		return math.Abs(got-want) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Errorf("spawning conservation violated: %v", err)
+	}
+}
+
+func TestSpawningCascadeCostsMore(t *testing.T) {
+	// At equal total throughput, spawned work arrives in bursts attached
+	// to busy processors, so it queues worse than independent externals.
+	ext := MustSolve(NewSpawning(0.8, 0, 2), SolveOptions{}).SojournTime()
+	spawned := MustSolve(NewSpawning(0.4, 0.5, 2), SolveOptions{}).SojournTime()
+	if spawned <= ext {
+		t.Errorf("spawned load (%v) should queue worse than external (%v)", spawned, ext)
+	}
+}
+
+func TestSpawningConstructorPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewSpawning(0, 0.5, 2) },
+		func() { NewSpawning(0.5, 1, 2) },
+		func() { NewSpawning(0.6, 0.5, 2) }, // ρ = 1.2
+		func() { NewSpawning(0.5, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,114 @@
+package meanfield
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// StealHalf models the classic "steal half" heuristic, one of the §3.4
+// family of multi-task steals ("other variations for stealing multiple
+// jobs in the WS algorithm can be modeled similarly"): a processor that
+// empties steals ⌈j/2⌉ tasks from a victim holding j ≥ T tasks, leaving
+// the victim with ⌊j/2⌋ — the thief-initiated cousin of the
+// Rudolph–Slivkin-Allalouf–Upfal rebalancing model.
+//
+// Like Rebalance, the generator is evaluated directly over the PMF: a
+// steal against a load-j victim (rate (s₁−s₂)·p_j for j ≥ T) moves the
+// victim j → ⌊j/2⌋ and the thief 0 → ⌈j/2⌉, so
+//
+//	ds_i/dt += (s₁−s₂) Σ_{j≥T} p_j ( [⌈j/2⌉ ≥ i] + [⌊j/2⌋ ≥ i] − [j ≥ i] )
+//
+// for i ≥ 1, on top of the usual arrival and service terms (the thief side
+// also cancels part of the s₁ departure, handled via the success
+// probability s_T as in the other models).
+type StealHalf struct {
+	base
+	t int
+}
+
+// NewStealHalf constructs the steal-half model with arrival rate λ and
+// victim threshold T ≥ 2.
+func NewStealHalf(lambda float64, t int) *StealHalf {
+	checkLambda(lambda)
+	if t < 2 {
+		panic("meanfield: StealHalf needs T >= 2")
+	}
+	dim := taskDim(lambda)
+	if dim > 1024 {
+		dim = core.TruncationDim(lambda, 1e-10, 32, 1024)
+	}
+	if dim < t+8 {
+		dim = t + 8
+	}
+	return &StealHalf{
+		base: base{name: fmt.Sprintf("stealhalf(T=%d)", t), lambda: lambda, dim: dim},
+		t:    t,
+	}
+}
+
+// T returns the victim threshold.
+func (m *StealHalf) T() int { return m.t }
+
+// Initial returns the empty system.
+func (m *StealHalf) Initial() []float64 { return core.EmptyTails(m.dim) }
+
+// WarmStart returns the empty system (see Rebalance: starting above the
+// strongly-equalized equilibrium leaves a slow linear drain).
+func (m *StealHalf) WarmStart() []float64 { return core.EmptyTails(m.dim) }
+
+// Derivs evaluates arrivals, departures, and the steal-half generator.
+func (m *StealHalf) Derivs(x, dx []float64) {
+	lambda := m.lambda
+	n := len(x)
+	at := func(i int) float64 {
+		if i >= n {
+			return 0
+		}
+		return x[i]
+	}
+	sT := at(m.t)
+	theta := x[1] - at(2) // processors completing their final task
+
+	dx[0] = 0
+	// ds₁: the departure is cancelled when the post-completion steal
+	// succeeds (the thief jumps 0 → ⌈j/2⌉ ≥ 1 instantly).
+	dx[1] = lambda*(x[0]-x[1]) - theta*(1-sT)
+	for i := 2; i < n; i++ {
+		dx[i] = lambda*(x[i-1]-x[i]) - (x[i] - at(i+1))
+	}
+	if theta <= 0 {
+		return
+	}
+	// Steal generator over victims with load j ≥ T. The thief's crossing
+	// of level 1 is already accounted for in ds₁ above, so the indicator
+	// for the thief side applies to i ≥ 2 only.
+	p := core.TailsToPMF(x)
+	for j := m.t; j < n; j++ {
+		if p[j] <= 0 {
+			continue
+		}
+		rate := theta * p[j]
+		if rate < 1e-18 {
+			continue
+		}
+		take := (j + 1) / 2 // thief gets ⌈j/2⌉
+		keep := j / 2       // victim keeps ⌊j/2⌋
+		// Victim: s_i loses for keep < i ≤ j.
+		for i := keep + 1; i <= j && i < n; i++ {
+			dx[i] -= rate
+		}
+		// Thief: s_i gains for 2 ≤ i ≤ take (level 1 handled in ds₁).
+		for i := 2; i <= take && i < n; i++ {
+			dx[i] += rate
+		}
+	}
+}
+
+// Project restores tail feasibility.
+func (m *StealHalf) Project(x []float64) { core.ProjectTails(x) }
+
+// MeanTasks returns the expected tasks per processor at state x.
+func (m *StealHalf) MeanTasks(x []float64) float64 { return core.MeanFromTails(x) }
+
+var _ core.Model = (*StealHalf)(nil)

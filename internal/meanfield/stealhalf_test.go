@@ -1,0 +1,65 @@
+package meanfield
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+)
+
+func TestStealHalfConservation(t *testing.T) {
+	// Steal-half moves ⌈j/2⌉ tasks without creating or destroying any:
+	// dE[L]/dt = λ − s₁ at every compact-support feasible state.
+	checkTaskConservation(t, func() core.Model { return NewStealHalf(0.8, 2) }, 0.8)
+	checkTaskConservation(t, func() core.Model { return NewStealHalf(0.8, 5) }, 0.8)
+}
+
+func TestStealHalfThroughput(t *testing.T) {
+	fp := MustSolve(NewStealHalf(0.9, 2), SolveOptions{})
+	if math.Abs(fp.State[1]-0.9) > 1e-8 {
+		t.Errorf("π₁ = %v, want λ = 0.9", fp.State[1])
+	}
+	if err := core.ValidateTails(fp.State, 1e-8, 1e-6); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStealHalfBeatsSingleSteal(t *testing.T) {
+	// Taking half the victim's queue equalizes harder than taking one task,
+	// so it should improve E[T] at high load.
+	lambda := 0.95
+	one := SolveSimpleWS(lambda).SojournTime()
+	half := MustSolve(NewStealHalf(lambda, 2), SolveOptions{}).SojournTime()
+	if half >= one {
+		t.Errorf("steal-half (%v) not better than single steal (%v)", half, one)
+	}
+}
+
+func TestStealHalfAtT2LowLoadNearSimple(t *testing.T) {
+	// At low λ, victims rarely hold more than 2 tasks, so stealing "half"
+	// is nearly always stealing one: the models should nearly agree.
+	lambda := 0.3
+	simple := SolveSimpleWS(lambda).SojournTime()
+	half := MustSolve(NewStealHalf(lambda, 2), SolveOptions{}).SojournTime()
+	if math.Abs(simple-half) > 0.01 {
+		t.Errorf("low-load steal-half %v far from simple %v", half, simple)
+	}
+}
+
+// The generator's indicator bands: a single steal event against a load-j
+// victim must change Σ_{i≥1} s_i by exactly zero and must move exactly
+// ⌈j/2⌉ tasks' worth of levels.
+func TestStealHalfGeneratorBands(t *testing.T) {
+	f := func(jRaw uint8) bool {
+		j := int(jRaw%30) + 2
+		take := (j + 1) / 2
+		keep := j / 2
+		victimLevels := j - keep // levels i with keep < i <= j
+		thiefLevels := take      // levels 1..take
+		return victimLevels == take && thiefLevels == take
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,86 @@
+package meanfield
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Threshold is the threshold-stealing model (§2.3, equations (4)–(6)): a
+// processor that empties steals only from a victim whose load is at least T,
+// improving the odds that migrating the task is worthwhile.
+//
+//	ds₁/dt = λ(s₀ − s₁) − (s₁ − s₂)(1 − s_T)
+//	ds_i/dt = λ(s_{i−1} − s_i) − (s_i − s_{i+1}),                    2 ≤ i ≤ T−1
+//	ds_i/dt = λ(s_{i−1} − s_i) − (s_i − s_{i+1})(1 + (s₁ − s₂)),     i ≥ T
+//
+// T = 2 recovers SimpleWS.
+type Threshold struct {
+	base
+	t int
+}
+
+// NewThreshold constructs the threshold model with arrival rate λ and
+// stealing threshold T ≥ 2.
+func NewThreshold(lambda float64, t int) *Threshold {
+	checkLambda(lambda)
+	if t < 2 {
+		panic(fmt.Sprintf("meanfield: threshold T = %d must be at least 2", t))
+	}
+	dim := taskDim(lambda)
+	if dim < t+8 {
+		dim = t + 8
+	}
+	return &Threshold{
+		base: base{name: fmt.Sprintf("threshold(T=%d)", t), lambda: lambda, dim: dim},
+		t:    t,
+	}
+}
+
+// T returns the stealing threshold.
+func (m *Threshold) T() int { return m.t }
+
+// Initial returns the empty system.
+func (m *Threshold) Initial() []float64 { return core.EmptyTails(m.dim) }
+
+// WarmStart returns the closed-form equilibrium, so the numeric solver only
+// has to confirm it (and correct the tiny truncation boundary effect).
+func (m *Threshold) WarmStart() []float64 {
+	cf := SolveThreshold(m.lambda, m.t)
+	x := make([]float64, m.dim)
+	for i := range x {
+		x[i] = cf.Pi(i)
+	}
+	return x
+}
+
+// Derivs implements equations (4)–(6) with boundary s_{dim} = 0.
+func (m *Threshold) Derivs(x, dx []float64) {
+	lambda := m.lambda
+	n := len(x)
+	theta := x[1] - x[2]
+	sT := 0.0
+	if m.t < n {
+		sT = x[m.t]
+	}
+	dx[0] = 0
+	dx[1] = lambda*(x[0]-x[1]) - (x[1]-x[2])*(1-sT)
+	for i := 2; i < n; i++ {
+		next := 0.0
+		if i+1 < n {
+			next = x[i+1]
+		}
+		gap := x[i] - next
+		d := lambda*(x[i-1]-x[i]) - gap
+		if i >= m.t {
+			d -= gap * theta
+		}
+		dx[i] = d
+	}
+}
+
+// Project restores tail feasibility.
+func (m *Threshold) Project(x []float64) { core.ProjectTails(x) }
+
+// MeanTasks returns the expected tasks per processor at state x.
+func (m *Threshold) MeanTasks(x []float64) float64 { return core.MeanFromTails(x) }

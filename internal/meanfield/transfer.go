@@ -1,0 +1,172 @@
+package meanfield
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/numeric"
+)
+
+// Transfer is the transfer-time model (§3.2): a stolen task takes an
+// exponentially distributed time with mean 1/r to move from victim to
+// thief, and a thief with a task already in flight does not steal again.
+// The state splits into two tail vectors: s_i for processors not awaiting a
+// stolen task and w_i for processors awaiting one (both absolute fractions,
+// s₀ + w₀ = 1). With steal attempts on emptying and victim threshold T:
+//
+//	ds₀/dt = r·w₀ − (s₁−s₂)(s_T + w_T)
+//	ds₁/dt = λ(s₀−s₁) + r·w₀ − (s₁−s₂)
+//	ds_i/dt = λ(s_{i−1}−s_i) + r·w_{i−1} − (s_i−s_{i+1}),           2 ≤ i ≤ T−1
+//	ds_i/dt = λ(s_{i−1}−s_i) + r·w_{i−1} − (s_i−s_{i+1})
+//	          − (s_i−s_{i+1})(s₁−s₂),                                i ≥ T
+//	dw₀/dt = −r·w₀ + (s₁−s₂)(s_T + w_T)
+//	dw_i/dt = λ(w_{i−1}−w_i) − r·w_i − (w_i−w_{i+1}),               1 ≤ i ≤ T−1
+//	dw_i/dt = λ(w_{i−1}−w_i) − r·w_i − (w_i−w_{i+1})
+//	          − (w_i−w_{i+1})(s₁−s₂),                                i ≥ T
+//
+// Tasks can be stolen from awaiting processors (the s_T + w_T success
+// probability). A completed transfer raises the processor's load by one,
+// which is why r·w_{i−1} feeds s_i.
+//
+// The model quantifies the paper's threshold rule of thumb: the best T is
+// roughly 1/r + 1 at low arrival rates but grows at high ones (Table 3).
+type Transfer struct {
+	base
+	t int
+	r float64
+	l int // per-vector length; state is s[0:l] ++ w[0:l]
+}
+
+// NewTransfer constructs the transfer-time model with arrival rate λ,
+// threshold T ≥ 2 and transfer rate r > 0 (mean transfer time 1/r).
+func NewTransfer(lambda float64, t int, r float64) *Transfer {
+	checkLambda(lambda)
+	if t < 2 {
+		panic("meanfield: Transfer needs T >= 2")
+	}
+	if r <= 0 {
+		panic("meanfield: Transfer needs r > 0")
+	}
+	l := taskDim(lambda)
+	if l < t+8 {
+		l = t + 8
+	}
+	return &Transfer{
+		base: base{name: fmt.Sprintf("transfer(T=%d,r=%g)", t, r), lambda: lambda, dim: 2 * l},
+		t:    t,
+		r:    r,
+		l:    l,
+	}
+}
+
+// T returns the stealing threshold.
+func (m *Transfer) T() int { return m.t }
+
+// R returns the transfer completion rate.
+func (m *Transfer) R() float64 { return m.r }
+
+// MaxRate accounts for the extra transfer-completion rate.
+func (m *Transfer) MaxRate() float64 { return 4 + m.r }
+
+// Split returns the s and w views of a state vector.
+func (m *Transfer) Split(x []float64) (s, w []float64) {
+	return x[:m.l], x[m.l : 2*m.l]
+}
+
+// Initial returns the empty system: all processors idle and not awaiting.
+func (m *Transfer) Initial() []float64 {
+	x := make([]float64, m.dim)
+	x[0] = 1
+	return x
+}
+
+// WarmStart puts the no-stealing geometric equilibrium in s and a small
+// multiple of it in w.
+func (m *Transfer) WarmStart() []float64 {
+	x := make([]float64, m.dim)
+	s, w := m.Split(x)
+	g := core.GeometricTails(m.lambda, m.l)
+	frac := numeric.Clamp(0.1/m.r, 0, 0.4) // rough share of awaiting processors
+	for i := range g {
+		s[i] = g[i] * (1 - frac)
+		w[i] = g[i] * frac
+	}
+	return x
+}
+
+// Derivs implements the coupled system with boundary s_l = w_l = 0.
+func (m *Transfer) Derivs(x, dx []float64) {
+	lambda, r := m.lambda, m.r
+	s, w := m.Split(x)
+	ds, dw := m.Split(dx)
+	l := m.l
+	sat := func(v []float64, i int) float64 {
+		if i >= l {
+			return 0
+		}
+		return v[i]
+	}
+	theta := s[1] - s[2] // thieves: non-awaiting processors emptying
+	succ := sat(s, m.t) + sat(w, m.t)
+
+	ds[0] = r*w[0] - theta*succ
+	ds[1] = lambda*(s[0]-s[1]) + r*w[0] - (s[1] - s[2])
+	for i := 2; i < l; i++ {
+		gap := s[i] - sat(s, i+1)
+		d := lambda*(s[i-1]-s[i]) + r*w[i-1] - gap
+		if i >= m.t {
+			d -= gap * theta
+		}
+		ds[i] = d
+	}
+
+	dw[0] = -r*w[0] + theta*succ
+	for i := 1; i < l; i++ {
+		gap := w[i] - sat(w, i+1)
+		d := lambda*(w[i-1]-w[i]) - r*w[i] - gap
+		if i >= m.t {
+			d -= gap * theta
+		}
+		dw[i] = d
+	}
+}
+
+// Project restores feasibility: both halves are clamped monotone tails and
+// the total population s₀ + w₀ is renormalized to 1.
+func (m *Transfer) Project(x []float64) {
+	s, w := m.Split(x)
+	// Clamp and monotonize w first (its head is free), then pin s₀ to the
+	// remaining population and monotonize s below it.
+	prev := 1.0
+	for i := 0; i < m.l; i++ {
+		v := numeric.Clamp(w[i], 0, 1)
+		if v > prev {
+			v = prev
+		}
+		w[i] = v
+		prev = v
+	}
+	s[0] = 1 - w[0]
+	prev = s[0]
+	for i := 1; i < m.l; i++ {
+		v := numeric.Clamp(s[i], 0, 1)
+		if v > prev {
+			v = prev
+		}
+		s[i] = v
+		prev = v
+	}
+}
+
+// MeanTasks counts queued tasks at all processors plus tasks in transit:
+// Σ_{i≥1}(s_i + w_i) + w₀.
+func (m *Transfer) MeanTasks(x []float64) float64 {
+	s, w := m.Split(x)
+	var sum numeric.KahanSum
+	for i := 1; i < m.l; i++ {
+		sum.Add(s[i])
+		sum.Add(w[i])
+	}
+	sum.Add(w[0])
+	return sum.Sum()
+}

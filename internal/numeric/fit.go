@@ -1,0 +1,65 @@
+package numeric
+
+import "math"
+
+// LineFit holds an ordinary-least-squares line y = Intercept + Slope·x.
+type LineFit struct {
+	Slope, Intercept float64
+	// R2 is the coefficient of determination (1 = perfect fit).
+	R2 float64
+}
+
+// FitLine computes the least-squares line through (xs, ys). It panics on
+// mismatched lengths and requires at least two points with distinct x.
+func FitLine(xs, ys []float64) LineFit {
+	if len(xs) != len(ys) {
+		panic("numeric: FitLine length mismatch")
+	}
+	if len(xs) < 2 {
+		panic("numeric: FitLine needs at least two points")
+	}
+	n := float64(len(xs))
+	var sx, sy KahanSum
+	for i := range xs {
+		sx.Add(xs[i])
+		sy.Add(ys[i])
+	}
+	mx, my := sx.Sum()/n, sy.Sum()/n
+	var sxx, sxy, syy KahanSum
+	for i := range xs {
+		dx := xs[i] - mx
+		dy := ys[i] - my
+		sxx.Add(dx * dx)
+		sxy.Add(dx * dy)
+		syy.Add(dy * dy)
+	}
+	if sxx.Sum() == 0 {
+		panic("numeric: FitLine needs distinct x values")
+	}
+	slope := sxy.Sum() / sxx.Sum()
+	fit := LineFit{Slope: slope, Intercept: my - slope*mx}
+	if syy.Sum() > 0 {
+		// R² = explained/total variance.
+		fit.R2 = slope * slope * sxx.Sum() / syy.Sum()
+	} else {
+		fit.R2 = 1
+	}
+	return fit
+}
+
+// FitPowerLaw fits y ≈ c·x^p by a line fit in log-log space and returns
+// the exponent p, the prefactor c, and the log-space R². All xs and ys
+// must be strictly positive.
+func FitPowerLaw(xs, ys []float64) (p, c, r2 float64) {
+	lx := make([]float64, len(xs))
+	ly := make([]float64, len(ys))
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			panic("numeric: FitPowerLaw needs positive data")
+		}
+		lx[i] = math.Log(xs[i])
+		ly[i] = math.Log(ys[i])
+	}
+	fit := FitLine(lx, ly)
+	return fit.Slope, math.Exp(fit.Intercept), fit.R2
+}

@@ -1,0 +1,95 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFitLineExact(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 3, 5, 7} // y = 1 + 2x
+	f := FitLine(xs, ys)
+	if math.Abs(f.Slope-2) > 1e-12 || math.Abs(f.Intercept-1) > 1e-12 {
+		t.Errorf("fit = %+v, want slope 2 intercept 1", f)
+	}
+	if math.Abs(f.R2-1) > 1e-12 {
+		t.Errorf("R2 = %v, want 1", f.R2)
+	}
+}
+
+func TestFitLineNoisy(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2.1, 3.9, 6.2, 7.8, 10.1} // ~2x
+	f := FitLine(xs, ys)
+	if math.Abs(f.Slope-2) > 0.1 {
+		t.Errorf("slope = %v, want ~2", f.Slope)
+	}
+	if f.R2 < 0.99 {
+		t.Errorf("R2 = %v for nearly-linear data", f.R2)
+	}
+}
+
+func TestFitLineConstantY(t *testing.T) {
+	f := FitLine([]float64{1, 2, 3}, []float64{4, 4, 4})
+	if f.Slope != 0 || f.R2 != 1 {
+		t.Errorf("constant fit = %+v", f)
+	}
+}
+
+func TestFitLinePanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { FitLine([]float64{1}, []float64{1, 2}) },
+		func() { FitLine([]float64{1}, []float64{1}) },
+		func() { FitLine([]float64{2, 2}, []float64{1, 3}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestFitPowerLaw(t *testing.T) {
+	// y = 3/x exactly.
+	xs := []float64{1, 2, 4, 8, 16}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 / x
+	}
+	p, c, r2 := FitPowerLaw(xs, ys)
+	if math.Abs(p+1) > 1e-12 || math.Abs(c-3) > 1e-10 || r2 < 1-1e-12 {
+		t.Errorf("power fit p=%v c=%v r2=%v, want -1, 3, 1", p, c, r2)
+	}
+}
+
+func TestFitPowerLawPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	FitPowerLaw([]float64{1, -1}, []float64{1, 1})
+}
+
+// Property: FitLine recovers arbitrary slopes and intercepts from exact
+// linear data.
+func TestFitLineRecoversExactly(t *testing.T) {
+	f := func(aRaw, bRaw int8) bool {
+		a, b := float64(aRaw)/8, float64(bRaw)/8
+		xs := []float64{-2, 0, 1, 5, 9}
+		ys := make([]float64, len(xs))
+		for i, x := range xs {
+			ys[i] = a + b*x
+		}
+		fit := FitLine(xs, ys)
+		return math.Abs(fit.Slope-b) < 1e-9 && math.Abs(fit.Intercept-a) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

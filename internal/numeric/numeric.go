@@ -1,0 +1,289 @@
+// Package numeric provides small numerical utilities used throughout the
+// repository: compensated summation, vector norms, root finding, and
+// geometric-series helpers.
+//
+// All routines operate on float64 and are written for clarity and numerical
+// robustness rather than raw speed; the hot paths of the ODE engine and the
+// simulator do not depend on them.
+package numeric
+
+import (
+	"errors"
+	"math"
+)
+
+// Eps is the default relative tolerance used by iterative routines in this
+// repository when the caller does not specify one.
+const Eps = 1e-12
+
+// KahanSum accumulates float64 values with Kahan (compensated) summation,
+// reducing the error growth of naive summation from O(n) to O(1) ulps.
+// The zero value is ready to use.
+type KahanSum struct {
+	sum float64
+	c   float64 // running compensation for lost low-order bits
+}
+
+// Add accumulates x into the sum.
+func (k *KahanSum) Add(x float64) {
+	y := x - k.c
+	t := k.sum + y
+	k.c = (t - k.sum) - y
+	k.sum = t
+}
+
+// Sum returns the compensated total.
+func (k *KahanSum) Sum() float64 { return k.sum }
+
+// Reset clears the accumulator back to zero.
+func (k *KahanSum) Reset() { k.sum, k.c = 0, 0 }
+
+// Sum returns the compensated sum of xs.
+func Sum(xs []float64) float64 {
+	var k KahanSum
+	for _, x := range xs {
+		k.Add(x)
+	}
+	return k.Sum()
+}
+
+// NormInf returns the max-absolute-value norm of xs (0 for empty input).
+func NormInf(xs []float64) float64 {
+	m := 0.0
+	for _, x := range xs {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Norm1 returns the sum of absolute values of xs.
+func Norm1(xs []float64) float64 {
+	var k KahanSum
+	for _, x := range xs {
+		k.Add(math.Abs(x))
+	}
+	return k.Sum()
+}
+
+// Norm2 returns the Euclidean norm of xs, guarding against overflow by
+// scaling with the largest magnitude component.
+func Norm2(xs []float64) float64 {
+	scale := NormInf(xs)
+	if scale == 0 {
+		return 0
+	}
+	var k KahanSum
+	for _, x := range xs {
+		r := x / scale
+		k.Add(r * r)
+	}
+	return scale * math.Sqrt(k.Sum())
+}
+
+// Dist1 returns the L1 distance between equal-length vectors a and b.
+// It panics if the lengths differ.
+func Dist1(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("numeric: Dist1 length mismatch")
+	}
+	var k KahanSum
+	for i := range a {
+		k.Add(math.Abs(a[i] - b[i]))
+	}
+	return k.Sum()
+}
+
+// DistInf returns the L∞ distance between equal-length vectors a and b.
+// It panics if the lengths differ.
+func DistInf(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("numeric: DistInf length mismatch")
+	}
+	m := 0.0
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// GeomTailSum returns the sum of the geometric series
+// a + a·r + a·r² + ... = a/(1−r) for |r| < 1.
+// It panics if |r| >= 1.
+func GeomTailSum(a, r float64) float64 {
+	if math.Abs(r) >= 1 {
+		panic("numeric: GeomTailSum requires |r| < 1")
+	}
+	return a / (1 - r)
+}
+
+// GeomTailCount returns the smallest k >= 1 such that r^k < tol, i.e. how
+// many terms of a geometric tail with ratio r in (0,1) must be kept before
+// the remaining terms each fall below tol. The result is clamped to
+// [1, maxTerms].
+func GeomTailCount(r, tol float64, maxTerms int) int {
+	if r <= 0 {
+		return 1
+	}
+	if r >= 1 || tol <= 0 {
+		return maxTerms
+	}
+	k := int(math.Ceil(math.Log(tol) / math.Log(r)))
+	if k < 1 {
+		k = 1
+	}
+	if k > maxTerms {
+		k = maxTerms
+	}
+	return k
+}
+
+// Linspace returns n evenly spaced points from lo to hi inclusive.
+// n must be at least 2.
+func Linspace(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		panic("numeric: Linspace needs n >= 2")
+	}
+	out := make([]float64, n)
+	step := (hi - lo) / float64(n-1)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	out[n-1] = hi // avoid accumulated rounding at the endpoint
+	return out
+}
+
+// Clamp returns x limited to the interval [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// Close reports whether a and b agree to within absolute tolerance atol or
+// relative tolerance rtol (whichever is looser), mirroring the usual
+// |a−b| <= atol + rtol·max(|a|,|b|) test.
+func Close(a, b, atol, rtol float64) bool {
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= atol+rtol*scale
+}
+
+// RelErr returns |got−want| / |want|, or |got−want| when want == 0.
+func RelErr(got, want float64) float64 {
+	d := math.Abs(got - want)
+	if want == 0 {
+		return d
+	}
+	return d / math.Abs(want)
+}
+
+// ErrNoBracket is returned by root finders when f(a) and f(b) do not have
+// opposite signs.
+var ErrNoBracket = errors.New("numeric: root is not bracketed")
+
+// ErrMaxIter is returned when an iterative routine fails to converge within
+// its iteration budget.
+var ErrMaxIter = errors.New("numeric: maximum iterations exceeded")
+
+// Bisect finds a root of f in [a, b] by bisection. f(a) and f(b) must have
+// opposite signs. The returned x satisfies |f(x)| small or |b−a| <= tol.
+func Bisect(f func(float64) float64, a, b, tol float64) (float64, error) {
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a, nil
+	}
+	if fb == 0 {
+		return b, nil
+	}
+	if math.Signbit(fa) == math.Signbit(fb) {
+		return 0, ErrNoBracket
+	}
+	for i := 0; i < 200; i++ {
+		m := a + (b-a)/2
+		fm := f(m)
+		if fm == 0 || (b-a)/2 < tol {
+			return m, nil
+		}
+		if math.Signbit(fm) == math.Signbit(fa) {
+			a, fa = m, fm
+		} else {
+			b = m
+		}
+	}
+	return a + (b-a)/2, ErrMaxIter
+}
+
+// Brent finds a root of f in [a, b] using Brent's method (inverse quadratic
+// interpolation with bisection fallback). f(a) and f(b) must have opposite
+// signs.
+func Brent(f func(float64) float64, a, b, tol float64) (float64, error) {
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a, nil
+	}
+	if fb == 0 {
+		return b, nil
+	}
+	if math.Signbit(fa) == math.Signbit(fb) {
+		return 0, ErrNoBracket
+	}
+	// Ensure |f(b)| <= |f(a)|: b is the best estimate.
+	if math.Abs(fa) < math.Abs(fb) {
+		a, b = b, a
+		fa, fb = fb, fa
+	}
+	c, fc := a, fa
+	mflag := true
+	var d float64
+	for i := 0; i < 200; i++ {
+		if fb == 0 || math.Abs(b-a) < tol {
+			return b, nil
+		}
+		var s float64
+		if fa != fc && fb != fc {
+			// Inverse quadratic interpolation.
+			s = a*fb*fc/((fa-fb)*(fa-fc)) +
+				b*fa*fc/((fb-fa)*(fb-fc)) +
+				c*fa*fb/((fc-fa)*(fc-fb))
+		} else {
+			// Secant.
+			s = b - fb*(b-a)/(fb-fa)
+		}
+		lo, hi := (3*a+b)/4, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		cond := s < lo || s > hi ||
+			(mflag && math.Abs(s-b) >= math.Abs(b-c)/2) ||
+			(!mflag && math.Abs(s-b) >= math.Abs(c-d)/2) ||
+			(mflag && math.Abs(b-c) < tol) ||
+			(!mflag && math.Abs(c-d) < tol)
+		if cond {
+			s = (a + b) / 2
+			mflag = true
+		} else {
+			mflag = false
+		}
+		fs := f(s)
+		d = c
+		c, fc = b, fb
+		if math.Signbit(fa) != math.Signbit(fs) {
+			b, fb = s, fs
+		} else {
+			a, fa = s, fs
+		}
+		if math.Abs(fa) < math.Abs(fb) {
+			a, b = b, a
+			fa, fb = fb, fa
+		}
+	}
+	return b, ErrMaxIter
+}

@@ -1,0 +1,294 @@
+// Package ode implements explicit initial-value-problem integrators for the
+// autonomous systems of differential equations produced by the mean-field
+// work-stealing models: forward Euler, classic fourth-order Runge–Kutta, and
+// an adaptive Cash–Karp Runge–Kutta 4(5) method with step-size control.
+//
+// All systems in this repository are autonomous (the right-hand side does
+// not depend on t), which keeps the interface small: a System writes the
+// derivative of x into dx.
+package ode
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/numeric"
+)
+
+// System evaluates the derivative dx = f(x) of an autonomous ODE system.
+// Implementations must not retain or modify x, and must fill every element
+// of dx.
+type System func(x, dx []float64)
+
+// ErrStepUnderflow is returned by the adaptive integrator when the step size
+// collapses below the representable minimum, indicating a pathological
+// right-hand side.
+var ErrStepUnderflow = errors.New("ode: adaptive step size underflow")
+
+// Euler advances x in place by one forward-Euler step of size h using the
+// provided scratch slice (len >= len(x)).
+func Euler(f System, x []float64, h float64, scratch []float64) {
+	dx := scratch[:len(x)]
+	f(x, dx)
+	for i := range x {
+		x[i] += h * dx[i]
+	}
+}
+
+// RK4Scratch holds the work arrays for classic RK4 steps so repeated calls
+// allocate nothing.
+type RK4Scratch struct {
+	k1, k2, k3, k4, tmp []float64
+}
+
+// NewRK4Scratch returns scratch space for systems of dimension n.
+func NewRK4Scratch(n int) *RK4Scratch {
+	return &RK4Scratch{
+		k1:  make([]float64, n),
+		k2:  make([]float64, n),
+		k3:  make([]float64, n),
+		k4:  make([]float64, n),
+		tmp: make([]float64, n),
+	}
+}
+
+// RK4 advances x in place by one classic Runge–Kutta step of size h.
+func RK4(f System, x []float64, h float64, s *RK4Scratch) {
+	n := len(x)
+	k1, k2, k3, k4, tmp := s.k1[:n], s.k2[:n], s.k3[:n], s.k4[:n], s.tmp[:n]
+	f(x, k1)
+	for i := 0; i < n; i++ {
+		tmp[i] = x[i] + h/2*k1[i]
+	}
+	f(tmp, k2)
+	for i := 0; i < n; i++ {
+		tmp[i] = x[i] + h/2*k2[i]
+	}
+	f(tmp, k3)
+	for i := 0; i < n; i++ {
+		tmp[i] = x[i] + h*k3[i]
+	}
+	f(tmp, k4)
+	for i := 0; i < n; i++ {
+		x[i] += h / 6 * (k1[i] + 2*k2[i] + 2*k3[i] + k4[i])
+	}
+}
+
+// Integrate advances x in place from t=0 to t=span using fixed RK4 steps of
+// size at most h (the last step is shortened to land exactly on span).
+func Integrate(f System, x []float64, span, h float64) {
+	if span <= 0 {
+		return
+	}
+	s := NewRK4Scratch(len(x))
+	steps := int(math.Ceil(span / h))
+	hh := span / float64(steps)
+	for i := 0; i < steps; i++ {
+		RK4(f, x, hh, s)
+	}
+}
+
+// Observer receives the state after each accepted step of SolveObserved.
+// Returning false stops the integration early.
+type Observer func(t float64, x []float64) bool
+
+// SolveObserved integrates with fixed RK4 steps, invoking obs after every
+// step (and once for the initial state at t=0). It returns the final time
+// reached.
+func SolveObserved(f System, x []float64, span, h float64, obs Observer) float64 {
+	s := NewRK4Scratch(len(x))
+	t := 0.0
+	if obs != nil && !obs(t, x) {
+		return t
+	}
+	for t < span {
+		step := h
+		if t+step > span {
+			step = span - t
+		}
+		RK4(f, x, step, s)
+		t += step
+		if obs != nil && !obs(t, x) {
+			return t
+		}
+	}
+	return t
+}
+
+// AdaptiveOptions configures IntegrateAdaptive.
+type AdaptiveOptions struct {
+	// AbsTol and RelTol are the per-component error tolerances.
+	// Zero values default to 1e-9 and 1e-7 respectively.
+	AbsTol, RelTol float64
+	// InitialStep is the first step attempt; 0 defaults to span/100.
+	InitialStep float64
+	// MaxStep caps the step size; 0 means no cap.
+	MaxStep float64
+}
+
+// Cash–Karp tableau coefficients.
+var (
+	ckB = [6][5]float64{
+		{},
+		{1.0 / 5},
+		{3.0 / 40, 9.0 / 40},
+		{3.0 / 10, -9.0 / 10, 6.0 / 5},
+		{-11.0 / 54, 5.0 / 2, -70.0 / 27, 35.0 / 27},
+		{1631.0 / 55296, 175.0 / 512, 575.0 / 13824, 44275.0 / 110592, 253.0 / 4096},
+	}
+	ckC  = [6]float64{37.0 / 378, 0, 250.0 / 621, 125.0 / 594, 0, 512.0 / 1771}
+	ckDC = [6]float64{
+		37.0/378 - 2825.0/27648,
+		0,
+		250.0/621 - 18575.0/48384,
+		125.0/594 - 13525.0/55296,
+		-277.0 / 14336,
+		512.0/1771 - 1.0/4,
+	}
+)
+
+// IntegrateAdaptive advances x in place from t=0 to t=span with the
+// Cash–Karp embedded RK4(5) pair and standard PI-free step control. It
+// returns the number of accepted steps.
+func IntegrateAdaptive(f System, x []float64, span float64, opt AdaptiveOptions) (int, error) {
+	if span <= 0 {
+		return 0, nil
+	}
+	atol := opt.AbsTol
+	if atol == 0 {
+		atol = 1e-9
+	}
+	rtol := opt.RelTol
+	if rtol == 0 {
+		rtol = 1e-7
+	}
+	h := opt.InitialStep
+	if h == 0 {
+		h = span / 100
+	}
+	if opt.MaxStep > 0 && h > opt.MaxStep {
+		h = opt.MaxStep
+	}
+
+	n := len(x)
+	var k [6][]float64
+	for i := range k {
+		k[i] = make([]float64, n)
+	}
+	tmp := make([]float64, n)
+	xErr := make([]float64, n)
+	xNew := make([]float64, n)
+
+	t := 0.0
+	accepted := 0
+	const safety, minShrink, maxGrow = 0.9, 0.2, 5.0
+	for t < span {
+		if t+h > span {
+			h = span - t
+		}
+		// Evaluate the six stages.
+		f(x, k[0])
+		for s := 1; s < 6; s++ {
+			for i := 0; i < n; i++ {
+				acc := x[i]
+				for j := 0; j < s; j++ {
+					acc += h * ckB[s][j] * k[j][i]
+				}
+				tmp[i] = acc
+			}
+			f(tmp, k[s])
+		}
+		// Fifth-order solution and embedded error estimate.
+		for i := 0; i < n; i++ {
+			var sum, errSum float64
+			for s := 0; s < 6; s++ {
+				sum += ckC[s] * k[s][i]
+				errSum += ckDC[s] * k[s][i]
+			}
+			xNew[i] = x[i] + h*sum
+			xErr[i] = h * errSum
+		}
+		// Scaled max error.
+		errMax := 0.0
+		for i := 0; i < n; i++ {
+			scale := atol + rtol*math.Max(math.Abs(x[i]), math.Abs(xNew[i]))
+			if e := math.Abs(xErr[i]) / scale; e > errMax {
+				errMax = e
+			}
+		}
+		if errMax <= 1 {
+			// Accept.
+			t += h
+			copy(x, xNew)
+			accepted++
+			grow := safety * math.Pow(errMax+1e-30, -0.2)
+			h *= numeric.Clamp(grow, 1, maxGrow)
+			if opt.MaxStep > 0 && h > opt.MaxStep {
+				h = opt.MaxStep
+			}
+		} else {
+			// Reject and shrink.
+			shrink := safety * math.Pow(errMax, -0.25)
+			h *= math.Max(shrink, minShrink)
+			if t+h == t {
+				return accepted, ErrStepUnderflow
+			}
+		}
+	}
+	return accepted, nil
+}
+
+// SteadyOptions configures IntegrateToSteady.
+type SteadyOptions struct {
+	// Tol is the ∞-norm threshold on the derivative below which the state is
+	// declared steady. Zero defaults to 1e-10.
+	Tol float64
+	// Step is the RK4 step size. Zero defaults to 0.1.
+	Step float64
+	// MaxTime bounds the total integrated time. Zero defaults to 1e6.
+	MaxTime float64
+	// CheckEvery sets how many steps elapse between convergence checks.
+	// Zero defaults to 10.
+	CheckEvery int
+}
+
+// IntegrateToSteady integrates x forward with fixed RK4 steps until the
+// derivative norm drops below opt.Tol, returning the simulated time used and
+// whether convergence was reached within opt.MaxTime.
+//
+// This is the slow-but-safe way to find a fixed point; package solver offers
+// Anderson acceleration that is typically orders of magnitude faster at high
+// arrival rates.
+func IntegrateToSteady(f System, x []float64, opt SteadyOptions) (float64, bool) {
+	tol := opt.Tol
+	if tol == 0 {
+		tol = 1e-10
+	}
+	h := opt.Step
+	if h == 0 {
+		h = 0.1
+	}
+	maxTime := opt.MaxTime
+	if maxTime == 0 {
+		maxTime = 1e6
+	}
+	every := opt.CheckEvery
+	if every <= 0 {
+		every = 10
+	}
+	s := NewRK4Scratch(len(x))
+	dx := make([]float64, len(x))
+	t := 0.0
+	for steps := 0; t < maxTime; steps++ {
+		if steps%every == 0 {
+			f(x, dx)
+			if numeric.NormInf(dx) < tol {
+				return t, true
+			}
+		}
+		RK4(f, x, h, s)
+		t += h
+	}
+	f(x, dx)
+	return t, numeric.NormInf(dx) < tol
+}

@@ -1,0 +1,186 @@
+// Package queueing provides classical queueing-theory results — M/M/1,
+// M/G/1 (Pollaczek–Khinchine), M/M/c (Erlang C), and general birth–death
+// chains — used as independent baselines for the simulator and the
+// mean-field models.
+//
+// Without stealing, each processor in the paper's model is an independent
+// M/G/1 queue, so these formulas validate the simulator's no-stealing
+// behavior for every service distribution. The M/M/c queue bounds the
+// other extreme: a work-stealing system with free, instantaneous, always-
+// successful stealing behaves like a single shared queue served by c
+// processors, and as the retry rate of §2.5 grows the mean-field model
+// approaches the c → ∞ limit of perfect utilization.
+package queueing
+
+import (
+	"math"
+
+	"repro/internal/dist"
+	"repro/internal/numeric"
+)
+
+// MM1 is the M/M/1 queue with arrival rate Lambda and service rate Mu.
+type MM1 struct {
+	Lambda, Mu float64
+}
+
+// NewMM1 returns an M/M/1 queue; it panics unless 0 < λ < μ.
+func NewMM1(lambda, mu float64) MM1 {
+	if lambda <= 0 || mu <= 0 || lambda >= mu {
+		panic("queueing: M/M/1 needs 0 < lambda < mu")
+	}
+	return MM1{Lambda: lambda, Mu: mu}
+}
+
+// Rho returns the utilization λ/μ.
+func (q MM1) Rho() float64 { return q.Lambda / q.Mu }
+
+// MeanNumber returns the mean number in system, ρ/(1−ρ).
+func (q MM1) MeanNumber() float64 {
+	rho := q.Rho()
+	return rho / (1 - rho)
+}
+
+// MeanSojourn returns the mean time in system, 1/(μ−λ).
+func (q MM1) MeanSojourn() float64 { return 1 / (q.Mu - q.Lambda) }
+
+// TailGE returns P(N ≥ i) = ρ^i.
+func (q MM1) TailGE(i int) float64 {
+	if i <= 0 {
+		return 1
+	}
+	return math.Pow(q.Rho(), float64(i))
+}
+
+// MG1 is the M/G/1 queue: Poisson arrivals at rate Lambda, i.i.d. service
+// times with the given distribution.
+type MG1 struct {
+	Lambda  float64
+	Service dist.Distribution
+}
+
+// NewMG1 returns an M/G/1 queue; it panics unless λ·E[S] < 1.
+func NewMG1(lambda float64, service dist.Distribution) MG1 {
+	if lambda <= 0 || service == nil || lambda*service.Mean() >= 1 {
+		panic("queueing: M/G/1 needs lambda * E[S] < 1")
+	}
+	return MG1{Lambda: lambda, Service: service}
+}
+
+// Rho returns the utilization λ·E[S].
+func (q MG1) Rho() float64 { return q.Lambda * q.Service.Mean() }
+
+// MeanWait returns the Pollaczek–Khinchine mean waiting time
+// λ·E[S²] / (2(1−ρ)) with E[S²] = Var + Mean².
+func (q MG1) MeanWait() float64 {
+	m := q.Service.Mean()
+	es2 := q.Service.Var() + m*m
+	return q.Lambda * es2 / (2 * (1 - q.Rho()))
+}
+
+// MeanSojourn returns E[S] plus the mean wait.
+func (q MG1) MeanSojourn() float64 { return q.Service.Mean() + q.MeanWait() }
+
+// MeanNumber returns the mean number in system via Little's law.
+func (q MG1) MeanNumber() float64 { return q.Lambda * q.MeanSojourn() }
+
+// MMc is the M/M/c queue: Poisson arrivals at rate Lambda, c servers each
+// of rate Mu, one shared queue.
+type MMc struct {
+	Lambda, Mu float64
+	C          int
+}
+
+// NewMMc returns an M/M/c queue; it panics unless λ < c·μ.
+func NewMMc(lambda, mu float64, c int) MMc {
+	if lambda <= 0 || mu <= 0 || c < 1 || lambda >= float64(c)*mu {
+		panic("queueing: M/M/c needs 0 < lambda < c*mu")
+	}
+	return MMc{Lambda: lambda, Mu: mu, C: c}
+}
+
+// Rho returns the per-server utilization λ/(cμ).
+func (q MMc) Rho() float64 { return q.Lambda / (float64(q.C) * q.Mu) }
+
+// ErlangC returns the probability an arriving customer must wait
+// (the Erlang C formula), computed with a numerically stable recurrence.
+func (q MMc) ErlangC() float64 {
+	a := q.Lambda / q.Mu // offered load
+	c := q.C
+	// inv = B(c, a)^{-1} via the Erlang B recurrence B(0)=1,
+	// B(k) = a·B(k−1) / (k + a·B(k−1)).
+	b := 1.0
+	for k := 1; k <= c; k++ {
+		b = a * b / (float64(k) + a*b)
+	}
+	rho := q.Rho()
+	return b / (1 - rho*(1-b))
+}
+
+// MeanWait returns the mean queueing delay C(c, a) / (cμ − λ).
+func (q MMc) MeanWait() float64 {
+	return q.ErlangC() / (float64(q.C)*q.Mu - q.Lambda)
+}
+
+// MeanSojourn returns the mean time in system.
+func (q MMc) MeanSojourn() float64 { return q.MeanWait() + 1/q.Mu }
+
+// BirthDeath is a finite birth–death chain on states 0..len(Birth):
+// Birth[i] is the rate i → i+1 and Death[i] the rate i+1 → i.
+type BirthDeath struct {
+	Birth []float64
+	Death []float64
+}
+
+// NewBirthDeath returns a chain with the given rates; the two slices must
+// have equal positive length, positive death rates, and non-negative birth
+// rates.
+func NewBirthDeath(birth, death []float64) BirthDeath {
+	if len(birth) == 0 || len(birth) != len(death) {
+		panic("queueing: birth/death rate slices must have equal positive length")
+	}
+	for i := range birth {
+		if birth[i] < 0 || death[i] <= 0 {
+			panic("queueing: need birth >= 0 and death > 0")
+		}
+	}
+	return BirthDeath{Birth: birth, Death: death}
+}
+
+// Stationary returns the stationary distribution π over states 0..len(Birth)
+// via the product form π_i ∝ Π_{j<i} birth_j/death_j, normalized.
+func (bd BirthDeath) Stationary() []float64 {
+	n := len(bd.Birth) + 1
+	pi := make([]float64, n)
+	pi[0] = 1
+	for i := 1; i < n; i++ {
+		pi[i] = pi[i-1] * bd.Birth[i-1] / bd.Death[i-1]
+	}
+	total := numeric.Sum(pi)
+	for i := range pi {
+		pi[i] /= total
+	}
+	return pi
+}
+
+// MeanState returns the stationary mean state.
+func (bd BirthDeath) MeanState() float64 {
+	pi := bd.Stationary()
+	var k numeric.KahanSum
+	for i, p := range pi {
+		k.Add(float64(i) * p)
+	}
+	return k.Sum()
+}
+
+// MM1Truncated builds the birth–death chain of an M/M/1 queue truncated at
+// maxState (a sanity bridge between the two representations).
+func MM1Truncated(lambda, mu float64, maxState int) BirthDeath {
+	birth := make([]float64, maxState)
+	death := make([]float64, maxState)
+	for i := range birth {
+		birth[i] = lambda
+		death[i] = mu
+	}
+	return NewBirthDeath(birth, death)
+}

@@ -1,0 +1,177 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dist"
+)
+
+func TestMM1Basics(t *testing.T) {
+	q := NewMM1(0.5, 1)
+	if q.MeanSojourn() != 2 {
+		t.Errorf("E[T] = %v, want 2", q.MeanSojourn())
+	}
+	if q.MeanNumber() != 1 {
+		t.Errorf("E[N] = %v, want 1", q.MeanNumber())
+	}
+	if q.TailGE(3) != 0.125 {
+		t.Errorf("P(N>=3) = %v, want 0.125", q.TailGE(3))
+	}
+	if q.TailGE(0) != 1 {
+		t.Error("P(N>=0) must be 1")
+	}
+}
+
+func TestMM1LittlesLaw(t *testing.T) {
+	f := func(raw uint8) bool {
+		lambda := 0.05 + 0.9*float64(raw)/255
+		q := NewMM1(lambda, 1)
+		return math.Abs(q.MeanNumber()-lambda*q.MeanSojourn()) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMG1ReducesToMM1(t *testing.T) {
+	// Exponential service: P-K must reproduce M/M/1 exactly.
+	for _, lambda := range []float64{0.3, 0.7, 0.95} {
+		g := NewMG1(lambda, dist.NewExponential(1))
+		m := NewMM1(lambda, 1)
+		if math.Abs(g.MeanSojourn()-m.MeanSojourn()) > 1e-12 {
+			t.Errorf("λ=%v: M/G/1 %v vs M/M/1 %v", lambda, g.MeanSojourn(), m.MeanSojourn())
+		}
+	}
+}
+
+func TestMD1HalvesWaiting(t *testing.T) {
+	// Deterministic service halves the P-K waiting time vs exponential.
+	lambda := 0.8
+	expo := NewMG1(lambda, dist.NewExponential(1))
+	det := NewMG1(lambda, dist.NewDeterministic(1))
+	if math.Abs(det.MeanWait()-expo.MeanWait()/2) > 1e-12 {
+		t.Errorf("M/D/1 wait %v, want half of %v", det.MeanWait(), expo.MeanWait())
+	}
+}
+
+func TestMG1Known(t *testing.T) {
+	// M/D/1 with λ = 0.5, S = 1: E[W] = 0.5·1/(2·0.5) = 0.5, E[T] = 1.5.
+	q := NewMG1(0.5, dist.NewDeterministic(1))
+	if math.Abs(q.MeanSojourn()-1.5) > 1e-12 {
+		t.Errorf("M/D/1 E[T] = %v, want 1.5", q.MeanSojourn())
+	}
+}
+
+func TestMMcReducesToMM1(t *testing.T) {
+	c1 := NewMMc(0.7, 1, 1)
+	m := NewMM1(0.7, 1)
+	if math.Abs(c1.MeanSojourn()-m.MeanSojourn()) > 1e-12 {
+		t.Errorf("M/M/1 via M/M/c: %v vs %v", c1.MeanSojourn(), m.MeanSojourn())
+	}
+	// Erlang C for c = 1 equals ρ.
+	if math.Abs(c1.ErlangC()-0.7) > 1e-12 {
+		t.Errorf("ErlangC(1) = %v, want 0.7", c1.ErlangC())
+	}
+}
+
+func TestMMcKnownValue(t *testing.T) {
+	// Classic: c = 2, λ = 1.5, μ = 1 (a = 1.5, ρ = 0.75):
+	// C = 0.6428571..., E[W] = C/(2−1.5) = 1.2857...
+	q := NewMMc(1.5, 1, 2)
+	if math.Abs(q.ErlangC()-9.0/14) > 1e-12 {
+		t.Errorf("ErlangC = %v, want %v", q.ErlangC(), 9.0/14)
+	}
+	if math.Abs(q.MeanWait()-9.0/7) > 1e-12 {
+		t.Errorf("MeanWait = %v, want %v", q.MeanWait(), 9.0/7)
+	}
+}
+
+func TestMMcPoolingBeatsSplitQueues(t *testing.T) {
+	// c pooled servers always beat c separate M/M/1 queues at the same
+	// per-server load — the upper bound on what stealing can achieve.
+	lambda := 0.9
+	solo := NewMM1(lambda, 1).MeanSojourn()
+	for _, c := range []int{2, 8, 64} {
+		pooled := NewMMc(lambda*float64(c), 1, c).MeanSojourn()
+		if pooled >= solo {
+			t.Errorf("c=%d pooled %v not below solo %v", c, pooled, solo)
+		}
+	}
+}
+
+func TestMMcLargeCApproachesService(t *testing.T) {
+	// As c → ∞ at fixed per-server ρ < 1, waiting vanishes: E[T] → 1/μ.
+	q := NewMMc(0.9*512, 1, 512)
+	if q.MeanSojourn() > 1.001 {
+		t.Errorf("E[T] at c=512: %v, want ≈ 1", q.MeanSojourn())
+	}
+}
+
+func TestBirthDeathMatchesMM1(t *testing.T) {
+	lambda := 0.6
+	bd := MM1Truncated(lambda, 1, 200)
+	pi := bd.Stationary()
+	for i := 0; i < 10; i++ {
+		want := (1 - lambda) * math.Pow(lambda, float64(i))
+		if math.Abs(pi[i]-want) > 1e-12 {
+			t.Errorf("π_%d = %v, want %v", i, pi[i], want)
+		}
+	}
+	if math.Abs(bd.MeanState()-NewMM1(lambda, 1).MeanNumber()) > 1e-9 {
+		t.Errorf("mean state %v vs M/M/1 %v", bd.MeanState(), NewMM1(lambda, 1).MeanNumber())
+	}
+}
+
+func TestBirthDeathStateDependent(t *testing.T) {
+	// M/M/2-like: death rate doubles from state 2 on.
+	birth := []float64{1, 1, 1, 1}
+	death := []float64{1, 2, 2, 2}
+	pi := NewBirthDeath(birth, death).Stationary()
+	// π ∝ (1, 1, 1/2, 1/4, 1/8); total = 2.875.
+	want := []float64{1, 1, 0.5, 0.25, 0.125}
+	total := 2.875
+	for i := range want {
+		if math.Abs(pi[i]-want[i]/total) > 1e-12 {
+			t.Errorf("π_%d = %v, want %v", i, pi[i], want[i]/total)
+		}
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	cases := []func(){
+		func() { NewMM1(1, 1) },
+		func() { NewMM1(0, 1) },
+		func() { NewMG1(1, dist.NewDeterministic(1)) },
+		func() { NewMG1(0.5, nil) },
+		func() { NewMMc(2, 1, 2) },
+		func() { NewMMc(0.5, 1, 0) },
+		func() { NewBirthDeath(nil, nil) },
+		func() { NewBirthDeath([]float64{1}, []float64{0}) },
+		func() { NewBirthDeath([]float64{1}, []float64{1, 1}) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: P-K waiting time grows with the SCV of the service distribution
+// at fixed mean and λ.
+func TestPKGrowsWithVariance(t *testing.T) {
+	lambda := 0.7
+	low := NewMG1(lambda, dist.ErlangWithMean(10, 1))               // SCV 0.1
+	mid := NewMG1(lambda, dist.NewExponential(1))                   // SCV 1
+	high := NewMG1(lambda, dist.NewHyperExponential(0.1, 0.2, 1.8)) // SCV > 1
+	if !(low.MeanWait() < mid.MeanWait() && mid.MeanWait() < high.MeanWait()) {
+		t.Errorf("P-K not monotone in variance: %v, %v, %v",
+			low.MeanWait(), mid.MeanWait(), high.MeanWait())
+	}
+}

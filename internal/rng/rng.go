@@ -1,0 +1,167 @@
+// Package rng implements the repository's pseudo-random number generation.
+//
+// The core generator is xoshiro256** (Blackman & Vigna), seeded through
+// SplitMix64 so that any 64-bit seed yields a well-mixed state. The package
+// also provides derived independent streams (one per simulation replication
+// or per worker goroutine) and the samplers needed by the simulator:
+// uniform, exponential, Erlang, and discrete choices.
+//
+// We implement our own generator rather than using math/rand so that
+// simulation runs are reproducible bit-for-bit across Go releases and
+// platforms, and so each parallel replication gets a cheaply derived,
+// statistically independent stream.
+package rng
+
+import "math"
+
+// Source is a xoshiro256** generator. The zero value is invalid; use New.
+type Source struct {
+	s [4]uint64
+}
+
+// splitmix64 advances *x and returns the next SplitMix64 output. It is used
+// only for seeding.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a Source seeded from the given 64-bit seed. Distinct seeds
+// yield well-separated states even for small seed values (0, 1, 2, ...).
+func New(seed uint64) *Source {
+	var src Source
+	x := seed
+	for i := range src.s {
+		src.s[i] = splitmix64(&x)
+	}
+	// All-zero state is the one invalid state for xoshiro; SplitMix64 cannot
+	// produce four consecutive zeros, but guard anyway.
+	if src.s[0]|src.s[1]|src.s[2]|src.s[3] == 0 {
+		src.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &src
+}
+
+// Derive returns a new independent Source for stream i, deterministically
+// derived from seed. It is the supported way to give each replication or
+// worker its own stream.
+func Derive(seed uint64, i int) *Source {
+	x := seed ^ 0xd1342543de82ef95
+	_ = splitmix64(&x)
+	mix := splitmix64(&x) + uint64(i)*0x9e3779b97f4a7c15
+	return New(splitmix64(&mix) ^ seed)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 random bits.
+func (r *Source) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (r *Source) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Float64Open returns a uniform value in (0, 1), never exactly 0. This is
+// the right input for inversion sampling of the exponential distribution.
+func (r *Source) Float64Open() float64 {
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return u
+		}
+	}
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+// Lemire's nearly-divisionless bounded sampling keeps this cheap.
+func (r *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with n <= 0")
+	}
+	bound := uint64(n)
+	for {
+		v := r.Uint64()
+		hi, lo := mul64(v, bound)
+		if lo >= bound || lo >= (-bound)%bound {
+			return int(hi)
+		}
+	}
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 0xffffffff
+	aLo, aHi := a&mask, a>>32
+	bLo, bHi := b&mask, b>>32
+	t := aLo*bHi + (aLo*bLo)>>32
+	w1 := t & mask
+	w2 := t >> 32
+	w1 += aHi * bLo
+	hi = aHi*bHi + w2 + (w1 >> 32)
+	lo = a * b
+	return
+}
+
+// Exp returns an exponentially distributed value with the given rate
+// (mean 1/rate), via inversion. It panics if rate <= 0.
+func (r *Source) Exp(rate float64) float64 {
+	if rate <= 0 {
+		panic("rng: Exp with rate <= 0")
+	}
+	return -math.Log(r.Float64Open()) / rate
+}
+
+// Erlang returns the sum of k independent exponentials each with the given
+// rate, i.e. an Erlang(k, rate) sample with mean k/rate.
+func (r *Source) Erlang(k int, rate float64) float64 {
+	if k <= 0 {
+		panic("rng: Erlang with k <= 0")
+	}
+	// Product-of-uniforms form: one log instead of k.
+	p := 1.0
+	for i := 0; i < k; i++ {
+		p *= r.Float64Open()
+	}
+	return -math.Log(p) / rate
+}
+
+// Bernoulli returns true with probability p.
+func (r *Source) Bernoulli(p float64) bool { return r.Float64() < p }
+
+// IntnExcept returns a uniform integer in [0, n) excluding the value skip.
+// It panics if n <= 1. It is used to pick a random victim other than the
+// thief itself.
+func (r *Source) IntnExcept(n, skip int) int {
+	if n <= 1 {
+		panic("rng: IntnExcept needs n > 1")
+	}
+	v := r.Intn(n - 1)
+	if v >= skip {
+		v++
+	}
+	return v
+}
+
+// Shuffle permutes the first n integers via the provided swap function using
+// Fisher–Yates.
+func (r *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}

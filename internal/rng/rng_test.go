@@ -1,0 +1,238 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedSeparation(t *testing.T) {
+	a, b := New(0), New(1)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("adjacent seeds collided %d times in 1000 draws", same)
+	}
+}
+
+func TestDeriveIndependence(t *testing.T) {
+	a, b := Derive(7, 0), Derive(7, 1)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("derived streams collided %d times", same)
+	}
+	// Derivation is deterministic.
+	c, d := Derive(7, 1), Derive(7, 1)
+	for i := 0; i < 100; i++ {
+		if c.Uint64() != d.Uint64() {
+			t.Fatal("Derive not deterministic")
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 100000; i++ {
+		u := r.Float64()
+		if u < 0 || u >= 1 {
+			t.Fatalf("Float64 out of range: %v", u)
+		}
+	}
+}
+
+func TestFloat64Moments(t *testing.T) {
+	r := New(11)
+	const n = 1_000_000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		u := r.Float64()
+		sum += u
+		sumsq += u * u
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean-0.5) > 0.002 {
+		t.Errorf("uniform mean = %v, want ~0.5", mean)
+	}
+	if math.Abs(variance-1.0/12) > 0.002 {
+		t.Errorf("uniform variance = %v, want ~%v", variance, 1.0/12)
+	}
+}
+
+func TestIntnUniform(t *testing.T) {
+	r := New(5)
+	const n, draws = 10, 1_000_000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want)/want > 0.02 {
+			t.Errorf("Intn bucket %d count %d deviates from %v", i, c, want)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) should panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnExcept(t *testing.T) {
+	r := New(9)
+	const n, skip, draws = 8, 3, 200000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		v := r.IntnExcept(n, skip)
+		if v == skip {
+			t.Fatal("IntnExcept returned the excluded value")
+		}
+		counts[v]++
+	}
+	want := float64(draws) / (n - 1)
+	for i, c := range counts {
+		if i == skip {
+			continue
+		}
+		if math.Abs(float64(c)-want)/want > 0.05 {
+			t.Errorf("IntnExcept bucket %d count %d deviates from %v", i, c, want)
+		}
+	}
+}
+
+func TestExpMoments(t *testing.T) {
+	r := New(17)
+	const n = 1_000_000
+	const rate = 2.5
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		x := r.Exp(rate)
+		if x < 0 {
+			t.Fatal("Exp returned negative value")
+		}
+		sum += x
+		sumsq += x * x
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean-1/rate)/(1/rate) > 0.01 {
+		t.Errorf("Exp mean = %v, want %v", mean, 1/rate)
+	}
+	wantVar := 1 / (rate * rate)
+	if math.Abs(variance-wantVar)/wantVar > 0.02 {
+		t.Errorf("Exp variance = %v, want %v", variance, wantVar)
+	}
+}
+
+func TestErlangMoments(t *testing.T) {
+	r := New(23)
+	const n = 500000
+	const k, rate = 10, 10.0 // mean 1, variance 1/10
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		x := r.Erlang(k, rate)
+		sum += x
+		sumsq += x * x
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean-1) > 0.01 {
+		t.Errorf("Erlang mean = %v, want 1", mean)
+	}
+	if math.Abs(variance-0.1) > 0.01 {
+		t.Errorf("Erlang variance = %v, want 0.1", variance)
+	}
+}
+
+func TestBernoulli(t *testing.T) {
+	r := New(31)
+	const n = 500000
+	const p = 0.3
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(p) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if math.Abs(got-p) > 0.005 {
+		t.Errorf("Bernoulli(%v) frequency = %v", p, got)
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	r := New(41)
+	xs := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	seen := make(map[int]bool)
+	for _, x := range xs {
+		if seen[x] {
+			t.Fatalf("duplicate %d after shuffle", x)
+		}
+		seen[x] = true
+	}
+	if len(seen) != 8 {
+		t.Fatal("shuffle lost elements")
+	}
+}
+
+func TestMul64(t *testing.T) {
+	hi, lo := mul64(math.MaxUint64, math.MaxUint64)
+	// (2^64-1)^2 = 2^128 - 2^65 + 1 -> hi = 2^64-2, lo = 1.
+	if hi != math.MaxUint64-1 || lo != 1 {
+		t.Errorf("mul64 max*max = (%d, %d)", hi, lo)
+	}
+	hi, lo = mul64(1<<32, 1<<32)
+	if hi != 1 || lo != 0 {
+		t.Errorf("mul64 2^32*2^32 = (%d, %d), want (1, 0)", hi, lo)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkExp(b *testing.B) {
+	r := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += r.Exp(1)
+	}
+	_ = sink
+}
+
+func BenchmarkIntn(b *testing.B) {
+	r := New(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += r.Intn(128)
+	}
+	_ = sink
+}

@@ -1,0 +1,57 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/dist"
+)
+
+// benchRun executes one short run of the given options.
+func benchRun(b *testing.B, opts Options) {
+	b.Helper()
+	opts.Horizon = 500
+	opts.Warmup = 50
+	opts.Seed = 1
+	var events int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += res.Arrived + res.Completed
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(events), "ns/event")
+}
+
+func BenchmarkPolicyNone(b *testing.B) {
+	benchRun(b, Options{N: 128, Lambda: 0.9, Service: dist.NewExponential(1), Policy: PolicyNone})
+}
+
+func BenchmarkPolicySimpleSteal(b *testing.B) {
+	benchRun(b, Options{N: 128, Lambda: 0.9, Service: dist.NewExponential(1), Policy: PolicySteal, T: 2})
+}
+
+func BenchmarkPolicyTwoChoices(b *testing.B) {
+	benchRun(b, Options{N: 128, Lambda: 0.9, Service: dist.NewExponential(1), Policy: PolicySteal, T: 2, D: 2})
+}
+
+func BenchmarkPolicyRetries(b *testing.B) {
+	benchRun(b, Options{N: 128, Lambda: 0.9, Service: dist.NewExponential(1), Policy: PolicySteal, T: 2, RetryRate: 4})
+}
+
+func BenchmarkPolicyTransfer(b *testing.B) {
+	benchRun(b, Options{N: 128, Lambda: 0.9, Service: dist.NewExponential(1), Policy: PolicySteal, T: 4, TransferRate: 0.25})
+}
+
+func BenchmarkPolicyRebalance(b *testing.B) {
+	benchRun(b, Options{N: 128, Lambda: 0.9, Service: dist.NewExponential(1), Policy: PolicyRebalance, RebalanceRate: 2})
+}
+
+func BenchmarkConstantService(b *testing.B) {
+	benchRun(b, Options{N: 128, Lambda: 0.9, Service: dist.NewDeterministic(1), Policy: PolicySteal, T: 2})
+}
+
+func BenchmarkWithTailSampling(b *testing.B) {
+	benchRun(b, Options{N: 128, Lambda: 0.9, Service: dist.NewExponential(1), Policy: PolicySteal, T: 2, TailDepth: 16, TailEvery: 1})
+}

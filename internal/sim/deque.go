@@ -1,0 +1,70 @@
+package sim
+
+// taskDeque is a FIFO queue of task arrival times supporting O(1) amortized
+// operations at both ends: tasks enter and are served at the front in FIFO
+// order, while thieves remove tasks from the back. Backed by a slice with a
+// moving head index that is compacted when the dead prefix grows.
+type taskDeque struct {
+	buf  []float64
+	head int
+}
+
+// Len returns the number of queued tasks.
+func (d *taskDeque) Len() int { return len(d.buf) - d.head }
+
+// PushBack appends a task with the given arrival time.
+func (d *taskDeque) PushBack(arrival float64) {
+	if d.head > 32 && d.head*2 >= len(d.buf) {
+		// Compact: drop the consumed prefix to stop unbounded growth.
+		n := copy(d.buf, d.buf[d.head:])
+		d.buf = d.buf[:n]
+		d.head = 0
+	}
+	d.buf = append(d.buf, arrival)
+}
+
+// Front returns the arrival time of the task in service.
+// It panics when empty.
+func (d *taskDeque) Front() float64 {
+	if d.Len() == 0 {
+		panic("sim: Front of empty deque")
+	}
+	return d.buf[d.head]
+}
+
+// PopFront removes and returns the task in service (FIFO completion).
+// It panics when empty.
+func (d *taskDeque) PopFront() float64 {
+	if d.Len() == 0 {
+		panic("sim: PopFront of empty deque")
+	}
+	v := d.buf[d.head]
+	d.head++
+	if d.head == len(d.buf) {
+		d.buf = d.buf[:0]
+		d.head = 0
+	}
+	return v
+}
+
+// PopBack removes and returns the most recently queued task (the one a
+// thief takes). It panics when empty.
+func (d *taskDeque) PopBack() float64 {
+	if d.Len() == 0 {
+		panic("sim: PopBack of empty deque")
+	}
+	last := len(d.buf) - 1
+	v := d.buf[last]
+	d.buf = d.buf[:last]
+	if d.head == len(d.buf) {
+		d.buf = d.buf[:0]
+		d.head = 0
+	}
+	return v
+}
+
+// Reset empties the deque, keeping capacity.
+func (d *taskDeque) Reset() {
+	d.buf = d.buf[:0]
+	d.head = 0
+}

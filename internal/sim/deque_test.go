@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestDequeFIFO(t *testing.T) {
+	var d taskDeque
+	for i := 0; i < 5; i++ {
+		d.PushBack(float64(i))
+	}
+	for i := 0; i < 5; i++ {
+		if got := d.PopFront(); got != float64(i) {
+			t.Fatalf("PopFront = %v, want %v", got, i)
+		}
+	}
+	if d.Len() != 0 {
+		t.Error("deque not empty")
+	}
+}
+
+func TestDequePopBack(t *testing.T) {
+	var d taskDeque
+	for i := 0; i < 5; i++ {
+		d.PushBack(float64(i))
+	}
+	if got := d.PopBack(); got != 4 {
+		t.Errorf("PopBack = %v, want 4", got)
+	}
+	if got := d.PopFront(); got != 0 {
+		t.Errorf("PopFront = %v, want 0", got)
+	}
+	if d.Len() != 3 {
+		t.Errorf("Len = %d, want 3", d.Len())
+	}
+}
+
+func TestDequeFront(t *testing.T) {
+	var d taskDeque
+	d.PushBack(7)
+	if d.Front() != 7 || d.Len() != 1 {
+		t.Error("Front should not remove")
+	}
+}
+
+func TestDequeEmptyPanics(t *testing.T) {
+	for _, f := range []func(d *taskDeque){
+		func(d *taskDeque) { d.PopFront() },
+		func(d *taskDeque) { d.PopBack() },
+		func(d *taskDeque) { d.Front() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic on empty deque")
+				}
+			}()
+			var d taskDeque
+			f(&d)
+		}()
+	}
+}
+
+func TestDequeCompaction(t *testing.T) {
+	// Interleave many pushes and front-pops so compaction triggers, and
+	// verify FIFO order survives.
+	var d taskDeque
+	next, expect := 0.0, 0.0
+	r := rng.New(4)
+	for i := 0; i < 100000; i++ {
+		if d.Len() == 0 || r.Float64() < 0.55 {
+			d.PushBack(next)
+			next++
+		} else {
+			if got := d.PopFront(); got != expect {
+				t.Fatalf("FIFO broken at %d: got %v, want %v", i, got, expect)
+			}
+			expect++
+		}
+	}
+	// Buffer must not have grown unboundedly relative to live size.
+	if cap(d.buf) > 4*(d.Len()+64) && cap(d.buf) > 4096 {
+		t.Errorf("deque buffer cap %d vastly exceeds live size %d", cap(d.buf), d.Len())
+	}
+}
+
+func TestDequeMixedEnds(t *testing.T) {
+	var d taskDeque
+	d.PushBack(1)
+	d.PushBack(2)
+	d.PushBack(3)
+	if d.PopBack() != 3 || d.PopBack() != 2 || d.PopFront() != 1 {
+		t.Error("mixed-end operations wrong")
+	}
+	d.PushBack(9)
+	if d.Front() != 9 {
+		t.Error("reuse after emptying broken")
+	}
+}
+
+func TestDequeReset(t *testing.T) {
+	var d taskDeque
+	d.PushBack(1)
+	d.Reset()
+	if d.Len() != 0 {
+		t.Error("Reset failed")
+	}
+}

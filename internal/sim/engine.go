@@ -1,0 +1,435 @@
+package sim
+
+import (
+	"math"
+
+	"repro/internal/eventq"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// Event kinds used by the engine.
+const (
+	evArrival   eventq.Kind = iota // external arrival stream for one class
+	evSpawn                        // internal spawn stream (thinned)
+	evDeparture                    // head-of-queue service completion
+	evRetry                        // repeated steal attempt by an idle thief
+	evTransfer                     // stolen task arrives at the thief
+	evRebalance                    // pairwise rebalancing event
+	evSample                       // periodic empirical-tail snapshot
+	evSeries                       // periodic mean-load time-series snapshot
+)
+
+// proc is the per-processor state.
+type proc struct {
+	q          taskDeque
+	rate       float64 // service-rate multiplier
+	class      int32
+	awaiting   bool    // a stolen task is in flight to this processor
+	inFlight   float64 // arrival time of the in-flight task
+	emptyEpoch uint32  // bumped whenever the queue gains a task
+}
+
+// engine holds one simulation run.
+type engine struct {
+	o     Options
+	r     *rng.Source
+	q     *eventq.Queue
+	procs []proc
+	now   float64
+
+	classProcs [][]int32 // processor indices per class (victim sampling is global)
+
+	// Load accounting: total tasks in queues plus in flight.
+	totalTasks   int64
+	loadIntegral float64 // ∫ totalTasks dt over [warmup, now]
+	loadSince    float64 // last accounting time ≥ warmup
+
+	res        Result
+	sojournSum float64
+	tails      *tailSampler
+	series     *seriesSampler
+	sojournH   *stats.Histogram
+}
+
+// newEngine builds the initial state and schedules the priming events.
+func newEngine(o Options, stream *rng.Source) *engine {
+	e := &engine{
+		o:     o,
+		r:     stream,
+		q:     eventq.New(4 * o.N),
+		procs: make([]proc, o.N),
+	}
+	e.res.DrainTime = -1
+
+	// Assign classes.
+	if o.Classes == nil {
+		for i := range e.procs {
+			e.procs[i].rate = 1
+		}
+		e.classProcs = [][]int32{allProcs(o.N)}
+	} else {
+		e.classProcs = make([][]int32, len(o.Classes))
+		next := 0
+		for ci, c := range o.Classes {
+			count := int(math.Round(c.Frac * float64(o.N)))
+			if ci == len(o.Classes)-1 {
+				count = o.N - next
+			}
+			for j := 0; j < count && next < o.N; j++ {
+				e.procs[next].rate = c.Rate
+				e.procs[next].class = int32(ci)
+				e.classProcs[ci] = append(e.classProcs[ci], int32(next))
+				next++
+			}
+		}
+	}
+
+	// Initial load: InitialLoad tasks everywhere, arrival time 0.
+	if o.InitialLoad > 0 {
+		for i := range e.procs {
+			for k := 0; k < o.InitialLoad; k++ {
+				e.procs[i].q.PushBack(0)
+			}
+			e.totalTasks += int64(o.InitialLoad)
+			e.scheduleDeparture(int32(i))
+		}
+	}
+
+	// External arrival streams: one merged Poisson stream per class.
+	if o.Classes == nil {
+		if o.Lambda > 0 {
+			e.q.Push(eventq.Event{Time: e.r.Exp(o.Lambda * float64(o.N)), Kind: evArrival, Aux: 0})
+		}
+	} else {
+		for ci, c := range o.Classes {
+			n := len(e.classProcs[ci])
+			if c.Lambda > 0 && n > 0 {
+				e.q.Push(eventq.Event{Time: e.r.Exp(c.Lambda * float64(n)), Kind: evArrival, Aux: int32(ci)})
+			}
+		}
+	}
+	// Internal spawn stream, thinned over all processors.
+	if o.LambdaInt > 0 {
+		e.q.Push(eventq.Event{Time: e.r.Exp(o.LambdaInt * float64(o.N)), Kind: evSpawn})
+	}
+	// Rebalancing chains, one per processor.
+	if o.Policy == PolicyRebalance {
+		for i := range e.procs {
+			e.q.Push(eventq.Event{Time: e.r.Exp(o.RebalanceRate), Kind: evRebalance, Proc: int32(i)})
+		}
+	}
+	e.scheduleFirstSample()
+	e.scheduleSeries()
+	e.res.P50, e.res.P95, e.res.P99 = math.NaN(), math.NaN(), math.NaN()
+	if o.SojournHistMax > 0 {
+		e.sojournH = stats.NewHistogram(0, o.SojournHistMax, 1000)
+	}
+	return e
+}
+
+func allProcs(n int) []int32 {
+	ids := make([]int32, n)
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	return ids
+}
+
+// accountLoad integrates the total-load process up to time t.
+func (e *engine) accountLoad(t float64) {
+	if t <= e.o.Warmup {
+		return
+	}
+	from := e.loadSince
+	if from < e.o.Warmup {
+		from = e.o.Warmup
+	}
+	if t > from {
+		e.loadIntegral += float64(e.totalTasks) * (t - from)
+	}
+	e.loadSince = t
+}
+
+// addTask enqueues a task (with its original arrival time) at processor p,
+// starting service if the processor was idle.
+func (e *engine) addTask(p int32, arrival float64) {
+	pr := &e.procs[p]
+	pr.q.PushBack(arrival)
+	pr.emptyEpoch++
+	e.totalTasks++
+	if pr.q.Len() == 1 {
+		e.scheduleDeparture(p)
+	}
+}
+
+// scheduleDeparture samples a service time for the task now at the head of
+// p's queue.
+func (e *engine) scheduleDeparture(p int32) {
+	pr := &e.procs[p]
+	if pr.q.Len() == 0 {
+		return
+	}
+	s := e.o.Service.Sample(e.r) / pr.rate
+	e.q.Push(eventq.Event{Time: e.now + s, Kind: evDeparture, Proc: p})
+}
+
+// completeTask removes the head task of p, records its sojourn, and starts
+// the next task.
+func (e *engine) completeTask(p int32) {
+	pr := &e.procs[p]
+	arrival := pr.q.PopFront()
+	e.totalTasks--
+	e.res.Completed++
+	if arrival >= e.o.Warmup {
+		sj := e.now - arrival
+		e.sojournSum += sj
+		e.res.Measured++
+		if e.sojournH != nil {
+			e.sojournH.Add(sj)
+		}
+	}
+	if pr.q.Len() > 0 {
+		e.scheduleDeparture(p)
+	}
+}
+
+// victim samples one steal victim: the most loaded of D uniform draws over
+// ALL processors. Sampling includes the thief itself — a self-draw simply
+// fails the threshold (the thief's own load is always below what it
+// requires of a victim), which matches the mean-field equations where the
+// success probability is exactly s_T over the whole population. Excluding
+// the thief would beat the n → ∞ prediction by a factor n/(n−1).
+func (e *engine) victim(thief int32) (int32, int) {
+	best := thief
+	bestLoad := -1
+	for i := 0; i < e.o.D; i++ {
+		v := int32(e.r.Intn(e.o.N))
+		if l := e.procs[v].q.Len(); l > bestLoad {
+			best, bestLoad = v, l
+		}
+	}
+	return best, bestLoad
+}
+
+// trySteal performs one steal attempt for a thief currently holding
+// `left` tasks. Returns true if a task (or K tasks) moved (or began moving).
+func (e *engine) trySteal(thief int32, left int) bool {
+	e.res.StealAttempts++
+	v, load := e.victim(thief)
+	need := left + e.o.T
+	if load < need || load < 2 {
+		return false
+	}
+	e.res.StealSuccesses++
+	vic := &e.procs[v]
+	if e.o.TransferRate > 0 {
+		// One task enters flight; the thief will not steal again until it
+		// lands.
+		arrival := vic.q.PopBack()
+		e.totalTasks-- // it leaves the victim's queue...
+		e.totalTasks++ // ...but stays in the system (in flight)
+		pr := &e.procs[thief]
+		pr.awaiting = true
+		pr.inFlight = arrival
+		e.q.Push(eventq.Event{Time: e.now + e.r.Exp(e.o.TransferRate), Kind: evTransfer, Proc: thief})
+		return true
+	}
+	// Instantaneous transfer of K tasks (or half the victim's queue under
+	// the steal-half heuristic), preserving their relative order.
+	k := e.o.K
+	if e.o.Half {
+		k = (load + 1) / 2
+	}
+	tmp := make([]float64, 0, k)
+	for j := 0; j < k; j++ {
+		tmp = append(tmp, vic.q.PopBack())
+	}
+	for j := len(tmp) - 1; j >= 0; j-- {
+		pr := &e.procs[thief]
+		pr.q.PushBack(tmp[j])
+		pr.emptyEpoch++
+		if pr.q.Len() == 1 {
+			e.scheduleDeparture(thief)
+		}
+	}
+	return true
+}
+
+// afterCompletion runs the stealing policy hooks once p has finished a task.
+func (e *engine) afterCompletion(p int32) {
+	if e.o.Policy != PolicySteal {
+		return
+	}
+	pr := &e.procs[p]
+	if pr.awaiting {
+		return // a stolen task is already on its way
+	}
+	left := pr.q.Len()
+	if left > e.o.B {
+		return
+	}
+	if e.trySteal(p, left) {
+		return
+	}
+	// Failed attempt: idle processors may retry at RetryRate.
+	if e.o.RetryRate > 0 && pr.q.Len() == 0 {
+		e.q.Push(eventq.Event{
+			Time:  e.now + e.r.Exp(e.o.RetryRate),
+			Kind:  evRetry,
+			Proc:  p,
+			Epoch: pr.emptyEpoch,
+		})
+	}
+}
+
+// rebalance splits the combined load of p and a random partner as evenly as
+// possible; the initially larger side keeps the ceiling half. Tasks move
+// from the tail of the larger queue to the tail of the smaller one.
+func (e *engine) rebalance(p int32) {
+	partner := int32(e.r.IntnExcept(e.o.N, int(p)))
+	a, b := &e.procs[p], &e.procs[partner]
+	ai, bi := p, partner
+	if a.q.Len() < b.q.Len() {
+		a, b = b, a
+		ai, bi = bi, ai
+	}
+	// a is the larger side; move tasks until a holds the ceiling half.
+	total := a.q.Len() + b.q.Len()
+	keep := (total + 1) / 2
+	moved := false
+	for a.q.Len() > keep {
+		arrival := a.q.PopBack()
+		b.q.PushBack(arrival)
+		b.emptyEpoch++
+		if b.q.Len() == 1 {
+			e.scheduleDeparture(bi)
+		}
+		moved = true
+	}
+	_ = ai
+	if moved {
+		e.res.Rebalances++
+	}
+}
+
+// Run executes the simulation and returns its measurements.
+func Run(o Options) (Result, error) {
+	o.normalize()
+	if err := o.Validate(); err != nil {
+		return Result{}, err
+	}
+	e := newEngine(o, rng.New(o.Seed))
+	e.run()
+	return e.res, nil
+}
+
+// run is the main event loop.
+func (e *engine) run() {
+	o := &e.o
+	for e.q.Len() > 0 {
+		ev := e.q.PopMin()
+		if ev.Time > o.Horizon {
+			break
+		}
+		e.accountLoad(ev.Time)
+		e.now = ev.Time
+
+		switch ev.Kind {
+		case evArrival:
+			class := int(ev.Aux)
+			ids := e.classProcs[class]
+			p := ids[e.r.Intn(len(ids))]
+			e.addTask(p, e.now)
+			e.res.Arrived++
+			var rate float64
+			if o.Classes == nil {
+				rate = o.Lambda * float64(o.N)
+			} else {
+				rate = o.Classes[class].Lambda * float64(len(ids))
+			}
+			e.q.Push(eventq.Event{Time: e.now + e.r.Exp(rate), Kind: evArrival, Aux: ev.Aux})
+
+		case evSpawn:
+			// Thinning: the spawn lands only if the sampled processor is
+			// busy, giving per-busy-processor rate LambdaInt.
+			p := int32(e.r.Intn(o.N))
+			if e.procs[p].q.Len() > 0 {
+				e.addTask(p, e.now)
+				e.res.Arrived++
+			}
+			e.q.Push(eventq.Event{Time: e.now + e.r.Exp(o.LambdaInt*float64(o.N)), Kind: evSpawn})
+
+		case evDeparture:
+			e.completeTask(ev.Proc)
+			e.afterCompletion(ev.Proc)
+
+		case evRetry:
+			pr := &e.procs[ev.Proc]
+			// Stale if the processor gained work since the retry was armed.
+			if pr.emptyEpoch != ev.Epoch || pr.q.Len() > 0 || pr.awaiting {
+				break
+			}
+			if !e.trySteal(ev.Proc, 0) {
+				e.q.Push(eventq.Event{
+					Time:  e.now + e.r.Exp(o.RetryRate),
+					Kind:  evRetry,
+					Proc:  ev.Proc,
+					Epoch: pr.emptyEpoch,
+				})
+			}
+
+		case evTransfer:
+			pr := &e.procs[ev.Proc]
+			pr.awaiting = false
+			// The task was already counted in totalTasks while in flight;
+			// hand it to the queue without recounting.
+			pr.q.PushBack(pr.inFlight)
+			pr.emptyEpoch++
+			if pr.q.Len() == 1 {
+				e.scheduleDeparture(ev.Proc)
+			}
+
+		case evRebalance:
+			e.rebalance(ev.Proc)
+			e.q.Push(eventq.Event{Time: e.now + e.r.Exp(o.RebalanceRate), Kind: evRebalance, Proc: ev.Proc})
+
+		case evSample:
+			e.handleSample()
+
+		case evSeries:
+			e.handleSeries()
+		}
+
+		// Static runs end as soon as the system drains.
+		if e.totalTasks == 0 && o.Lambda == 0 && e.res.DrainTime < 0 {
+			e.res.DrainTime = e.now
+			break
+		}
+	}
+	end := e.now
+	if e.res.DrainTime < 0 && o.Lambda > 0 {
+		end = o.Horizon
+	}
+	e.accountLoad(end)
+	e.res.End = end
+
+	if e.res.Measured > 0 {
+		e.res.MeanSojourn = e.sojournSum / float64(e.res.Measured)
+	}
+	if span := end - o.Warmup; span > 0 {
+		e.res.MeanLoad = e.loadIntegral / span / float64(o.N)
+	}
+	if e.tails != nil {
+		e.res.Tails = e.tails.tails()
+	}
+	if e.series != nil {
+		e.res.SeriesTimes = e.series.times
+		e.res.SeriesLoads = e.series.loads
+	}
+	if e.sojournH != nil && e.sojournH.Count() > 0 {
+		e.res.P50 = e.sojournH.Quantile(0.50)
+		e.res.P95 = e.sojournH.Quantile(0.95)
+		e.res.P99 = e.sojournH.Quantile(0.99)
+	}
+}

@@ -1,0 +1,57 @@
+package sim
+
+// Without stealing, each simulated processor is an independent M/G/1 queue,
+// so the Pollaczek–Khinchine formula predicts the mean sojourn time exactly
+// for ANY service distribution. These tests validate the simulator's
+// service-time machinery against that independent baseline.
+
+import (
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/numeric"
+	"repro/internal/queueing"
+)
+
+func checkMG1(t *testing.T, svc dist.Distribution, lambda float64) {
+	t.Helper()
+	want := queueing.NewMG1(lambda, svc).MeanSojourn()
+	agg, err := Replication{Reps: 4}.Run(Options{
+		N: 16, Lambda: lambda, Service: svc, Policy: PolicyNone,
+		Warmup: 2000, Horizon: 30000, Seed: 17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if numeric.RelErr(agg.Sojourn.Mean, want) > 0.04 {
+		t.Errorf("%s at λ=%v: sim %.4f vs P-K %.4f", svc, lambda, agg.Sojourn.Mean, want)
+	}
+}
+
+func TestMG1Exponential(t *testing.T)   { checkMG1(t, dist.NewExponential(1), 0.7) }
+func TestMG1Deterministic(t *testing.T) { checkMG1(t, dist.NewDeterministic(1), 0.7) }
+func TestMG1Erlang(t *testing.T)        { checkMG1(t, dist.ErlangWithMean(4, 1), 0.7) }
+func TestMG1HyperExponential(t *testing.T) {
+	checkMG1(t, dist.NewHyperExponential(0.3, 0.5, 1.9444444444444444), 0.5)
+}
+func TestMG1Uniform(t *testing.T) { checkMG1(t, dist.NewUniform(0.5, 1.5), 0.7) }
+
+// Stealing interpolates between split M/M/1 queues and a pooled M/M/c
+// queue: the simulated sojourn must fall strictly between the two bounds.
+func TestStealingBetweenMM1AndMMc(t *testing.T) {
+	lambda, n := 0.9, 64
+	lower := queueing.NewMMc(lambda*float64(n), 1, n).MeanSojourn()
+	upper := queueing.NewMM1(lambda, 1).MeanSojourn()
+	agg, err := Replication{Reps: 4}.Run(Options{
+		N: n, Lambda: lambda, Service: dist.NewExponential(1),
+		Policy: PolicySteal, T: 2, RetryRate: 4,
+		Warmup: 2000, Horizon: 20000, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := agg.Sojourn.Mean
+	if !(lower < got && got < upper) {
+		t.Errorf("sojourn %v outside (M/M/c %v, M/M/1 %v)", got, lower, upper)
+	}
+}

@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// Replication runs R independent replications of a configuration in
+// parallel worker goroutines, each on its own derived random stream, and
+// aggregates the results. This mirrors the paper's procedure of averaging
+// 10 simulations per table cell.
+type Replication struct {
+	// Reps is the number of independent replications (≥ 1).
+	Reps int
+	// Workers bounds the parallel goroutines; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Aggregate summarizes replications of one configuration.
+type Aggregate struct {
+	// Sojourn summarizes the per-replication mean sojourn times with a
+	// 95% confidence interval.
+	Sojourn stats.Summary
+	// Load summarizes the per-replication mean loads.
+	Load stats.Summary
+	// Drain summarizes drain times (static runs only; N = 0 otherwise).
+	Drain stats.Summary
+	// Tails is the replication-averaged empirical tail vector (nil unless
+	// Options.TailDepth was set).
+	Tails []float64
+	// Results holds the individual replication results.
+	Results []Result
+}
+
+// Run executes the replications. Each replication i uses the random stream
+// derived from (o.Seed, i), so results are reproducible regardless of
+// worker count and scheduling.
+func (rp Replication) Run(o Options) (Aggregate, error) {
+	if rp.Reps < 1 {
+		return Aggregate{}, fmt.Errorf("sim: need Reps >= 1")
+	}
+	o.normalize()
+	if err := o.Validate(); err != nil {
+		return Aggregate{}, err
+	}
+	workers := rp.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > rp.Reps {
+		workers = rp.Reps
+	}
+
+	results := make([]Result, rp.Reps)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				e := newEngine(o, rng.Derive(o.Seed, i))
+				e.run()
+				results[i] = e.res
+			}
+		}()
+	}
+	for i := 0; i < rp.Reps; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	agg := Aggregate{Results: results}
+	var soj, load, drain []float64
+	for _, r := range results {
+		if r.Measured > 0 {
+			soj = append(soj, r.MeanSojourn)
+		}
+		load = append(load, r.MeanLoad)
+		if r.DrainTime >= 0 {
+			drain = append(drain, r.DrainTime)
+		}
+	}
+	agg.Sojourn = stats.Summarize(soj)
+	agg.Load = stats.Summarize(load)
+	agg.Drain = stats.Summarize(drain)
+	agg.Tails = AverageTails(results)
+	return agg, nil
+}

@@ -1,0 +1,74 @@
+package sim
+
+import "repro/internal/eventq"
+
+// Time-series measurement: Kurtz's theorem says the whole trajectory of the
+// rescaled finite system converges to the ODE solution, not just its
+// equilibrium. When Options.SeriesEvery > 0 the engine snapshots the mean
+// load per processor (including in-flight tasks) on a fixed grid starting
+// at t = 0, so a simulated transient — e.g. filling up from empty, or
+// draining a static system — can be laid directly over the integrated
+// differential equations.
+
+// seriesSampler records mean-load snapshots on a fixed time grid.
+type seriesSampler struct {
+	every float64
+	times []float64
+	loads []float64
+}
+
+// scheduleSeries arms the series chain at t = 0 (the initial state is
+// recorded immediately).
+func (e *engine) scheduleSeries() {
+	if e.o.SeriesEvery <= 0 {
+		return
+	}
+	e.series = &seriesSampler{every: e.o.SeriesEvery}
+	e.series.times = append(e.series.times, 0)
+	e.series.loads = append(e.series.loads, float64(e.totalTasks)/float64(e.o.N))
+	e.q.Push(eventq.Event{Time: e.o.SeriesEvery, Kind: evSeries})
+}
+
+// handleSeries records a snapshot and re-arms the chain.
+func (e *engine) handleSeries() {
+	e.series.times = append(e.series.times, e.now)
+	e.series.loads = append(e.series.loads, float64(e.totalTasks)/float64(e.o.N))
+	next := e.now + e.series.every
+	if next <= e.o.Horizon {
+		e.q.Push(eventq.Event{Time: next, Kind: evSeries})
+	}
+}
+
+// AverageSeries element-wise averages the load series of a replication set,
+// truncating to the shortest series; returns nil slices when none sampled.
+func AverageSeries(results []Result) (times, loads []float64) {
+	shortest := -1
+	for _, r := range results {
+		if r.SeriesTimes == nil {
+			continue
+		}
+		if shortest < 0 || len(r.SeriesTimes) < shortest {
+			shortest = len(r.SeriesTimes)
+		}
+	}
+	if shortest <= 0 {
+		return nil, nil
+	}
+	times = make([]float64, shortest)
+	loads = make([]float64, shortest)
+	n := 0
+	for _, r := range results {
+		if r.SeriesTimes == nil {
+			continue
+		}
+		copy(times, r.SeriesTimes[:shortest])
+		for i := 0; i < shortest; i++ {
+			loads[i] += r.SeriesLoads[i]
+		}
+		n++
+	}
+	for i := range loads {
+		loads[i] /= float64(n)
+	}
+	return times, loads
+}

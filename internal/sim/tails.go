@@ -1,0 +1,109 @@
+package sim
+
+import "repro/internal/eventq"
+
+// Tail measurement: the mean-field analysis is written entirely in terms of
+// the tail densities s_i (fraction of processors with at least i tasks), so
+// the simulator can measure them directly. When Options.TailDepth > 0 the
+// engine samples the empirical tail vector at fixed intervals after warmup
+// and reports the average in Result.Tails — directly comparable to the π_i
+// of a fixed point.
+
+// tailSampler accumulates periodic snapshots of the empirical tails.
+type tailSampler struct {
+	depth    int
+	every    float64
+	sums     []float64 // Σ over samples of (fraction with ≥ i tasks)
+	nSamples int64
+}
+
+// newTailSampler returns a sampler for tails s_0..s_{depth-1} sampled every
+// `every` time units.
+func newTailSampler(depth int, every float64) *tailSampler {
+	return &tailSampler{depth: depth, every: every, sums: make([]float64, depth)}
+}
+
+// sample records one snapshot of the processor loads.
+func (ts *tailSampler) sample(procs []proc) {
+	n := len(procs)
+	// Count processors with load exactly l, then cumulate from the top.
+	counts := make([]int, ts.depth+1)
+	for i := range procs {
+		l := procs[i].q.Len()
+		if l >= ts.depth {
+			l = ts.depth
+		}
+		counts[l]++
+	}
+	ge := 0
+	for l := ts.depth; l >= 0; l-- {
+		ge += counts[l]
+		if l < ts.depth {
+			ts.sums[l] += float64(ge) / float64(n)
+		}
+	}
+}
+
+// tails returns the averaged tail vector (nil if no samples were taken).
+func (ts *tailSampler) tails() []float64 {
+	if ts.nSamples == 0 {
+		return nil
+	}
+	out := make([]float64, ts.depth)
+	for i, s := range ts.sums {
+		out[i] = s / float64(ts.nSamples)
+	}
+	return out
+}
+
+// scheduleFirstSample arms the sampling chain at the end of warmup.
+func (e *engine) scheduleFirstSample() {
+	if e.o.TailDepth <= 0 {
+		return
+	}
+	every := e.o.TailEvery
+	if every <= 0 {
+		every = (e.o.Horizon - e.o.Warmup) / 1000
+		if every <= 0 {
+			every = 1
+		}
+	}
+	e.tails = newTailSampler(e.o.TailDepth, every)
+	e.q.Push(eventq.Event{Time: e.o.Warmup + every, Kind: evSample})
+}
+
+// handleSample records a snapshot and re-arms the chain.
+func (e *engine) handleSample() {
+	e.tails.sample(e.procs)
+	e.tails.nSamples++
+	next := e.now + e.tails.every
+	if next <= e.o.Horizon {
+		e.q.Push(eventq.Event{Time: next, Kind: evSample})
+	}
+}
+
+// AverageTails element-wise averages the tail vectors of a replication set;
+// nil when no replication sampled tails.
+func AverageTails(results []Result) []float64 {
+	var acc []float64
+	n := 0
+	for _, r := range results {
+		if r.Tails == nil {
+			continue
+		}
+		if acc == nil {
+			acc = make([]float64, len(r.Tails))
+		}
+		for i, v := range r.Tails {
+			acc[i] += v
+		}
+		n++
+	}
+	if n == 0 {
+		return nil
+	}
+	for i := range acc {
+		acc[i] /= float64(n)
+	}
+	return acc
+}

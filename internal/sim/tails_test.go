@@ -1,0 +1,119 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/meanfield"
+)
+
+func TestEmpiricalTailsMatchFixedPoint(t *testing.T) {
+	// The paper's whole analysis is about the tails s_i; measure them
+	// empirically and compare against the closed-form π_i of the simple
+	// WS model. This is a much finer-grained check than mean sojourn.
+	lambda := 0.8
+	agg, err := Replication{Reps: 4}.Run(Options{
+		N:         128,
+		Lambda:    lambda,
+		Service:   dist.NewExponential(1),
+		Policy:    PolicySteal,
+		T:         2,
+		Warmup:    2000,
+		Horizon:   20000,
+		TailDepth: 10,
+		Seed:      21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Tails == nil {
+		t.Fatal("no tails sampled")
+	}
+	cf := meanfield.SolveSimpleWS(lambda)
+	for i := 0; i < 10; i++ {
+		want := cf.Pi(i)
+		got := agg.Tails[i]
+		if math.Abs(got-want) > 0.01+0.05*want {
+			t.Errorf("empirical s_%d = %.4f, fixed point π_%d = %.4f", i, got, i, want)
+		}
+	}
+	// Tails must be monotone with s_0 = 1.
+	if agg.Tails[0] != 1 {
+		t.Errorf("s_0 = %v, want 1", agg.Tails[0])
+	}
+	for i := 1; i < len(agg.Tails); i++ {
+		if agg.Tails[i] > agg.Tails[i-1]+1e-12 {
+			t.Errorf("empirical tails not monotone at %d", i)
+		}
+	}
+}
+
+func TestEmpiricalTailsMM1(t *testing.T) {
+	// Without stealing the tails are exactly λ^i.
+	lambda := 0.6
+	agg, err := Replication{Reps: 4}.Run(Options{
+		N:         64,
+		Lambda:    lambda,
+		Service:   dist.NewExponential(1),
+		Policy:    PolicyNone,
+		Warmup:    1000,
+		Horizon:   15000,
+		TailDepth: 8,
+		Seed:      5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		want := math.Pow(lambda, float64(i))
+		if math.Abs(agg.Tails[i]-want) > 0.01+0.05*want {
+			t.Errorf("M/M/1 tail s_%d = %.4f, want λ^i = %.4f", i, agg.Tails[i], want)
+		}
+	}
+}
+
+func TestTailsNilWithoutDepth(t *testing.T) {
+	res, err := Run(Options{
+		N: 4, Lambda: 0.5, Service: dist.NewExponential(1),
+		Horizon: 100, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tails != nil {
+		t.Error("tails sampled without TailDepth")
+	}
+}
+
+func TestTailSamplerOverflowBucket(t *testing.T) {
+	// Loads at or beyond depth count toward every sampled tail index.
+	ts := newTailSampler(3, 1)
+	procs := make([]proc, 4)
+	for i := 0; i < 3; i++ {
+		procs[0].q.PushBack(0) // load 3 (beyond depth? depth=3 → clamp)
+	}
+	procs[1].q.PushBack(0) // load 1
+	ts.sample(procs)
+	ts.nSamples++
+	tails := ts.tails()
+	// s_0 = 1 (all), s_1 = 2/4, s_2 = 1/4 (only the load-3 processor).
+	if tails[0] != 1 || tails[1] != 0.5 || tails[2] != 0.25 {
+		t.Errorf("tails = %v", tails)
+	}
+}
+
+func TestAverageTails(t *testing.T) {
+	rs := []Result{
+		{Tails: []float64{1, 0.4}},
+		{Tails: []float64{1, 0.6}},
+		{}, // no tails; skipped
+	}
+	avg := AverageTails(rs)
+	if avg[0] != 1 || avg[1] != 0.5 {
+		t.Errorf("AverageTails = %v", avg)
+	}
+	if AverageTails([]Result{{}}) != nil {
+		t.Error("expected nil when nothing sampled")
+	}
+}

@@ -1,0 +1,155 @@
+package solver
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/numeric"
+)
+
+func TestFixedPointLinear(t *testing.T) {
+	// x' = b − A x with A diagonal: fixed point x_i = b_i / a_i.
+	as := []float64{1, 2, 0.5, 4}
+	bs := []float64{1, 1, 2, 8}
+	f := func(x, dx []float64) {
+		for i := range x {
+			dx[i] = bs[i] - as[i]*x[i]
+		}
+	}
+	res, err := FixedPoint(f, make([]float64, 4), Options{Tol: 1e-12, Step: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("not converged")
+	}
+	for i := range as {
+		want := bs[i] / as[i]
+		if math.Abs(res.X[i]-want) > 1e-9 {
+			t.Errorf("x[%d] = %v, want %v", i, res.X[i], want)
+		}
+	}
+}
+
+func TestFixedPointNonlinear(t *testing.T) {
+	// x' = cos(x) − x: fixed point is the Dottie number.
+	f := func(x, dx []float64) { dx[0] = math.Cos(x[0]) - x[0] }
+	res, err := FixedPoint(f, []float64{0}, Options{Tol: 1e-13, Step: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const dottie = 0.7390851332151607
+	if math.Abs(res.X[0]-dottie) > 1e-10 {
+		t.Errorf("fixed point = %v, want %v", res.X[0], dottie)
+	}
+}
+
+// slowSystem mimics the stiffness profile of the mean-field models at high
+// λ: eigenvalues spread over several orders of magnitude, so plain Picard
+// needs thousands of applications while Anderson needs few.
+func slowSystem(x, dx []float64) {
+	rates := []float64{1, 0.1, 0.01, 0.001}
+	for i := range x {
+		dx[i] = rates[i] * (1 - x[i])
+	}
+}
+
+func TestAndersonBeatsPlainPicard(t *testing.T) {
+	x0 := make([]float64, 4)
+	res, err := FixedPoint(slowSystem, x0, Options{Tol: 1e-11, Horizon: 1, Step: 0.25, Memory: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.X {
+		if math.Abs(res.X[i]-1) > 1e-8 {
+			t.Errorf("x[%d] = %v, want 1", i, res.X[i])
+		}
+	}
+	// Plain relaxation over horizon 1 contracts the slowest mode by only
+	// ~0.1% per iteration, so reaching 1e-11 would need ~25000 iterations.
+	// Anderson should do it within the default budget of 500.
+	if res.Iters >= 500 {
+		t.Errorf("Anderson used %d iterations; expected far fewer than plain Picard", res.Iters)
+	}
+}
+
+func TestFixedPointWithProjection(t *testing.T) {
+	// Fixed point at 0.5; projection clamps to [0, 1].
+	f := func(x, dx []float64) { dx[0] = 0.5 - x[0] }
+	proj := func(x []float64) {
+		x[0] = numeric.Clamp(x[0], 0, 1)
+	}
+	res, err := FixedPoint(f, []float64{0.9}, Options{Project: proj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-0.5) > 1e-10 {
+		t.Errorf("fixed point with projection = %v", res.X[0])
+	}
+}
+
+func TestFixedPointNotConverged(t *testing.T) {
+	// x' = 1: no fixed point exists.
+	f := func(x, dx []float64) { dx[0] = 1 }
+	res, err := FixedPoint(f, []float64{0}, Options{MaxIter: 20})
+	if err == nil {
+		t.Fatal("expected non-convergence error")
+	}
+	if res.Converged {
+		t.Error("Result.Converged should be false")
+	}
+}
+
+func TestFixedPointDoesNotModifyInput(t *testing.T) {
+	f := func(x, dx []float64) { dx[0] = 1 - x[0] }
+	x0 := []float64{0.25}
+	if _, err := FixedPoint(f, x0, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if x0[0] != 0.25 {
+		t.Error("FixedPoint modified its input")
+	}
+}
+
+func TestSolveDense(t *testing.T) {
+	a := [][]float64{
+		{2, 1, -1},
+		{-3, -1, 2},
+		{-2, 1, 2},
+	}
+	b := []float64{8, -11, -3}
+	x, ok := solveDense(a, b)
+	if !ok {
+		t.Fatal("singular")
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-10 {
+			t.Errorf("x[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+}
+
+func TestSolveDenseSingular(t *testing.T) {
+	a := [][]float64{
+		{1, 2},
+		{2, 4},
+	}
+	b := []float64{1, 2}
+	if _, ok := solveDense(a, b); ok {
+		t.Error("should report singular matrix")
+	}
+}
+
+func TestSolveDensePivoting(t *testing.T) {
+	// Zero on the diagonal requires pivoting.
+	a := [][]float64{
+		{0, 1},
+		{1, 0},
+	}
+	b := []float64{2, 3}
+	x, ok := solveDense(a, b)
+	if !ok || math.Abs(x[0]-3) > 1e-12 || math.Abs(x[1]-2) > 1e-12 {
+		t.Errorf("pivoting solve failed: %v ok=%v", x, ok)
+	}
+}

@@ -1,0 +1,162 @@
+// Package stability numerically investigates the convergence and stability
+// questions of the paper's Section 4.
+//
+// Theorem 1 proves that for the simple work-stealing system the fixed point
+// is stable — the L1 distance D(t) = Σ_i |s_i(t) − π_i| never increases —
+// whenever π₂ < 1/2, and Theorem 2 extends this to threshold stealing. The
+// paper leaves convergence proofs open and suggests checking convergence
+// numerically from various starting points; this package implements exactly
+// that check: it integrates trajectories from randomized feasible starting
+// states, records D(t), and reports the largest observed increase and the
+// final distance.
+package stability
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/numeric"
+	"repro/internal/ode"
+	"repro/internal/rng"
+)
+
+// Trajectory records the L1 distance to the fixed point along one solution
+// path.
+type Trajectory struct {
+	Times     []float64
+	Distances []float64
+}
+
+// MaxIncrease returns the largest single-step increase of the distance
+// (0 when the trajectory is monotone non-increasing).
+func (tr Trajectory) MaxIncrease() float64 {
+	worst := 0.0
+	for i := 1; i < len(tr.Distances); i++ {
+		if inc := tr.Distances[i] - tr.Distances[i-1]; inc > worst {
+			worst = inc
+		}
+	}
+	return worst
+}
+
+// Final returns the last recorded distance (NaN for an empty trajectory).
+func (tr Trajectory) Final() float64 {
+	if len(tr.Distances) == 0 {
+		return math.NaN()
+	}
+	return tr.Distances[len(tr.Distances)-1]
+}
+
+// L1Trajectory integrates model m from the given start state for span time
+// units, sampling D(t) = ‖x(t) − fixed‖₁ every dt.
+func L1Trajectory(m core.Model, fixed, start []float64, span, dt float64) Trajectory {
+	x := append([]float64(nil), start...)
+	var tr Trajectory
+	h := math.Min(dt, 0.05)
+	ode.SolveObserved(m.Derivs, x, span, h, func(t float64, y []float64) bool {
+		// Sample on the dt grid (SolveObserved steps at h ≤ dt).
+		if len(tr.Times) == 0 || t >= tr.Times[len(tr.Times)-1]+dt-1e-12 || t >= span {
+			tr.Times = append(tr.Times, t)
+			tr.Distances = append(tr.Distances, numeric.Dist1(y, fixed))
+		}
+		return true
+	})
+	return tr
+}
+
+// RandomStart produces a random feasible tail-like state for model m:
+// a random geometric-ish decaying tail passed through the model's own
+// projection, so it is valid for any model in the repository.
+func RandomStart(m core.Model, r *rng.Source) []float64 {
+	x := make([]float64, m.Dim())
+	ratio := 0.2 + 0.75*r.Float64()
+	v := 1.0
+	for i := range x {
+		x[i] = v * (0.5 + r.Float64())
+		v *= ratio
+	}
+	x[0] = 1
+	m.Project(x)
+	return x
+}
+
+// Report aggregates a multi-start stability check.
+type Report struct {
+	// Starts is the number of random starting states tried.
+	Starts int
+	// MaxIncrease is the worst single-step increase of D(t) across all
+	// trajectories; ≤ tolerance means "stable" in the sense of Theorem 1.
+	MaxIncrease float64
+	// WorstFinal is the largest final distance, measuring convergence.
+	WorstFinal float64
+	// InitialMin is the smallest initial distance (to confirm the starts
+	// were actually away from the fixed point).
+	InitialMin float64
+}
+
+// Stable reports whether no trajectory ever moved away from the fixed point
+// by more than tol.
+func (rep Report) Stable(tol float64) bool { return rep.MaxIncrease <= tol }
+
+// Verify integrates `starts` random trajectories of m toward the fixed
+// point and aggregates the distance behavior. span and dt control each
+// trajectory's length and sampling.
+func Verify(m core.Model, fixed []float64, starts int, seed uint64, span, dt float64) Report {
+	r := rng.New(seed)
+	rep := Report{Starts: starts, InitialMin: math.Inf(1)}
+	for k := 0; k < starts; k++ {
+		start := RandomStart(m, r)
+		tr := L1Trajectory(m, fixed, start, span, dt)
+		if len(tr.Distances) == 0 {
+			continue
+		}
+		if d0 := tr.Distances[0]; d0 < rep.InitialMin {
+			rep.InitialMin = d0
+		}
+		if inc := tr.MaxIncrease(); inc > rep.MaxIncrease {
+			rep.MaxIncrease = inc
+		}
+		if f := tr.Final(); f > rep.WorstFinal {
+			rep.WorstFinal = f
+		}
+	}
+	return rep
+}
+
+// Pi2Condition evaluates the hypothesis of Theorems 1 and 2 for a fixed
+// point state: it returns π₂ and whether π₂ < 1/2.
+func Pi2Condition(fixed []float64) (float64, bool) {
+	if len(fixed) < 3 {
+		return math.NaN(), false
+	}
+	return fixed[2], fixed[2] < 0.5
+}
+
+// RelaxationTime measures how fast a model relaxes: starting from the empty
+// system it integrates until the L1 distance to the fixed point has fallen
+// to frac of its initial value and returns that time. The paper's Section 4
+// leaves convergence rates open; numerically the relaxation time of the
+// simple WS system blows up as λ → 1.
+func RelaxationTime(m core.Model, fixed []float64, frac, dt, maxTime float64) (float64, bool) {
+	if frac <= 0 || frac >= 1 {
+		panic("stability: RelaxationTime needs 0 < frac < 1")
+	}
+	x := m.Initial()
+	d0 := numeric.Dist1(x, fixed)
+	if d0 == 0 {
+		return 0, true
+	}
+	target := frac * d0
+	found := math.NaN()
+	ode.SolveObserved(m.Derivs, x, maxTime, math.Min(dt, 0.05), func(t float64, y []float64) bool {
+		if numeric.Dist1(y, fixed) <= target {
+			found = t
+			return false
+		}
+		return true
+	})
+	if math.IsNaN(found) {
+		return maxTime, false
+	}
+	return found, true
+}

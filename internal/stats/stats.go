@@ -1,0 +1,260 @@
+// Package stats provides the statistical accumulators used by the simulator
+// and the experiment harness: streaming mean/variance (Welford), time-
+// weighted averages for queue-length processes, confidence intervals over
+// replications, and fixed-width histograms.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Welford accumulates a streaming mean and variance without storing samples,
+// using Welford's numerically stable recurrence. The zero value is ready to
+// use.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+// Add incorporates one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	delta := x - w.mean
+	w.mean += delta / float64(w.n)
+	w.m2 += delta * (x - w.mean)
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int64 { return w.n }
+
+// Mean returns the sample mean (0 if empty).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Var returns the unbiased sample variance (0 if fewer than 2 observations).
+func (w *Welford) Var() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (w *Welford) Std() float64 { return math.Sqrt(w.Var()) }
+
+// StdErr returns the standard error of the mean.
+func (w *Welford) StdErr() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.Std() / math.Sqrt(float64(w.n))
+}
+
+// Merge combines another accumulator into w (Chan et al. parallel variant),
+// so per-worker accumulators can be reduced after a parallel run.
+func (w *Welford) Merge(o Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = o
+		return
+	}
+	n1, n2 := float64(w.n), float64(o.n)
+	delta := o.mean - w.mean
+	total := n1 + n2
+	w.mean += delta * n2 / total
+	w.m2 += o.m2 + delta*delta*n1*n2/total
+	w.n += o.n
+}
+
+// TimeWeighted accumulates the time average of a piecewise-constant process,
+// e.g. total queue length over time. Call Observe(t, v) whenever the value
+// changes to v at time t; the average over [t0, tEnd] is Average(tEnd).
+type TimeWeighted struct {
+	started  bool
+	t0       float64 // first observation time
+	lastT    float64
+	lastV    float64
+	integral float64
+}
+
+// Observe records that the process takes value v from time t onward.
+// Times must be non-decreasing.
+func (tw *TimeWeighted) Observe(t, v float64) {
+	if !tw.started {
+		tw.started = true
+		tw.t0, tw.lastT, tw.lastV = t, t, v
+		return
+	}
+	if t < tw.lastT {
+		panic("stats: TimeWeighted times must be non-decreasing")
+	}
+	tw.integral += tw.lastV * (t - tw.lastT)
+	tw.lastT, tw.lastV = t, v
+}
+
+// Average returns the time average over [t0, tEnd]. tEnd must be at least
+// the last observed time. Returns 0 before any observation.
+func (tw *TimeWeighted) Average(tEnd float64) float64 {
+	if !tw.started || tEnd <= tw.t0 {
+		return 0
+	}
+	if tEnd < tw.lastT {
+		panic("stats: Average called with tEnd before last observation")
+	}
+	total := tw.integral + tw.lastV*(tEnd-tw.lastT)
+	return total / (tEnd - tw.t0)
+}
+
+// Reset clears the accumulator.
+func (tw *TimeWeighted) Reset() { *tw = TimeWeighted{} }
+
+// Summary holds the aggregate of several replication means.
+type Summary struct {
+	N    int     // number of replications
+	Mean float64 // mean of replication means
+	Std  float64 // std dev across replications
+	Half float64 // 95% confidence half-width
+}
+
+// Summarize aggregates per-replication means into a Summary with a 95%
+// confidence interval based on the t distribution.
+func Summarize(means []float64) Summary {
+	var w Welford
+	for _, m := range means {
+		w.Add(m)
+	}
+	s := Summary{N: int(w.N()), Mean: w.Mean(), Std: w.Std()}
+	if s.N >= 2 {
+		s.Half = tQuantile975(s.N-1) * w.StdErr()
+	}
+	return s
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("%.4f ± %.4f (n=%d)", s.Mean, s.Half, s.N)
+}
+
+// tQuantile975 returns the 0.975 quantile of Student's t distribution with
+// df degrees of freedom, from a table for small df and the normal
+// approximation beyond it. Accuracy is ample for reporting 95% CIs.
+func tQuantile975(df int) float64 {
+	table := []float64{
+		0, // df=0 unused
+		12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+		2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+		2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+	}
+	if df <= 0 {
+		return math.NaN()
+	}
+	if df < len(table) {
+		return table[df]
+	}
+	return 1.96
+}
+
+// Histogram is a fixed-width histogram over [Lo, Hi) with overflow and
+// underflow buckets. It is used for sojourn-time distributions.
+type Histogram struct {
+	Lo, Hi  float64
+	Buckets []int64
+	Under   int64
+	Over    int64
+	count   int64
+}
+
+// NewHistogram creates a histogram with n buckets covering [lo, hi).
+// It panics on invalid arguments.
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || hi <= lo {
+		panic("stats: invalid histogram parameters")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Buckets: make([]int64, n)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.count++
+	switch {
+	case x < h.Lo:
+		h.Under++
+	case x >= h.Hi:
+		h.Over++
+	default:
+		i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Buckets)))
+		if i >= len(h.Buckets) { // guard rounding at the upper edge
+			i = len(h.Buckets) - 1
+		}
+		h.Buckets[i]++
+	}
+}
+
+// Count returns the total number of observations, including under/overflow.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Quantile returns an approximate q-quantile (0 < q < 1) assuming
+// observations are uniform within buckets. Underflow mass is assigned to Lo
+// and overflow to Hi.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.count == 0 || q <= 0 || q >= 1 {
+		return math.NaN()
+	}
+	target := q * float64(h.count)
+	cum := float64(h.Under)
+	if cum >= target {
+		return h.Lo
+	}
+	width := (h.Hi - h.Lo) / float64(len(h.Buckets))
+	for i, c := range h.Buckets {
+		next := cum + float64(c)
+		if next >= target && c > 0 {
+			frac := (target - cum) / float64(c)
+			return h.Lo + (float64(i)+frac)*width
+		}
+		cum = next
+	}
+	return h.Hi
+}
+
+// Median returns the exact median of xs (not in place; xs is copied).
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	n := len(cp)
+	if n%2 == 1 {
+		return cp[n/2]
+	}
+	return (cp[n/2-1] + cp[n/2]) / 2
+}
+
+// BatchMeans estimates a confidence interval for the mean of a correlated
+// sample stream (e.g. sojourn times within one simulation run) by the
+// method of batch means: the stream is split into `batches` contiguous
+// batches whose means are approximately independent, and those batch means
+// are summarized like replications. Needs len(xs) >= 2*batches; panics on
+// fewer than 2 batches.
+func BatchMeans(xs []float64, batches int) Summary {
+	if batches < 2 {
+		panic("stats: BatchMeans needs at least 2 batches")
+	}
+	if len(xs) < 2*batches {
+		return Summary{N: 0}
+	}
+	size := len(xs) / batches
+	means := make([]float64, 0, batches)
+	for b := 0; b < batches; b++ {
+		var w Welford
+		for i := b * size; i < (b+1)*size; i++ {
+			w.Add(xs[i])
+		}
+		means = append(means, w.Mean())
+	}
+	return Summarize(means)
+}

@@ -1,0 +1,164 @@
+// Package table renders aligned text tables and CSV for the experiment
+// harness, matching the layout of the paper's tables: a header row, one row
+// per arrival rate, and numeric cells with fixed precision.
+package table
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple rectangular table with a title and column headers.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// New creates a table with the given title and column headers.
+func New(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row of pre-formatted cells. The row is padded or
+// truncated to the header width.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddNumericRow appends a row formatted from float64 values with the given
+// number of decimal places; NaNs render as "-".
+func (t *Table) AddNumericRow(decimals int, values ...float64) {
+	cells := make([]string, len(values))
+	for i, v := range values {
+		if v != v { // NaN
+			cells[i] = "-"
+		} else {
+			cells[i] = fmt.Sprintf("%.*f", decimals, v)
+		}
+	}
+	t.AddRow(cells...)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Cell returns the cell at (row, col); empty string if out of range.
+func (t *Table) Cell(row, col int) string {
+	if row < 0 || row >= len(t.rows) || col < 0 || col >= len(t.rows[row]) {
+		return ""
+	}
+	return t.rows[row][col]
+}
+
+// WriteText renders the table with aligned columns to w.
+func (t *Table) WriteText(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(pad(c, widths[i]))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	total := len(widths) - 1
+	if total < 0 {
+		total = 0
+	}
+	for _, w := range widths {
+		total += w + 1
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// pad right-aligns numeric-looking cells and left-aligns text.
+func pad(s string, width int) string {
+	if len(s) >= width {
+		return s
+	}
+	fill := strings.Repeat(" ", width-len(s))
+	if looksNumeric(s) {
+		return fill + s
+	}
+	return s + fill
+}
+
+func looksNumeric(s string) bool {
+	if s == "" || s == "-" {
+		return true
+	}
+	for _, r := range s {
+		switch {
+		case r >= '0' && r <= '9':
+		case r == '.' || r == '-' || r == '+' || r == 'e' || r == 'E' || r == '%':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// WriteCSV renders the table as CSV (RFC-4180-ish quoting for cells
+// containing commas or quotes) to w.
+func (t *Table) WriteCSV(w io.Writer) error {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(c, `"`, `""`))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders the text form.
+func (t *Table) String() string {
+	var b strings.Builder
+	_ = t.WriteText(&b)
+	return b.String()
+}

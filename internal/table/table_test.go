@@ -1,0 +1,91 @@
+package table
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestWriteText(t *testing.T) {
+	tb := New("Demo", "λ", "Sim(16)", "Estimate")
+	tb.AddNumericRow(3, 0.5, 1.631, 1.618)
+	tb.AddNumericRow(3, 0.99, 17.863, 10.462)
+	out := tb.String()
+	if !strings.Contains(out, "Demo") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "1.618") || !strings.Contains(out, "17.863") {
+		t.Errorf("missing cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Errorf("got %d lines:\n%s", len(lines), out)
+	}
+	// Columns must align: all data lines same length.
+	if len(lines[3]) != len(lines[4]) {
+		t.Errorf("rows not aligned:\n%s", out)
+	}
+}
+
+func TestNaNRendersDash(t *testing.T) {
+	tb := New("", "a", "b")
+	tb.AddNumericRow(2, 1.0, math.NaN())
+	if got := tb.Cell(0, 1); got != "-" {
+		t.Errorf("NaN cell = %q, want -", got)
+	}
+}
+
+func TestAddRowPadding(t *testing.T) {
+	tb := New("", "a", "b", "c")
+	tb.AddRow("x")
+	if tb.Cell(0, 0) != "x" || tb.Cell(0, 2) != "" {
+		t.Error("row padding wrong")
+	}
+	tb.AddRow("1", "2", "3", "4") // extra cell dropped
+	if tb.Cell(1, 2) != "3" {
+		t.Error("truncation wrong")
+	}
+	if tb.NumRows() != 2 {
+		t.Errorf("NumRows = %d", tb.NumRows())
+	}
+}
+
+func TestCellOutOfRange(t *testing.T) {
+	tb := New("", "a")
+	if tb.Cell(0, 0) != "" || tb.Cell(-1, 0) != "" || tb.Cell(0, 5) != "" {
+		t.Error("out-of-range Cell should return empty")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tb := New("t", "name", "value")
+	tb.AddRow("plain", "1.5")
+	tb.AddRow(`with "quote", comma`, "2")
+	var b strings.Builder
+	if err := tb.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "name,value" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "plain,1.5" {
+		t.Errorf("row 1 = %q", lines[1])
+	}
+	if lines[2] != `"with ""quote"", comma",2` {
+		t.Errorf("row 2 = %q", lines[2])
+	}
+}
+
+func TestNumericAlignment(t *testing.T) {
+	if pad("1.5", 6) != "   1.5" {
+		t.Errorf("numeric should right-align: %q", pad("1.5", 6))
+	}
+	if pad("name", 6) != "name  " {
+		t.Errorf("text should left-align: %q", pad("name", 6))
+	}
+	if pad("toolong", 3) != "toolong" {
+		t.Error("overlong cell should pass through")
+	}
+}
