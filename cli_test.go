@@ -5,6 +5,7 @@ package repro
 // checking exit status and the shape of its output.
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"os/exec"
@@ -147,5 +148,163 @@ func TestCLIWssweep(t *testing.T) {
 	out = run(t, "wssweep", "-sweep", "lambda", "-model", "simple")
 	if !strings.Contains(out, "λ=0.99") {
 		t.Errorf("wssweep lambda output:\n%s", out)
+	}
+}
+
+func TestCLIWssimMetrics(t *testing.T) {
+	out := run(t, "wssim", "-n", "16", "-lambda", "0.7", "-policy", "steal", "-T", "2",
+		"-horizon", "2000", "-warmup", "200", "-reps", "2", "-metrics")
+	for _, want := range []string{"Simulation metrics", "utilization", "steal success rate",
+		"Queue-length distribution", ">="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("wssim -metrics output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestCLIWssimJSON checks the -json report parses and its metrics agree
+// with the flags that produced it.
+func TestCLIWssimJSON(t *testing.T) {
+	out := run(t, "wssim", "-n", "16", "-lambda", "0.7", "-policy", "steal", "-T", "2",
+		"-horizon", "4000", "-warmup", "400", "-reps", "2", "-metrics", "-json")
+	var rep struct {
+		N       int     `json:"n"`
+		Lambda  float64 `json:"lambda"`
+		Policy  string  `json:"policy"`
+		Metrics struct {
+			Reps        int `json:"reps"`
+			Utilization struct {
+				Mean float64 `json:"mean"`
+			} `json:"utilization"`
+			QueueHist []float64 `json:"queue_hist"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("wssim -json is not valid JSON: %v\n%s", err, out)
+	}
+	if rep.N != 16 || rep.Lambda != 0.7 || rep.Policy != "steal" || rep.Metrics.Reps != 2 {
+		t.Errorf("wssim -json round trip lost fields: %+v", rep)
+	}
+	if u := rep.Metrics.Utilization.Mean; u < 0.6 || u > 0.8 {
+		t.Errorf("wssim -json utilization %v implausible for λ=0.7", u)
+	}
+	if len(rep.Metrics.QueueHist) == 0 {
+		t.Errorf("wssim -json has no queue histogram:\n%s", out)
+	}
+}
+
+// TestCLIProfiles verifies the pprof flags of each tool that has them
+// actually write non-empty profile files.
+func TestCLIProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"wssim", []string{"-n", "8", "-lambda", "0.5", "-policy", "steal", "-T", "2",
+			"-horizon", "500", "-warmup", "50", "-reps", "1"}},
+		{"wstables", []string{"-table", "tails"}},
+		{"wssweep", []string{"-sweep", "threshold", "-max", "3"}},
+	}
+	for _, c := range cases {
+		cpu := filepath.Join(dir, c.name+".cpu.pprof")
+		mem := filepath.Join(dir, c.name+".mem.pprof")
+		run(t, c.name, append(c.args, "-cpuprofile", cpu, "-memprofile", mem)...)
+		for _, p := range []string{cpu, mem} {
+			fi, err := os.Stat(p)
+			if err != nil {
+				t.Errorf("%s did not write %s: %v", c.name, p, err)
+			} else if fi.Size() == 0 {
+				t.Errorf("%s wrote an empty profile %s", c.name, p)
+			}
+		}
+	}
+}
+
+// tableJSON is the shape table.WriteJSON emits.
+type tableJSON struct {
+	Title   string     `json:"title"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+}
+
+func TestCLIWstablesJSON(t *testing.T) {
+	out := run(t, "wstables", "-table", "tails", "-json")
+	var tb tableJSON
+	if err := json.Unmarshal([]byte(out), &tb); err != nil {
+		t.Fatalf("wstables -json is not valid JSON: %v\n%s", err, out)
+	}
+	if tb.Title == "" || len(tb.Headers) == 0 || len(tb.Rows) == 0 {
+		t.Errorf("wstables -json table is empty: %+v", tb)
+	}
+	for i, row := range tb.Rows {
+		if len(row) != len(tb.Headers) {
+			t.Errorf("row %d has %d cells, want %d", i, len(row), len(tb.Headers))
+		}
+	}
+}
+
+func TestCLIWstablesMetricsTable(t *testing.T) {
+	out := run(t, "wstables", "-table", "stability", "-metrics",
+		"-reps", "1", "-horizon", "800")
+	if !strings.Contains(out, "Simulation metrics") || !strings.Contains(out, "M1 simple WS") {
+		t.Errorf("wstables -metrics table missing:\n%s", out)
+	}
+}
+
+func TestCLIWssweepMetricsJSON(t *testing.T) {
+	out := run(t, "wssweep", "-sweep", "threshold", "-max", "4", "-metrics", "-json")
+	var tb tableJSON
+	if err := json.Unmarshal([]byte(out), &tb); err != nil {
+		t.Fatalf("wssweep -json is not valid JSON: %v\n%s", err, out)
+	}
+	want := []string{"value", "E[T]", "E[L]", "utilization", "s_T"}
+	if strings.Join(tb.Headers, "|") != strings.Join(want, "|") {
+		t.Errorf("wssweep -metrics headers %v, want %v", tb.Headers, want)
+	}
+}
+
+func TestCLIWsfixedMetricsJSON(t *testing.T) {
+	out := run(t, "wsfixed", "-model", "simple", "-lambda", "0.9", "-metrics")
+	if !strings.Contains(out, "utilization") || !strings.Contains(out, "steal success") {
+		t.Errorf("wsfixed -metrics output:\n%s", out)
+	}
+	out = run(t, "wsfixed", "-model", "simple", "-lambda", "0.9", "-json")
+	var fp struct {
+		Model       string    `json:"model"`
+		Utilization float64   `json:"utilization"`
+		Tails       []float64 `json:"tails"`
+	}
+	if err := json.Unmarshal([]byte(out), &fp); err != nil {
+		t.Fatalf("wsfixed -json is not valid JSON: %v\n%s", err, out)
+	}
+	// s₁ = λ at any stable fixed point.
+	if fp.Utilization < 0.899 || fp.Utilization > 0.901 {
+		t.Errorf("wsfixed -json utilization %v, want λ=0.9", fp.Utilization)
+	}
+	if len(fp.Tails) == 0 || fp.Tails[0] != 1 {
+		t.Errorf("wsfixed -json tails malformed: %v", fp.Tails)
+	}
+}
+
+func TestCLIWsodeMetricsJSON(t *testing.T) {
+	out := run(t, "wsode", "-model", "simple", "-lambda", "0.8", "-span", "200", "-dt", "5", "-metrics")
+	if !strings.Contains(out, "settle time") || !strings.Contains(out, "fixed point") {
+		t.Errorf("wsode -metrics output:\n%s", out)
+	}
+	out = run(t, "wsode", "-model", "simple", "-lambda", "0.8", "-span", "200", "-dt", "5", "-json")
+	var tr struct {
+		SettleTime float64   `json:"settle_time"`
+		Times      []float64 `json:"times"`
+		Loads      []float64 `json:"loads"`
+	}
+	if err := json.Unmarshal([]byte(out), &tr); err != nil {
+		t.Fatalf("wsode -json is not valid JSON: %v\n%s", err, out)
+	}
+	if tr.SettleTime <= 0 {
+		t.Errorf("wsode -json settle time %v, want positive (span 200 should converge)", tr.SettleTime)
+	}
+	if len(tr.Times) != len(tr.Loads) || len(tr.Times) < 10 {
+		t.Errorf("wsode -json trajectory malformed: %d times, %d loads", len(tr.Times), len(tr.Loads))
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/meanfield"
 )
@@ -36,6 +37,8 @@ func main() {
 	raFlag := flag.Float64("ra", 1, "retry rate for -model repeated-transfer")
 	liFlag := flag.Float64("li", 0.3, "internal spawn rate for -model spawning")
 	tails := flag.Int("tails", 12, "how many tail entries to print")
+	metricsFlag := flag.Bool("metrics", false, "print the fixed point's observable metrics (utilization, idle fraction, steal success s_T)")
+	jsonFlag := flag.Bool("json", false, "emit the fixed point as JSON")
 	flag.Parse()
 
 	var m core.Model
@@ -76,14 +79,49 @@ func main() {
 		fmt.Fprintln(os.Stderr, "wsfixed:", err)
 		os.Exit(1)
 	}
+	ratioT := core.TailRatio(fp.State, *tFlag+1, 1e-6)
+	if *jsonFlag {
+		nTails := *tails
+		if nTails > m.Dim() {
+			nTails = m.Dim()
+		}
+		out := struct {
+			Model       string    `json:"model"`
+			Lambda      float64   `json:"lambda"`
+			Dim         int       `json:"dim"`
+			Residual    float64   `json:"residual"`
+			MeanTasks   float64   `json:"mean_tasks"`
+			SojournTime float64   `json:"sojourn_time"`
+			Utilization float64   `json:"utilization"`
+			TailRatio   float64   `json:"tail_ratio"`
+			Tails       []float64 `json:"tails"`
+		}{m.Name(), *lambda, m.Dim(), fp.Residual, fp.MeanTasks(),
+			fp.SojournTime(), fp.BusyFraction(), ratioT, fp.State[:nTails]}
+		if err := cliutil.WriteJSON(os.Stdout, out); err != nil {
+			fmt.Fprintln(os.Stderr, "wsfixed:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	fmt.Printf("model:            %s\n", m.Name())
 	fmt.Printf("dimension:        %d\n", m.Dim())
 	fmt.Printf("residual:         %.3e\n", fp.Residual)
 	fmt.Printf("mean tasks E[L]:  %.6f\n", fp.MeanTasks())
 	fmt.Printf("time in sys E[T]: %.6f   (no stealing: %.6f)\n",
 		fp.SojournTime(), meanfield.MM1SojournTime(*lambda))
-	ratio := core.TailRatio(fp.State, *tFlag+1, 1e-6)
-	fmt.Printf("tail decay ratio: %.6f   (no stealing: %.6f)\n", ratio, *lambda)
+	fmt.Printf("tail decay ratio: %.6f   (no stealing: %.6f)\n", ratioT, *lambda)
+	if *metricsFlag {
+		// The observable counterparts of the simulator's metrics layer:
+		// what `wssim -metrics` should converge to for this model. The
+		// FixedPoint helpers defer to core.Observer for the models whose
+		// state is not a single tails vector (transfer, stages, ...).
+		busy := fp.BusyFraction()
+		fmt.Printf("utilization:      %.6f   (busy fraction)\n", busy)
+		fmt.Printf("idle fraction:    %.6f\n", 1-busy)
+		if sT, ok := fp.StealSuccessProb(*tFlag); ok {
+			fmt.Printf("steal success:    %.6f   (victim above threshold, T=%d)\n", sT, *tFlag)
+		}
+	}
 	fmt.Println("tails:")
 	for i := 0; i < *tails && i < m.Dim(); i++ {
 		fmt.Printf("  π_%-3d = %.8f\n", i, fp.State[i])

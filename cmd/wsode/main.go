@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"repro/internal/asciiplot"
+	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/meanfield"
 	"repro/internal/numeric"
@@ -29,6 +30,8 @@ func main() {
 	span := flag.Float64("span", 200, "integration span")
 	dt := flag.Float64("dt", 1, "output sampling interval")
 	plot := flag.Bool("plot", false, "render an ASCII chart of the mean load instead of CSV")
+	metricsFlag := flag.Bool("metrics", false, "print convergence metrics of the trajectory instead of CSV")
+	jsonFlag := flag.Bool("json", false, "emit the trajectory (and metrics) as JSON")
 	flag.Parse()
 
 	var m core.Model
@@ -81,6 +84,49 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Print(chart)
+		return
+	}
+
+	// Convergence metrics: when the trajectory first comes within 1% (in
+	// L1 distance relative to the fixed point's mean) and its state at the
+	// end of the span.
+	settle := -1.0
+	tol := 0.01 * fp.MeanTasks()
+	for i := range times {
+		if dists[i] <= tol {
+			settle = times[i]
+			break
+		}
+	}
+	if *jsonFlag {
+		out := struct {
+			Model         string    `json:"model"`
+			Lambda        float64   `json:"lambda"`
+			FixedPoint    float64   `json:"fixed_point_mean_tasks"`
+			SettleTime    float64   `json:"settle_time"`
+			FinalLoad     float64   `json:"final_load"`
+			FinalDistance float64   `json:"final_distance"`
+			Times         []float64 `json:"times"`
+			Loads         []float64 `json:"loads"`
+			Distances     []float64 `json:"distances"`
+		}{m.Name(), *lambda, fp.MeanTasks(), settle,
+			loads[len(loads)-1], dists[len(dists)-1], times, loads, dists}
+		if err := cliutil.WriteJSON(os.Stdout, out); err != nil {
+			fmt.Fprintln(os.Stderr, "wsode:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *metricsFlag {
+		fmt.Printf("model:             %s\n", m.Name())
+		fmt.Printf("fixed point E[L]:  %.6f\n", fp.MeanTasks())
+		fmt.Printf("final load:        %.6f  (at t = %.1f)\n", loads[len(loads)-1], times[len(times)-1])
+		fmt.Printf("final L1 distance: %.3e\n", dists[len(dists)-1])
+		if settle >= 0 {
+			fmt.Printf("settle time (1%%):  %.1f\n", settle)
+		} else {
+			fmt.Printf("settle time (1%%):  not reached within span %.1f\n", *span)
+		}
 		return
 	}
 	fmt.Println("t,mean_tasks,sojourn_estimate,l1_distance_to_fixed_point")

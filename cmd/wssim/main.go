@@ -16,8 +16,11 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cliutil"
 	"repro/internal/dist"
+	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/stats"
 )
 
 func main() {
@@ -40,6 +43,11 @@ func main() {
 	warmup := flag.Float64("warmup", 10_000, "warmup time excluded from stats")
 	reps := flag.Int("reps", 10, "independent replications")
 	seed := flag.Uint64("seed", 1, "random seed")
+	metricsFlag := flag.Bool("metrics", false, "report the observability metrics (utilization, steal rates, queue-length histogram)")
+	qhist := flag.Int("qhist", 16, "queue-length histogram depth for -metrics")
+	jsonFlag := flag.Bool("json", false, "emit results as JSON")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
 
 	var svc dist.Distribution
@@ -96,10 +104,47 @@ func main() {
 		Warmup:        w,
 		Seed:          *seed,
 	}
-	agg, err := sim.Replication{Reps: *reps}.Run(opts)
+	if *metricsFlag {
+		opts.QueueHistDepth = *qhist
+	}
+
+	stopCPU, err := cliutil.StartCPUProfile(*cpuprofile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wssim:", err)
 		os.Exit(1)
+	}
+	agg, err := sim.Replication{Reps: *reps}.Run(opts)
+	stopCPU()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wssim:", err)
+		os.Exit(1)
+	}
+	if err := cliutil.WriteMemProfile(*memprofile); err != nil {
+		fmt.Fprintln(os.Stderr, "wssim:", err)
+		os.Exit(1)
+	}
+
+	if *jsonFlag {
+		out := struct {
+			N       int             `json:"n"`
+			Lambda  float64         `json:"lambda"`
+			Policy  string          `json:"policy"`
+			Service string          `json:"service"`
+			Reps    int             `json:"reps"`
+			Horizon float64         `json:"horizon"`
+			Warmup  float64         `json:"warmup"`
+			Sojourn stats.Summary   `json:"sojourn"`
+			Load    stats.Summary   `json:"load"`
+			Drain   stats.Summary   `json:"drain"`
+			Tails   []float64       `json:"tails,omitempty"`
+			Metrics metrics.Summary `json:"metrics"`
+		}{*n, *lambda, *policy, svc.String(), *reps, *horizon, w,
+			agg.Sojourn, agg.Load, agg.Drain, agg.Tails, agg.Metrics}
+		if err := cliutil.WriteJSON(os.Stdout, out); err != nil {
+			fmt.Fprintln(os.Stderr, "wssim:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	first := agg.Results[0]
@@ -114,4 +159,19 @@ func main() {
 	}
 	fmt.Printf("rep[0] detail:    arrived=%d completed=%d stealAttempts=%d stealSuccesses=%d rebalances=%d\n",
 		first.Arrived, first.Completed, first.StealAttempts, first.StealSuccesses, first.Rebalances)
+
+	if *metricsFlag {
+		fmt.Println()
+		if err := agg.Metrics.Table("Simulation metrics (95% CIs over replications)").WriteText(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "wssim:", err)
+			os.Exit(1)
+		}
+		if ht := agg.Metrics.HistTable("Queue-length distribution (sampled)"); ht != nil {
+			fmt.Println()
+			if err := ht.WriteText(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "wssim:", err)
+				os.Exit(1)
+			}
+		}
+	}
 }

@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cliutil"
+	"repro/internal/core"
 	"repro/internal/meanfield"
 	"repro/internal/table"
 )
@@ -28,61 +30,104 @@ func main() {
 	tFlag := flag.Int("T", 2, "victim threshold (for retry and multisteal sweeps)")
 	rFlag := flag.Float64("r", 0.25, "transfer rate (for transfer-threshold sweep)")
 	maxV := flag.Int("max", 8, "largest swept integer value")
+	metricsFlag := flag.Bool("metrics", false, "add fixed-point metrics columns (E[L], utilization, steal success s_T)")
+	jsonFlag := flag.Bool("json", false, "emit the table as JSON")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
 
-	t := table.New(fmt.Sprintf("Sweep %s (λ = %g)", *sweep, *lambda), "value", "E[T]")
-	add := func(label string, v float64) {
-		t.AddRow(label, fmt.Sprintf("%.4f", v))
+	stopCPU, err := cliutil.StartCPUProfile(*cpuprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wssweep:", err)
+		os.Exit(1)
+	}
+
+	headers := []string{"value", "E[T]"}
+	if *metricsFlag {
+		headers = append(headers, "E[L]", "utilization", "s_T")
+	}
+	t := table.New(fmt.Sprintf("Sweep %s (λ = %g)", *sweep, *lambda), headers...)
+	// add appends one row; fp may be nil for closed-form entries with no
+	// tail vector behind them (the metrics columns then show "-").
+	add := func(label string, v float64, fp *core.FixedPoint, T int) {
+		if !*metricsFlag {
+			t.AddRow(label, fmt.Sprintf("%.4f", v))
+			return
+		}
+		meanTasks, util, sT := "-", "-", "-"
+		if fp != nil {
+			meanTasks = fmt.Sprintf("%.4f", fp.MeanTasks())
+			util = fmt.Sprintf("%.4f", fp.BusyFraction())
+			if p, ok := fp.StealSuccessProb(T); ok {
+				sT = fmt.Sprintf("%.4f", p)
+			}
+		}
+		t.AddRow(label, fmt.Sprintf("%.4f", v), meanTasks, util, sT)
 	}
 
 	switch *sweep {
 	case "threshold":
 		for T := 2; T <= *maxV; T++ {
-			add(fmt.Sprintf("T=%d", T), meanfield.SolveThreshold(*lambda, T).SojournTime())
+			fp := meanfield.MustSolve(meanfield.NewThreshold(*lambda, T), meanfield.SolveOptions{})
+			add(fmt.Sprintf("T=%d", T), fp.SojournTime(), &fp, T)
 		}
 	case "transfer-threshold":
 		for T := 2; T <= *maxV; T++ {
 			fp := meanfield.MustSolve(meanfield.NewTransfer(*lambda, T, *rFlag), meanfield.SolveOptions{})
-			add(fmt.Sprintf("T=%d", T), fp.SojournTime())
+			add(fmt.Sprintf("T=%d", T), fp.SojournTime(), &fp, T)
 		}
 	case "choices":
 		for d := 1; d <= *maxV; d++ {
 			fp := meanfield.MustSolve(meanfield.NewChoices(*lambda, 2, d), meanfield.SolveOptions{})
-			add(fmt.Sprintf("d=%d", d), fp.SojournTime())
+			add(fmt.Sprintf("d=%d", d), fp.SojournTime(), &fp, 2)
 		}
 	case "retry":
 		for _, r := range []float64{0, 0.25, 0.5, 1, 2, 4, 8, 16} {
 			fp := meanfield.MustSolve(meanfield.NewRepeated(*lambda, *tFlag, r), meanfield.SolveOptions{})
-			add(fmt.Sprintf("r=%g", r), fp.SojournTime())
+			add(fmt.Sprintf("r=%g", r), fp.SojournTime(), &fp, *tFlag)
 		}
 	case "multisteal":
 		for k := 1; 2*k <= *tFlag; k++ {
 			fp := meanfield.MustSolve(meanfield.NewMultiSteal(*lambda, *tFlag, k), meanfield.SolveOptions{})
-			add(fmt.Sprintf("k=%d", k), fp.SojournTime())
+			add(fmt.Sprintf("k=%d", k), fp.SojournTime(), &fp, *tFlag)
 		}
 		half := meanfield.MustSolve(meanfield.NewStealHalf(*lambda, *tFlag), meanfield.SolveOptions{})
-		add("k=⌈j/2⌉", half.SojournTime())
+		add("k=⌈j/2⌉", half.SojournTime(), &half, *tFlag)
 	case "lambda":
 		for _, lam := range []float64{0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99} {
 			var v float64
+			var fp *core.FixedPoint
 			switch *model {
 			case "nosteal":
 				v = meanfield.MM1SojournTime(lam)
 			case "simple":
-				v = meanfield.SolveSimpleWS(lam).SojournTime()
+				s := meanfield.MustSolve(meanfield.NewSimpleWS(lam), meanfield.SolveOptions{})
+				v, fp = s.SojournTime(), &s
 			case "choices":
-				v = meanfield.MustSolve(meanfield.NewChoices(lam, 2, 2), meanfield.SolveOptions{}).SojournTime()
+				s := meanfield.MustSolve(meanfield.NewChoices(lam, 2, 2), meanfield.SolveOptions{})
+				v, fp = s.SojournTime(), &s
 			default:
 				fmt.Fprintf(os.Stderr, "wssweep: unknown model %q\n", *model)
 				os.Exit(2)
 			}
-			add(fmt.Sprintf("λ=%g", lam), v)
+			add(fmt.Sprintf("λ=%g", lam), v, fp, 2)
 		}
 	default:
 		fmt.Fprintf(os.Stderr, "wssweep: unknown sweep %q\n", *sweep)
 		os.Exit(2)
 	}
-	if err := t.WriteText(os.Stdout); err != nil {
+
+	if *jsonFlag {
+		err = t.WriteJSON(os.Stdout)
+	} else {
+		err = t.WriteText(os.Stdout)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wssweep:", err)
+		os.Exit(1)
+	}
+	stopCPU()
+	if err := cliutil.WriteMemProfile(*memprofile); err != nil {
 		fmt.Fprintln(os.Stderr, "wssweep:", err)
 		os.Exit(1)
 	}

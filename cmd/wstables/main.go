@@ -6,7 +6,8 @@
 //
 //	wstables [-table all|1|2|3|4|tails|threshold|repeated|multisteal|
 //	          preemptive|rebalance|hetero|static|stability]
-//	         [-full] [-reps N] [-horizon T] [-csv]
+//	         [-full] [-reps N] [-horizon T] [-csv] [-json] [-metrics]
+//	         [-cpuprofile FILE] [-memprofile FILE]
 //
 // By default a reduced scale runs in seconds; -full reproduces the paper's
 // 10 × 100,000-second simulations for 16–128 processors (minutes).
@@ -18,6 +19,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/cliutil"
 	"repro/internal/experiments"
 	"repro/internal/table"
 )
@@ -29,7 +31,24 @@ func main() {
 	horizon := flag.Float64("horizon", 0, "override the simulated horizon")
 	seed := flag.Uint64("seed", 1998, "random seed")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	jsonFlag := flag.Bool("json", false, "emit JSON instead of aligned text")
+	metricsFlag := flag.Bool("metrics", false, "append the simulation-metrics table (λ = 0.9)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
+
+	stopCPU, err := cliutil.StartCPUProfile(*cpuprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wstables:", err)
+		os.Exit(1)
+	}
+	defer func() {
+		stopCPU()
+		if err := cliutil.WriteMemProfile(*memprofile); err != nil {
+			fmt.Fprintln(os.Stderr, "wstables:", err)
+			os.Exit(1)
+		}
+	}()
 
 	sc := experiments.QuickScale
 	if *full {
@@ -46,9 +65,12 @@ func main() {
 
 	emit := func(t *table.Table) {
 		var err error
-		if *csv {
+		switch {
+		case *jsonFlag:
+			err = t.WriteJSON(os.Stdout)
+		case *csv:
 			err = t.WriteCSV(os.Stdout)
-		} else {
+		default:
 			err = t.WriteText(os.Stdout)
 		}
 		if err != nil {
@@ -96,5 +118,8 @@ func main() {
 			os.Exit(2)
 		}
 		emit(b())
+	}
+	if *metricsFlag {
+		emit(experiments.MetricsTable(0.9, sc))
 	}
 }

@@ -1,0 +1,80 @@
+package repro
+
+// Golden-table regression tests: each of the paper's four tables (the
+// M0–M3 model variants — no stealing baseline inside Table 1's estimate,
+// constant service, transfer delays, two choices) is regenerated through
+// the real wstables binary at a tiny fixed-seed scale and compared
+// byte-for-byte against a committed golden file. The simulator is
+// deterministic given a seed regardless of worker scheduling, so any
+// diff means the engine's sampling sequence, the solvers, or the table
+// formatting changed behavior.
+//
+// After an intentional change, regenerate with:
+//
+//	go test -run TestGoldenTables -update
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+// goldenArgs keeps the run cheap: 2 replications of a short horizon. The
+// seed matches wstables' default so the command line is reproducible by
+// hand.
+func goldenArgs(tbl string) []string {
+	return []string{"-table", tbl, "-reps", "2", "-horizon", "1500", "-seed", "1998", "-csv"}
+}
+
+func TestGoldenTables(t *testing.T) {
+	for _, tbl := range []string{"1", "2", "3", "4"} {
+		t.Run("table"+tbl, func(t *testing.T) {
+			t.Parallel()
+			out := run(t, "wstables", goldenArgs(tbl)...)
+			golden := filepath.Join("testdata", "wstables", "table"+tbl+".golden.csv")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, []byte(out), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("updated %s", golden)
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (run `go test -run TestGoldenTables -update`): %v", err)
+			}
+			if out != string(want) {
+				t.Errorf("table %s drifted from %s.\nGot:\n%s\nWant:\n%s\n(regenerate with -update if the change is intentional)",
+					tbl, golden, out, want)
+			}
+		})
+	}
+}
+
+// TestGoldenRunDeterminism guards the premise of the golden files: two
+// fresh processes with the same seed must produce identical bytes.
+func TestGoldenRunDeterminism(t *testing.T) {
+	a := run(t, "wstables", goldenArgs("1")...)
+	b := run(t, "wstables", goldenArgs("1")...)
+	if a != b {
+		t.Fatalf("wstables is not deterministic across runs:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestGoldenFilesCommitted fails loudly if someone deletes testdata/
+// without removing the tests.
+func TestGoldenFilesCommitted(t *testing.T) {
+	for _, tbl := range []string{"1", "2", "3", "4"} {
+		p := filepath.Join("testdata", "wstables", fmt.Sprintf("table%s.golden.csv", tbl))
+		if _, err := os.Stat(p); err != nil && !*update {
+			t.Errorf("golden file %s missing: %v", p, err)
+		}
+	}
+}

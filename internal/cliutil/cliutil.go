@@ -1,0 +1,58 @@
+// Package cliutil holds the small helpers shared by the cmd/ tools:
+// pprof profiling hooks for the long-running CLIs and indented JSON
+// emission for -json output modes.
+package cliutil
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartCPUProfile begins a CPU profile written to path and returns the
+// function that stops it. With an empty path it is a no-op.
+func StartCPUProfile(path string) (stop func(), err error) {
+	if path == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("cpu profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("cpu profile: %w", err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// WriteMemProfile writes an up-to-date heap profile to path. With an empty
+// path it is a no-op.
+func WriteMemProfile(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("mem profile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC() // flush recent frees so the profile reflects live heap
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("mem profile: %w", err)
+	}
+	return nil
+}
+
+// WriteJSON writes v to w as indented JSON with a trailing newline.
+func WriteJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}

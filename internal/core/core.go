@@ -67,6 +67,47 @@ func (fp FixedPoint) MeanTasks() float64 { return fp.Model.MeanTasks(fp.State) }
 // SojournTime returns the expected time in system at the fixed point.
 func (fp FixedPoint) SojournTime() float64 { return SojournTime(fp.Model, fp.State) }
 
+// Observer is an optional Model interface for models whose State is not a
+// single tails vector (split populations, stage space). It reports the
+// observable quantities the simulator's metrics layer measures, in task
+// space, so CLI readouts stay correct for every state layout.
+type Observer interface {
+	// BusyFraction returns the fraction of processors serving a task at
+	// state x.
+	BusyFraction(x []float64) float64
+	// StealSuccessProb returns the probability that a steal attempt finds
+	// a victim at or above the model's threshold at state x; ok is false
+	// when the model defines no such quantity.
+	StealSuccessProb(x []float64) (p float64, ok bool)
+}
+
+// BusyFraction returns the busy fraction at the fixed point: s₁ for
+// tails-first models, or the model's own accounting when it implements
+// Observer. At a stable fixed point this equals λ.
+func (fp FixedPoint) BusyFraction() float64 {
+	if o, ok := fp.Model.(Observer); ok {
+		return o.BusyFraction(fp.State)
+	}
+	if len(fp.State) > 1 {
+		return fp.State[1]
+	}
+	return 0
+}
+
+// StealSuccessProb returns the steal success probability at the fixed
+// point for victim threshold t (the tail s_t for tails-first models),
+// deferring to Observer models that track it differently; ok is false
+// when the quantity is undefined (t out of range, or a model without it).
+func (fp FixedPoint) StealSuccessProb(t int) (float64, bool) {
+	if o, ok := fp.Model.(Observer); ok {
+		return o.StealSuccessProb(fp.State)
+	}
+	if t >= 0 && t < len(fp.State) {
+		return fp.State[t], true
+	}
+	return 0, false
+}
+
 // ValidateTails checks that s is a feasible tail vector: s[0] == 1 (within
 // tol), entries in [−tol, 1+tol], non-increasing within tol, and a final
 // entry below tailTol (so the truncation lost negligible mass). It returns

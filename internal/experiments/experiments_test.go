@@ -245,3 +245,24 @@ func TestRelaxationStudyTable(t *testing.T) {
 		t.Errorf("relaxation at λ=0.9 (%v) should exceed λ=0.5 (%v)", slow, fast)
 	}
 }
+
+func TestMetricsTable(t *testing.T) {
+	tb := MetricsTable(0.8, tiny)
+	if tb.NumRows() != 4 {
+		t.Fatalf("rows = %d, want 4 model variants", tb.NumRows())
+	}
+	for r := 0; r < tb.NumRows(); r++ {
+		util := cellF(t, tb, r, 1)
+		// Every variant is stable at λ = 0.8, so utilization sits near λ.
+		if util < 0.72 || util > 0.88 {
+			t.Errorf("row %d (%s): utilization %v far from λ=0.8", r, tb.Cell(r, 0), util)
+		}
+	}
+	// M0 makes no steal attempts; the WS variants must make some.
+	if v := cellF(t, tb, 0, 2); v != 0 {
+		t.Errorf("no-stealing steal rate = %v, want 0", v)
+	}
+	if v := cellF(t, tb, 1, 2); v <= 0 {
+		t.Errorf("simple-WS steal rate = %v, want > 0", v)
+	}
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+	"repro/internal/sim"
+	"repro/internal/table"
+)
+
+// MetricsTable measures the observability layer across the paper's four
+// model variants at one arrival rate — M0: no stealing, M1: the simplest
+// WS model (T = 2), M2: two victim choices, M3: transfer delays
+// (r = 0.25, T = 4) — reporting utilization, steal attempt rate, steal
+// success fraction, and event-loop throughput for the largest configured
+// processor count. Utilization should sit at λ for every stable variant;
+// the steal columns quantify how much probing each discipline needs to
+// hold it there.
+func MetricsTable(lambda float64, sc Scale) *table.Table {
+	n := sc.Ns[len(sc.Ns)-1]
+	base := sim.Options{
+		N:              n,
+		Lambda:         lambda,
+		Service:        dist.NewExponential(1),
+		Horizon:        sc.Horizon,
+		Warmup:         sc.Warmup,
+		QueueHistDepth: 8,
+		Seed:           sc.Seed,
+	}
+	variants := []struct {
+		name string
+		mod  func(*sim.Options)
+	}{
+		{"M0 no stealing", func(o *sim.Options) { o.Policy = sim.PolicyNone }},
+		{"M1 simple WS (T=2)", func(o *sim.Options) { o.Policy = sim.PolicySteal; o.T = 2 }},
+		{"M2 two choices (T=2)", func(o *sim.Options) { o.Policy = sim.PolicySteal; o.T = 2; o.D = 2 }},
+		{"M3 transfer (r=0.25, T=4)", func(o *sim.Options) {
+			o.Policy = sim.PolicySteal
+			o.T = 4
+			o.TransferRate = 0.25
+		}},
+	}
+
+	t := table.New(
+		fmt.Sprintf("Simulation metrics by model variant (λ = %g, n = %d)", lambda, n),
+		"model", "utilization", "steal rate (/proc/t)", "steal success", "E[T]", "Mevents/s",
+	)
+	for _, v := range variants {
+		o := base
+		v.mod(&o)
+		agg, err := sim.Replication{Reps: sc.Reps, Workers: sc.Workers}.Run(o)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: metrics table: %v", err))
+		}
+		m := agg.Metrics
+		t.AddRow(
+			v.name,
+			fmt.Sprintf("%.4f", m.Utilization.Mean),
+			fmt.Sprintf("%.4f", m.StealAttemptRate.Mean),
+			fmt.Sprintf("%.4f", m.StealSuccessRate.Mean),
+			fmt.Sprintf("%.3f", agg.Sojourn.Mean),
+			fmt.Sprintf("%.1f", m.EventsPerSec.Mean/1e6),
+		)
+	}
+	return t
+}

@@ -92,6 +92,22 @@ func (m *Hetero) Split(x []float64) (u, v []float64) {
 	return x[:m.l], x[m.l : 2*m.l]
 }
 
+// BusyFraction reports u₁ + v₁: busy processors of either class
+// (core.Observer).
+func (m *Hetero) BusyFraction(x []float64) float64 {
+	u, v := m.Split(x)
+	return u[1] + v[1]
+}
+
+// StealSuccessProb reports S = u_T + v_T (core.Observer).
+func (m *Hetero) StealSuccessProb(x []float64) (float64, bool) {
+	if m.t >= m.l {
+		return 0, false
+	}
+	u, v := m.Split(x)
+	return u[m.t] + v[m.t], true
+}
+
 // Initial returns the empty system with class fractions in place.
 func (m *Hetero) Initial() []float64 {
 	x := make([]float64, m.dim)

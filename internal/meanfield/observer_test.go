@@ -1,0 +1,61 @@
+package meanfield
+
+// At any stable fixed point the busy fraction must equal λ — throughput
+// balances arrivals (with unit service rates). This pins down the
+// core.Observer implementations of the composite-state models, which
+// cannot use the default State[1] readout.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestBusyFractionEqualsLambdaAtFixedPoint(t *testing.T) {
+	const lambda = 0.9
+	models := []core.Model{
+		NewSimpleWS(lambda),
+		NewThreshold(lambda, 3),
+		NewTransfer(lambda, 4, 0.25),
+		NewRepeatedTransfer(lambda, 4, 1, 0.25),
+		NewStages(lambda, 10, 2),
+	}
+	for _, m := range models {
+		fp := MustSolve(m, SolveOptions{})
+		if got := fp.BusyFraction(); got < lambda-1e-3 || got > lambda+1e-3 {
+			t.Errorf("%s: busy fraction %.6f, want λ = %g", m.Name(), got, lambda)
+		}
+	}
+	// Hetero balances against the aggregate service capacity, not unit
+	// rates: q·μf·busy_f + (1−q)·μs·busy_s = arrivals. With μf = μs = 1
+	// the simple identity applies again.
+	h := NewHetero(0.5, 0.95, 0.7, 1, 1, 2)
+	fp := MustSolve(h, SolveOptions{})
+	want := h.ArrivalRate()
+	if got := fp.BusyFraction(); got < want-1e-3 || got > want+1e-3 {
+		t.Errorf("hetero: busy fraction %.6f, want %g", got, want)
+	}
+}
+
+func TestStealSuccessProbObserver(t *testing.T) {
+	// For the transfer model the per-attempt success probability is
+	// s_T + w_T, which exceeds the raw State[T] readout whenever awaiting
+	// processors hold tasks.
+	m := NewTransfer(0.9, 4, 0.25)
+	fp := MustSolve(m, SolveOptions{})
+	p, ok := fp.StealSuccessProb(4)
+	if !ok {
+		t.Fatal("transfer: no steal success probability")
+	}
+	if p <= fp.State[4] {
+		t.Errorf("transfer: success prob %.6f should exceed s_T alone %.6f", p, fp.State[4])
+	}
+	if p <= 0 || p >= 1 {
+		t.Errorf("transfer: success prob %.6f out of (0,1)", p)
+	}
+	// Tails-first models fall back to State[T].
+	s := MustSolve(NewSimpleWS(0.9), SolveOptions{})
+	if p, ok := s.StealSuccessProb(2); !ok || p != s.State[2] {
+		t.Errorf("simple: got (%v, %v), want State[2] = %v", p, ok, s.State[2])
+	}
+}

@@ -69,6 +69,21 @@ func (m *RepeatedTransfer) Split(x []float64) (s, w []float64) {
 	return x[:m.l], x[m.l : 2*m.l]
 }
 
+// BusyFraction reports s₁ + w₁ across both populations (core.Observer).
+func (m *RepeatedTransfer) BusyFraction(x []float64) float64 {
+	s, w := m.Split(x)
+	return s[1] + w[1]
+}
+
+// StealSuccessProb reports S = s_T + w_T (core.Observer).
+func (m *RepeatedTransfer) StealSuccessProb(x []float64) (float64, bool) {
+	if m.t >= m.l {
+		return 0, false
+	}
+	s, w := m.Split(x)
+	return s[m.t] + w[m.t], true
+}
+
 // Initial returns the empty system.
 func (m *RepeatedTransfer) Initial() []float64 {
 	x := make([]float64, m.dim)

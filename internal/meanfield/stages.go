@@ -77,6 +77,19 @@ func (m *Stages) T() int { return m.t }
 // MaxRate reflects the stage service rate c dominating the dynamics.
 func (m *Stages) MaxRate() float64 { return float64(2*m.c) + 2 }
 
+// BusyFraction reports s₁ in stage space — any remaining stage means a
+// task in service (core.Observer).
+func (m *Stages) BusyFraction(x []float64) float64 { return x[1] }
+
+// StealSuccessProb reports s_τ: a victim needs τ = (T−1)c + 1 stages, not
+// T entries of the stage-space state (core.Observer).
+func (m *Stages) StealSuccessProb(x []float64) (float64, bool) {
+	if m.tau >= m.dim {
+		return 0, false
+	}
+	return x[m.tau], true
+}
+
 // Initial returns the empty system.
 func (m *Stages) Initial() []float64 { return core.EmptyTails(m.dim) }
 

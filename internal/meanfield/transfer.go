@@ -73,6 +73,23 @@ func (m *Transfer) Split(x []float64) (s, w []float64) {
 	return x[:m.l], x[m.l : 2*m.l]
 }
 
+// BusyFraction reports s₁ + w₁: processors serving a task in either the
+// awaiting or non-awaiting population (core.Observer).
+func (m *Transfer) BusyFraction(x []float64) float64 {
+	s, w := m.Split(x)
+	return s[1] + w[1]
+}
+
+// StealSuccessProb reports s_T + w_T, the per-attempt success probability
+// of the steal term (core.Observer).
+func (m *Transfer) StealSuccessProb(x []float64) (float64, bool) {
+	if m.t >= m.l {
+		return 0, false
+	}
+	s, w := m.Split(x)
+	return s[m.t] + w[m.t], true
+}
+
 // Initial returns the empty system: all processors idle and not awaiting.
 func (m *Transfer) Initial() []float64 {
 	x := make([]float64, m.dim)

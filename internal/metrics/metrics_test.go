@@ -1,0 +1,113 @@
+package metrics
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func sample(util, succ float64) Metrics {
+	attempts := int64(1000)
+	return Metrics{
+		Counters: Counters{
+			Arrivals:       5000,
+			Departures:     4990,
+			StealAttempts:  attempts,
+			StealSuccesses: int64(succ * float64(attempts)),
+			StealFailEmpty: attempts - int64(succ*float64(attempts)),
+			Events:         12000,
+		},
+		Duration:     100,
+		Span:         90,
+		Utilization:  util,
+		QueueHist:    []float64{0.3, 0.4, 0.3},
+		WallSeconds:  0.01,
+		EventsPerSec: 1.2e6,
+	}
+}
+
+func TestRates(t *testing.T) {
+	m := sample(0.7, 0.5)
+	if got := m.StealSuccessRate(); got != 0.5 {
+		t.Errorf("StealSuccessRate = %v, want 0.5", got)
+	}
+	if got := m.Throughput(10); math.Abs(got-4.99) > 1e-12 {
+		t.Errorf("Throughput = %v, want 4.99", got)
+	}
+	if got := m.StealAttemptRate(10); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("StealAttemptRate = %v, want 1", got)
+	}
+	var zero Metrics
+	if zero.StealSuccessRate() != 0 || zero.Throughput(4) != 0 || zero.StealAttemptRate(4) != 0 {
+		t.Error("zero-value Metrics must yield zero rates, not NaN")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	ms := []Metrics{sample(0.68, 0.4), sample(0.72, 0.6)}
+	s := Summarize(ms, 10)
+	if s.Reps != 2 {
+		t.Fatalf("Reps = %d", s.Reps)
+	}
+	if math.Abs(s.Utilization.Mean-0.70) > 1e-12 {
+		t.Errorf("utilization mean = %v", s.Utilization.Mean)
+	}
+	if math.Abs(s.StealSuccessRate.Mean-0.5) > 1e-12 {
+		t.Errorf("success-rate mean = %v", s.StealSuccessRate.Mean)
+	}
+	if s.MeanCounters["arrivals"] != 5000 {
+		t.Errorf("mean arrivals = %v", s.MeanCounters["arrivals"])
+	}
+	want := []float64{0.3, 0.4, 0.3}
+	for i, v := range s.QueueHist {
+		if math.Abs(v-want[i]) > 1e-12 {
+			t.Errorf("QueueHist[%d] = %v, want %v", i, v, want[i])
+		}
+	}
+}
+
+func TestSummarizeNoHistogram(t *testing.T) {
+	a, b := sample(0.5, 0.5), sample(0.5, 0.5)
+	a.QueueHist, b.QueueHist = nil, nil
+	if s := Summarize([]Metrics{a, b}, 4); s.QueueHist != nil {
+		t.Errorf("QueueHist = %v, want nil", s.QueueHist)
+	}
+}
+
+func TestSummaryTables(t *testing.T) {
+	s := Summarize([]Metrics{sample(0.7, 0.5), sample(0.7, 0.5)}, 10)
+	text := s.Table("metrics").String()
+	for _, want := range []string{"utilization", "steal success rate", "mean steal_attempts", "events/s"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("summary table missing %q:\n%s", want, text)
+		}
+	}
+	hist := s.HistTable("queue lengths")
+	if hist == nil || hist.NumRows() != 3 {
+		t.Fatalf("hist table = %v", hist)
+	}
+	if hist.Cell(2, 0) != ">=2" {
+		t.Errorf("overflow bucket label = %q", hist.Cell(2, 0))
+	}
+	var none Summary
+	if none.HistTable("x") != nil {
+		t.Error("HistTable must be nil without samples")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	m := sample(0.7, 0.5)
+	blob, err := json.Marshal(&m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Metrics
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.StealAttempts != m.StealAttempts || back.Utilization != m.Utilization ||
+		len(back.QueueHist) != len(m.QueueHist) {
+		t.Errorf("round trip mismatch: %+v vs %+v", back, m)
+	}
+}

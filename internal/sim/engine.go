@@ -2,8 +2,10 @@ package sim
 
 import (
 	"math"
+	"time"
 
 	"repro/internal/eventq"
+	"repro/internal/metrics"
 	"repro/internal/rng"
 	"repro/internal/stats"
 )
@@ -28,6 +30,13 @@ type proc struct {
 	awaiting   bool    // a stolen task is in flight to this processor
 	inFlight   float64 // arrival time of the in-flight task
 	emptyEpoch uint32  // bumped whenever the queue gains a task
+
+	// Per-processor observability counters (metrics layer). busySince is
+	// only meaningful while the queue is non-empty.
+	stealAttempts  int64
+	stealSuccesses int64
+	busySince      float64
+	busyTime       float64 // accumulated post-warmup busy time
 }
 
 // engine holds one simulation run.
@@ -50,6 +59,14 @@ type engine struct {
 	tails      *tailSampler
 	series     *seriesSampler
 	sojournH   *stats.Histogram
+
+	// Observability layer: counters are incremented in place on the hot
+	// path (no allocation); the queue-length histogram shares the evSample
+	// tick with the tail sampler.
+	met          metrics.Metrics
+	sampleEvery  float64
+	qhist        []int64
+	qhistSamples int64
 }
 
 // newEngine builds the initial state and schedules the priming events.
@@ -151,6 +168,23 @@ func (e *engine) accountLoad(t float64) {
 	e.loadSince = t
 }
 
+// markBusy records the start of a busy period (queue went 0 → 1).
+func (e *engine) markBusy(pr *proc) {
+	pr.busySince = e.now
+}
+
+// markIdle closes a busy period (queue went 1 → 0), accumulating the
+// post-warmup portion.
+func (e *engine) markIdle(pr *proc) {
+	from := pr.busySince
+	if from < e.o.Warmup {
+		from = e.o.Warmup
+	}
+	if e.now > from {
+		pr.busyTime += e.now - from
+	}
+}
+
 // addTask enqueues a task (with its original arrival time) at processor p,
 // starting service if the processor was idle.
 func (e *engine) addTask(p int32, arrival float64) {
@@ -159,6 +193,7 @@ func (e *engine) addTask(p int32, arrival float64) {
 	pr.emptyEpoch++
 	e.totalTasks++
 	if pr.q.Len() == 1 {
+		e.markBusy(pr)
 		e.scheduleDeparture(p)
 	}
 }
@@ -180,7 +215,7 @@ func (e *engine) completeTask(p int32) {
 	pr := &e.procs[p]
 	arrival := pr.q.PopFront()
 	e.totalTasks--
-	e.res.Completed++
+	e.met.Departures++
 	if arrival >= e.o.Warmup {
 		sj := e.now - arrival
 		e.sojournSum += sj
@@ -191,6 +226,8 @@ func (e *engine) completeTask(p int32) {
 	}
 	if pr.q.Len() > 0 {
 		e.scheduleDeparture(p)
+	} else {
+		e.markIdle(pr)
 	}
 }
 
@@ -215,13 +252,20 @@ func (e *engine) victim(thief int32) (int32, int) {
 // trySteal performs one steal attempt for a thief currently holding
 // `left` tasks. Returns true if a task (or K tasks) moved (or began moving).
 func (e *engine) trySteal(thief int32, left int) bool {
-	e.res.StealAttempts++
+	e.met.StealAttempts++
+	e.procs[thief].stealAttempts++
 	v, load := e.victim(thief)
 	need := left + e.o.T
 	if load < need || load < 2 {
+		if load < 2 {
+			e.met.StealFailEmpty++
+		} else {
+			e.met.StealFailThreshold++
+		}
 		return false
 	}
-	e.res.StealSuccesses++
+	e.met.StealSuccesses++
+	e.procs[thief].stealSuccesses++
 	vic := &e.procs[v]
 	if e.o.TransferRate > 0 {
 		// One task enters flight; the thief will not steal again until it
@@ -229,6 +273,7 @@ func (e *engine) trySteal(thief int32, left int) bool {
 		arrival := vic.q.PopBack()
 		e.totalTasks-- // it leaves the victim's queue...
 		e.totalTasks++ // ...but stays in the system (in flight)
+		e.met.TransfersStarted++
 		pr := &e.procs[thief]
 		pr.awaiting = true
 		pr.inFlight = arrival
@@ -250,6 +295,7 @@ func (e *engine) trySteal(thief int32, left int) bool {
 		pr.q.PushBack(tmp[j])
 		pr.emptyEpoch++
 		if pr.q.Len() == 1 {
+			e.markBusy(pr)
 			e.scheduleDeparture(thief)
 		}
 	}
@@ -297,19 +343,21 @@ func (e *engine) rebalance(p int32) {
 	// a is the larger side; move tasks until a holds the ceiling half.
 	total := a.q.Len() + b.q.Len()
 	keep := (total + 1) / 2
-	moved := false
+	moved := int64(0)
 	for a.q.Len() > keep {
 		arrival := a.q.PopBack()
 		b.q.PushBack(arrival)
 		b.emptyEpoch++
 		if b.q.Len() == 1 {
+			e.markBusy(b)
 			e.scheduleDeparture(bi)
 		}
-		moved = true
+		moved++
 	}
 	_ = ai
-	if moved {
-		e.res.Rebalances++
+	if moved > 0 {
+		e.met.Rebalances++
+		e.met.RebalanceMoves += moved
 	}
 }
 
@@ -327,6 +375,7 @@ func Run(o Options) (Result, error) {
 // run is the main event loop.
 func (e *engine) run() {
 	o := &e.o
+	wallStart := time.Now()
 	for e.q.Len() > 0 {
 		ev := e.q.PopMin()
 		if ev.Time > o.Horizon {
@@ -334,6 +383,7 @@ func (e *engine) run() {
 		}
 		e.accountLoad(ev.Time)
 		e.now = ev.Time
+		e.met.Events++
 
 		switch ev.Kind {
 		case evArrival:
@@ -341,7 +391,7 @@ func (e *engine) run() {
 			ids := e.classProcs[class]
 			p := ids[e.r.Intn(len(ids))]
 			e.addTask(p, e.now)
-			e.res.Arrived++
+			e.met.Arrivals++
 			var rate float64
 			if o.Classes == nil {
 				rate = o.Lambda * float64(o.N)
@@ -356,7 +406,7 @@ func (e *engine) run() {
 			p := int32(e.r.Intn(o.N))
 			if e.procs[p].q.Len() > 0 {
 				e.addTask(p, e.now)
-				e.res.Arrived++
+				e.met.Spawns++
 			}
 			e.q.Push(eventq.Event{Time: e.now + e.r.Exp(o.LambdaInt*float64(o.N)), Kind: evSpawn})
 
@@ -368,8 +418,10 @@ func (e *engine) run() {
 			pr := &e.procs[ev.Proc]
 			// Stale if the processor gained work since the retry was armed.
 			if pr.emptyEpoch != ev.Epoch || pr.q.Len() > 0 || pr.awaiting {
+				e.met.RetriesStale++
 				break
 			}
+			e.met.Retries++
 			if !e.trySteal(ev.Proc, 0) {
 				e.q.Push(eventq.Event{
 					Time:  e.now + e.r.Exp(o.RetryRate),
@@ -382,11 +434,13 @@ func (e *engine) run() {
 		case evTransfer:
 			pr := &e.procs[ev.Proc]
 			pr.awaiting = false
+			e.met.TransfersCompleted++
 			// The task was already counted in totalTasks while in flight;
 			// hand it to the queue without recounting.
 			pr.q.PushBack(pr.inFlight)
 			pr.emptyEpoch++
 			if pr.q.Len() == 1 {
+				e.markBusy(pr)
 				e.scheduleDeparture(ev.Proc)
 			}
 
@@ -432,4 +486,68 @@ func (e *engine) run() {
 		e.res.P95 = e.sojournH.Quantile(0.95)
 		e.res.P99 = e.sojournH.Quantile(0.99)
 	}
+	e.finishMetrics(end, time.Since(wallStart))
+}
+
+// finishMetrics closes the observability layer: it flushes open busy
+// periods, derives the rate and utilization fields, and mirrors the
+// counters into the legacy Result fields.
+func (e *engine) finishMetrics(end float64, wall time.Duration) {
+	o := &e.o
+	e.met.Duration = end
+	span := end - o.Warmup
+	e.met.Span = 0
+	if span > 0 {
+		e.met.Span = span
+	}
+
+	// Flush busy periods still open at the end of the run.
+	var busySum float64
+	e.met.PerProc = make([]metrics.ProcMetrics, o.N)
+	for i := range e.procs {
+		pr := &e.procs[i]
+		if pr.q.Len() > 0 {
+			from := pr.busySince
+			if from < o.Warmup {
+				from = o.Warmup
+			}
+			if end > from {
+				pr.busyTime += end - from
+			}
+		}
+		pm := &e.met.PerProc[i]
+		pm.StealAttempts = pr.stealAttempts
+		pm.StealSuccesses = pr.stealSuccesses
+		pm.BusyTime = pr.busyTime
+		if span > 0 {
+			pm.Utilization = pr.busyTime / span
+		}
+		busySum += pr.busyTime
+	}
+	if span > 0 {
+		e.met.Utilization = busySum / span / float64(o.N)
+	}
+	e.met.TransfersInFlight = e.met.TransfersStarted - e.met.TransfersCompleted
+
+	if e.qhistSamples > 0 {
+		e.met.QueueHist = make([]float64, len(e.qhist))
+		denom := float64(e.qhistSamples) * float64(o.N)
+		for i, c := range e.qhist {
+			e.met.QueueHist[i] = float64(c) / denom
+		}
+		e.met.QueueHistSamples = e.qhistSamples
+	}
+
+	e.met.WallSeconds = wall.Seconds()
+	if e.met.WallSeconds > 0 {
+		e.met.EventsPerSec = float64(e.met.Events) / e.met.WallSeconds
+	}
+
+	// The pre-existing Result counters are now views of the metrics layer.
+	e.res.Arrived = e.met.Arrivals + e.met.Spawns
+	e.res.Completed = e.met.Departures
+	e.res.StealAttempts = e.met.StealAttempts
+	e.res.StealSuccesses = e.met.StealSuccesses
+	e.res.Rebalances = e.met.Rebalances
+	e.res.Metrics = e.met
 }

@@ -50,6 +50,9 @@ func TestFuzzConfigurations(t *testing.T) {
 		if r.Intn(3) == 0 {
 			o.TailDepth = 1 + r.Intn(8)
 		}
+		if r.Intn(3) == 0 {
+			o.QueueHistDepth = 1 + r.Intn(10)
+		}
 		switch r.Intn(4) {
 		case 0:
 			o.Service = dist.NewDeterministic(1)
@@ -84,6 +87,36 @@ func TestFuzzConfigurations(t *testing.T) {
 			if v < 0 || v > 1 || (i > 0 && v > res.Tails[i-1]+1e-12) {
 				t.Logf("seed %d: malformed tails %v", seed, res.Tails)
 				return false
+			}
+		}
+		m := res.Metrics
+		if m.StealAttempts != m.StealSuccesses+m.StealFailEmpty+m.StealFailThreshold {
+			t.Logf("seed %d: steal counter identity broken: %+v", seed, m.Counters)
+			return false
+		}
+		for _, c := range []int64{m.Arrivals, m.Spawns, m.Departures,
+			m.StealAttempts, m.StealSuccesses, m.StealFailEmpty, m.StealFailThreshold,
+			m.Retries, m.RetriesStale, m.TransfersStarted, m.TransfersCompleted,
+			m.Rebalances, m.RebalanceMoves, m.Events, m.TransfersInFlight} {
+			if c < 0 {
+				t.Logf("seed %d: negative counter in %+v", seed, m.Counters)
+				return false
+			}
+		}
+		if m.Utilization < 0 || m.Utilization > 1 {
+			t.Logf("seed %d: utilization %v out of [0,1]", seed, m.Utilization)
+			return false
+		}
+		if o.QueueHistDepth > 0 {
+			if len(m.QueueHist) != o.QueueHistDepth {
+				t.Logf("seed %d: hist depth %d, want %d", seed, len(m.QueueHist), o.QueueHistDepth)
+				return false
+			}
+			for _, v := range m.QueueHist {
+				if v < 0 || v > 1 {
+					t.Logf("seed %d: malformed queue hist %v", seed, m.QueueHist)
+					return false
+				}
 			}
 		}
 		return true

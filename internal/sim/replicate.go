@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/metrics"
 	"repro/internal/rng"
 	"repro/internal/stats"
 )
@@ -32,6 +33,11 @@ type Aggregate struct {
 	// Tails is the replication-averaged empirical tail vector (nil unless
 	// Options.TailDepth was set).
 	Tails []float64
+	// Metrics summarizes the observability layer across replications:
+	// utilization, steal rates and event-loop throughput with 95%
+	// confidence intervals, mean counters, and the averaged queue-length
+	// histogram.
+	Metrics metrics.Summary
 	// Results holds the individual replication results.
 	Results []Result
 }
@@ -41,7 +47,7 @@ type Aggregate struct {
 // worker count and scheduling.
 func (rp Replication) Run(o Options) (Aggregate, error) {
 	if rp.Reps < 1 {
-		return Aggregate{}, fmt.Errorf("sim: need Reps >= 1")
+		return Aggregate{}, fmt.Errorf("sim: need Reps >= 1, got %d", rp.Reps)
 	}
 	o.normalize()
 	if err := o.Validate(); err != nil {
@@ -90,5 +96,10 @@ func (rp Replication) Run(o Options) (Aggregate, error) {
 	agg.Load = stats.Summarize(load)
 	agg.Drain = stats.Summarize(drain)
 	agg.Tails = AverageTails(results)
+	ms := make([]metrics.Metrics, len(results))
+	for i, r := range results {
+		ms[i] = r.Metrics
+	}
+	agg.Metrics = metrics.Summarize(ms, o.N)
 	return agg, nil
 }

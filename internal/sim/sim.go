@@ -25,6 +25,7 @@ import (
 	"fmt"
 
 	"repro/internal/dist"
+	"repro/internal/metrics"
 )
 
 // PolicyKind selects the stealing discipline.
@@ -114,6 +115,12 @@ type Options struct {
 	// fixed grid from t = 0 (Result.SeriesTimes/SeriesLoads) so simulated
 	// transients can be compared with integrated ODE trajectories.
 	SeriesEvery float64
+	// QueueHistDepth, when positive, samples a queue-length histogram on
+	// the same post-warmup tick as the tail sampler (cadence TailEvery):
+	// Result.Metrics.QueueHist[i] is the fraction of processors holding
+	// exactly i tasks, with bucket QueueHistDepth−1 absorbing all longer
+	// queues. Comparable to the mean-field occupancies π_i − π_{i+1}.
+	QueueHistDepth int
 	// SojournHistMax, when positive, histograms the sojourn times of
 	// measured tasks over [0, SojournHistMax) with 1000 buckets, enabling
 	// the P50/P95/P99 fields of Result. Pick a generous bound (e.g. 50×
@@ -182,6 +189,9 @@ func (o *Options) Validate() error {
 	}
 	if o.Warmup < 0 || o.Warmup >= o.Horizon {
 		return fmt.Errorf("sim: Warmup must be in [0, Horizon)")
+	}
+	if o.TailDepth < 0 || o.QueueHistDepth < 0 {
+		return fmt.Errorf("sim: negative sampling depth")
 	}
 	switch o.Policy {
 	case PolicyNone:
@@ -272,4 +282,9 @@ type Result struct {
 	DrainTime float64
 	// End is the simulated time at which the run stopped.
 	End float64
+	// Metrics holds the full observability layer of the run: event
+	// counters by kind and cause, per-processor steal counts and busy-time
+	// utilization, the sampled queue-length histogram (when
+	// Options.QueueHistDepth is set), and event-loop throughput.
+	Metrics metrics.Metrics
 }

@@ -12,15 +12,13 @@ import "repro/internal/eventq"
 // tailSampler accumulates periodic snapshots of the empirical tails.
 type tailSampler struct {
 	depth    int
-	every    float64
 	sums     []float64 // Σ over samples of (fraction with ≥ i tasks)
 	nSamples int64
 }
 
-// newTailSampler returns a sampler for tails s_0..s_{depth-1} sampled every
-// `every` time units.
-func newTailSampler(depth int, every float64) *tailSampler {
-	return &tailSampler{depth: depth, every: every, sums: make([]float64, depth)}
+// newTailSampler returns a sampler for tails s_0..s_{depth-1}.
+func newTailSampler(depth int) *tailSampler {
+	return &tailSampler{depth: depth, sums: make([]float64, depth)}
 }
 
 // sample records one snapshot of the processor loads.
@@ -56,9 +54,12 @@ func (ts *tailSampler) tails() []float64 {
 	return out
 }
 
-// scheduleFirstSample arms the sampling chain at the end of warmup.
+// scheduleFirstSample arms the post-warmup sampling chain shared by the
+// tail sampler (Options.TailDepth) and the queue-length histogram of the
+// metrics layer (Options.QueueHistDepth). Both snapshot on the same
+// evSample tick at the TailEvery cadence.
 func (e *engine) scheduleFirstSample() {
-	if e.o.TailDepth <= 0 {
+	if e.o.TailDepth <= 0 && e.o.QueueHistDepth <= 0 {
 		return
 	}
 	every := e.o.TailEvery
@@ -68,15 +69,34 @@ func (e *engine) scheduleFirstSample() {
 			every = 1
 		}
 	}
-	e.tails = newTailSampler(e.o.TailDepth, every)
+	e.sampleEvery = every
+	if e.o.TailDepth > 0 {
+		e.tails = newTailSampler(e.o.TailDepth)
+	}
+	if e.o.QueueHistDepth > 0 {
+		e.qhist = make([]int64, e.o.QueueHistDepth)
+	}
 	e.q.Push(eventq.Event{Time: e.o.Warmup + every, Kind: evSample})
 }
 
 // handleSample records a snapshot and re-arms the chain.
 func (e *engine) handleSample() {
-	e.tails.sample(e.procs)
-	e.tails.nSamples++
-	next := e.now + e.tails.every
+	if e.tails != nil {
+		e.tails.sample(e.procs)
+		e.tails.nSamples++
+	}
+	if e.qhist != nil {
+		top := len(e.qhist) - 1
+		for i := range e.procs {
+			l := e.procs[i].q.Len()
+			if l > top {
+				l = top
+			}
+			e.qhist[l]++
+		}
+		e.qhistSamples++
+	}
+	next := e.now + e.sampleEvery
 	if next <= e.o.Horizon {
 		e.q.Push(eventq.Event{Time: next, Kind: evSample})
 	}

@@ -88,7 +88,7 @@ func TestTailsNilWithoutDepth(t *testing.T) {
 
 func TestTailSamplerOverflowBucket(t *testing.T) {
 	// Loads at or beyond depth count toward every sampled tail index.
-	ts := newTailSampler(3, 1)
+	ts := newTailSampler(3)
 	procs := make([]proc, 4)
 	for i := 0; i < 3; i++ {
 		procs[0].q.PushBack(0) // load 3 (beyond depth? depth=3 → clamp)

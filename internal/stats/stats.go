@@ -114,10 +114,10 @@ func (tw *TimeWeighted) Reset() { *tw = TimeWeighted{} }
 
 // Summary holds the aggregate of several replication means.
 type Summary struct {
-	N    int     // number of replications
-	Mean float64 // mean of replication means
-	Std  float64 // std dev across replications
-	Half float64 // 95% confidence half-width
+	N    int     `json:"n"`    // number of replications
+	Mean float64 `json:"mean"` // mean of replication means
+	Std  float64 `json:"std"`  // std dev across replications
+	Half float64 `json:"half"` // 95% confidence half-width
 }
 
 // Summarize aggregates per-replication means into a Summary with a 95%

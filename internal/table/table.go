@@ -4,6 +4,7 @@
 package table
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -122,6 +123,7 @@ func looksNumeric(s string) bool {
 		switch {
 		case r >= '0' && r <= '9':
 		case r == '.' || r == '-' || r == '+' || r == 'e' || r == 'E' || r == '%':
+		case r == '>' || r == '<' || r == '=':
 		default:
 			return false
 		}
@@ -154,6 +156,23 @@ func (t *Table) WriteCSV(w io.Writer) error {
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// WriteJSON renders the table as an indented JSON object with "title",
+// "headers" and "rows" keys, so table-producing CLIs can offer machine-
+// readable output that round-trips.
+func (t *Table) WriteJSON(w io.Writer) error {
+	rows := t.rows
+	if rows == nil {
+		rows = [][]string{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Title   string     `json:"title"`
+		Headers []string   `json:"headers"`
+		Rows    [][]string `json:"rows"`
+	}{t.Title, t.Headers, rows})
 }
 
 // String renders the text form.

@@ -1,6 +1,7 @@
 package table
 
 import (
+	"encoding/json"
 	"math"
 	"strings"
 	"testing"
@@ -87,5 +88,36 @@ func TestNumericAlignment(t *testing.T) {
 	}
 	if pad("toolong", 3) != "toolong" {
 		t.Error("overlong cell should pass through")
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	tb := New("Demo", "name", "value")
+	tb.AddRow("a", "1")
+	tb.AddRow("b", "2")
+	var b strings.Builder
+	if err := tb.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var back struct {
+		Title   string     `json:"title"`
+		Headers []string   `json:"headers"`
+		Rows    [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &back); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, b.String())
+	}
+	if back.Title != "Demo" || len(back.Headers) != 2 || len(back.Rows) != 2 || back.Rows[1][1] != "2" {
+		t.Errorf("round trip mismatch: %+v", back)
+	}
+}
+
+func TestWriteJSONEmptyTable(t *testing.T) {
+	var b strings.Builder
+	if err := New("Empty", "h").WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `"rows": []`) {
+		t.Errorf("empty table must emit [] rows, got:\n%s", b.String())
 	}
 }
