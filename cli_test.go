@@ -24,7 +24,7 @@ func TestMain(m *testing.M) {
 		fmt.Fprintln(os.Stderr, "cli_test:", err)
 		os.Exit(1)
 	}
-	for _, name := range []string{"wstables", "wssim", "wsfixed", "wsode", "wssweep"} {
+	for _, name := range []string{"wstables", "wssim", "wsfixed", "wsode", "wssweep", "wsbench"} {
 		out := filepath.Join(dir, name)
 		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+name)
 		if msg, err := cmd.CombinedOutput(); err != nil {
@@ -217,6 +217,97 @@ func TestCLIProfiles(t *testing.T) {
 			} else if fi.Size() == 0 {
 				t.Errorf("%s wrote an empty profile %s", c.name, p)
 			}
+		}
+	}
+}
+
+// TestCLIProfilesWrittenOnError pins the bug the run() restructure fixed:
+// a usage error must still flush the profiles, because the deferred
+// stopCPU/WriteMemProfile now run on every exit path instead of being
+// skipped by os.Exit.
+func TestCLIProfilesWrittenOnError(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"wstables", []string{"-table", "nope"}},
+		{"wssweep", []string{"-sweep", "nope"}},
+	}
+	for _, c := range cases {
+		cpu := filepath.Join(dir, c.name+".err.cpu.pprof")
+		mem := filepath.Join(dir, c.name+".err.mem.pprof")
+		cmd := exec.Command(filepath.Join(buildCmds(t), c.name),
+			append(c.args, "-cpuprofile", cpu, "-memprofile", mem)...)
+		out, err := cmd.Output()
+		if err == nil {
+			t.Errorf("%s %v succeeded, want usage error:\n%s", c.name, c.args, out)
+		}
+		for _, p := range []string{cpu, mem} {
+			fi, statErr := os.Stat(p)
+			if statErr != nil {
+				t.Errorf("%s error path did not write %s: %v", c.name, p, statErr)
+			} else if fi.Size() == 0 {
+				t.Errorf("%s error path wrote an empty profile %s", c.name, p)
+			}
+		}
+	}
+}
+
+// TestCLIWstablesWorkersDeterministic checks the scheduler's promise at
+// the binary boundary: the same table rendered with different -workers
+// counts is byte-identical.
+func TestCLIWstablesWorkersDeterministic(t *testing.T) {
+	args := []string{"-table", "1", "-reps", "2", "-horizon", "1000", "-csv"}
+	one := run(t, "wstables", append(args, "-workers", "1")...)
+	four := run(t, "wstables", append(args, "-workers", "4")...)
+	if one != four {
+		t.Errorf("wstables output depends on -workers:\n--- workers=1\n%s--- workers=4\n%s", one, four)
+	}
+}
+
+// TestCLIWssimWorkersDeterministic does the same for wssim's replication
+// runner.
+func TestCLIWssimWorkersDeterministic(t *testing.T) {
+	// Plain text output only: the -json report embeds the wall-clock
+	// events/sec summary, which legitimately varies run to run.
+	args := []string{"-n", "16", "-lambda", "0.7", "-policy", "steal", "-T", "2",
+		"-horizon", "1000", "-warmup", "100", "-reps", "3"}
+	one := run(t, "wssim", append(args, "-workers", "1")...)
+	four := run(t, "wssim", append(args, "-workers", "4")...)
+	if one != four {
+		t.Errorf("wssim output depends on -workers:\n--- workers=1\n%s--- workers=4\n%s", one, four)
+	}
+}
+
+// TestCLIWsbench smoke-tests the perf recorder (throughput section only;
+// the table timings are minutes of work) and sanity-checks its numbers.
+func TestCLIWsbench(t *testing.T) {
+	out := run(t, "wsbench", "-tables=false", "-runs", "1", "-horizon", "150", "-out", "-")
+	// Output is the JSON report followed by the human summary; parse the
+	// JSON prefix.
+	dec := json.NewDecoder(strings.NewReader(out))
+	var rep struct {
+		NumCPU     int `json:"num_cpu"`
+		Throughput []struct {
+			Name           string  `json:"name"`
+			Events         int64   `json:"events"`
+			NsPerEvent     float64 `json:"ns_per_event"`
+			AllocsPerEvent float64 `json:"allocs_per_event"`
+		} `json:"throughput"`
+	}
+	if err := dec.Decode(&rep); err != nil {
+		t.Fatalf("wsbench emitted invalid JSON: %v\n%s", err, out)
+	}
+	if rep.NumCPU < 1 || len(rep.Throughput) == 0 {
+		t.Fatalf("wsbench report incomplete: %+v", rep)
+	}
+	for _, tp := range rep.Throughput {
+		if tp.Events <= 0 || tp.NsPerEvent <= 0 {
+			t.Errorf("%s: implausible measurement %+v", tp.Name, tp)
+		}
+		if tp.AllocsPerEvent > 0.01 {
+			t.Errorf("%s: allocs/event = %v, want ~0 (reuse path regressed)", tp.Name, tp.AllocsPerEvent)
 		}
 	}
 }

@@ -26,6 +26,12 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run returns the process exit code instead of calling os.Exit so that
+// deferred cleanups always execute and tests can drive it directly.
+func run() int {
 	model := flag.String("model", "simple", "model: nosteal, simple, threshold, preemptive, repeated, choices, multisteal, stages, transfer, rebalance, stealhalf, spawning, repeated-transfer")
 	lambda := flag.Float64("lambda", 0.9, "arrival rate λ in (0,1)")
 	tFlag := flag.Int("T", 2, "victim threshold")
@@ -71,13 +77,13 @@ func main() {
 		m = meanfield.NewRepeatedTransfer(*lambda, *tFlag, *raFlag, *rFlag)
 	default:
 		fmt.Fprintf(os.Stderr, "wsfixed: unknown model %q\n", *model)
-		os.Exit(2)
+		return 2
 	}
 
 	fp, err := meanfield.Solve(m, meanfield.SolveOptions{})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wsfixed:", err)
-		os.Exit(1)
+		return 1
 	}
 	ratioT := core.TailRatio(fp.State, *tFlag+1, 1e-6)
 	if *jsonFlag {
@@ -99,9 +105,9 @@ func main() {
 			fp.SojournTime(), fp.BusyFraction(), ratioT, fp.State[:nTails]}
 		if err := cliutil.WriteJSON(os.Stdout, out); err != nil {
 			fmt.Fprintln(os.Stderr, "wsfixed:", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 	fmt.Printf("model:            %s\n", m.Name())
 	fmt.Printf("dimension:        %d\n", m.Dim())
@@ -126,4 +132,5 @@ func main() {
 	for i := 0; i < *tails && i < m.Dim(); i++ {
 		fmt.Printf("  π_%-3d = %.8f\n", i, fp.State[i])
 	}
+	return 0
 }

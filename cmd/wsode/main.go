@@ -23,6 +23,12 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run returns the process exit code instead of calling os.Exit so that
+// deferred cleanups always execute and tests can drive it directly.
+func run() int {
 	model := flag.String("model", "simple", "model: nosteal, simple, threshold, choices")
 	lambda := flag.Float64("lambda", 0.9, "arrival rate")
 	tFlag := flag.Int("T", 2, "victim threshold")
@@ -46,13 +52,13 @@ func main() {
 		m = meanfield.NewChoices(*lambda, *tFlag, *dFlag)
 	default:
 		fmt.Fprintf(os.Stderr, "wsode: unknown model %q\n", *model)
-		os.Exit(2)
+		return 2
 	}
 
 	fp, err := meanfield.Solve(m, meanfield.SolveOptions{})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wsode:", err)
-		os.Exit(1)
+		return 1
 	}
 
 	x := m.Initial()
@@ -81,10 +87,10 @@ func main() {
 		}, asciiplot.Series{Name: "mean tasks per processor", Xs: times, Ys: loads})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "wsode:", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Print(chart)
-		return
+		return 0
 	}
 
 	// Convergence metrics: when the trajectory first comes within 1% (in
@@ -113,9 +119,9 @@ func main() {
 			loads[len(loads)-1], dists[len(dists)-1], times, loads, dists}
 		if err := cliutil.WriteJSON(os.Stdout, out); err != nil {
 			fmt.Fprintln(os.Stderr, "wsode:", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 	if *metricsFlag {
 		fmt.Printf("model:             %s\n", m.Name())
@@ -127,11 +133,12 @@ func main() {
 		} else {
 			fmt.Printf("settle time (1%%):  not reached within span %.1f\n", *span)
 		}
-		return
+		return 0
 	}
 	fmt.Println("t,mean_tasks,sojourn_estimate,l1_distance_to_fixed_point")
 	for i := range times {
 		fmt.Printf("%.3f,%.6f,%.6f,%.6e\n",
 			times[i], loads[i], loads[i]/m.ArrivalRate(), dists[i])
 	}
+	return 0
 }

@@ -24,6 +24,13 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run holds the whole program so that deferred cleanups — most importantly
+// the profile flushes — execute on every exit path; main's os.Exit would
+// skip them.
+func run() (code int) {
 	n := flag.Int("n", 128, "number of processors")
 	lambda := flag.Float64("lambda", 0, "external per-processor arrival rate")
 	lambdaInt := flag.Float64("lambda-int", 0, "internal spawn rate while busy")
@@ -42,6 +49,7 @@ func main() {
 	horizon := flag.Float64("horizon", 100_000, "simulated time")
 	warmup := flag.Float64("warmup", 10_000, "warmup time excluded from stats")
 	reps := flag.Int("reps", 10, "independent replications")
+	workers := flag.Int("workers", 0, "parallel replication workers (0 = GOMAXPROCS)")
 	seed := flag.Uint64("seed", 1, "random seed")
 	metricsFlag := flag.Bool("metrics", false, "report the observability metrics (utilization, steal rates, queue-length histogram)")
 	qhist := flag.Int("qhist", 16, "queue-length histogram depth for -metrics")
@@ -64,7 +72,7 @@ func main() {
 		svc = dist.NewUniform(0.5, 1.5)
 	default:
 		fmt.Fprintf(os.Stderr, "wssim: unknown service %q\n", *service)
-		os.Exit(2)
+		return 2
 	}
 
 	var pk sim.PolicyKind
@@ -77,7 +85,7 @@ func main() {
 		pk = sim.PolicyRebalance
 	default:
 		fmt.Fprintf(os.Stderr, "wssim: unknown policy %q\n", *policy)
-		os.Exit(2)
+		return 2
 	}
 
 	// Static runs drop the warmup by default.
@@ -111,17 +119,21 @@ func main() {
 	stopCPU, err := cliutil.StartCPUProfile(*cpuprofile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wssim:", err)
-		os.Exit(1)
+		return 1
 	}
-	agg, err := sim.Replication{Reps: *reps}.Run(opts)
-	stopCPU()
+	defer func() {
+		stopCPU()
+		if err := cliutil.WriteMemProfile(*memprofile); err != nil {
+			fmt.Fprintln(os.Stderr, "wssim:", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}()
+	agg, err := sim.Replication{Reps: *reps, Workers: *workers}.Run(opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wssim:", err)
-		os.Exit(1)
-	}
-	if err := cliutil.WriteMemProfile(*memprofile); err != nil {
-		fmt.Fprintln(os.Stderr, "wssim:", err)
-		os.Exit(1)
+		return 1
 	}
 
 	if *jsonFlag {
@@ -142,9 +154,9 @@ func main() {
 			agg.Sojourn, agg.Load, agg.Drain, agg.Tails, agg.Metrics}
 		if err := cliutil.WriteJSON(os.Stdout, out); err != nil {
 			fmt.Fprintln(os.Stderr, "wssim:", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	first := agg.Results[0]
@@ -164,14 +176,15 @@ func main() {
 		fmt.Println()
 		if err := agg.Metrics.Table("Simulation metrics (95% CIs over replications)").WriteText(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "wssim:", err)
-			os.Exit(1)
+			return 1
 		}
 		if ht := agg.Metrics.HistTable("Queue-length distribution (sampled)"); ht != nil {
 			fmt.Println()
 			if err := ht.WriteText(os.Stdout); err != nil {
 				fmt.Fprintln(os.Stderr, "wssim:", err)
-				os.Exit(1)
+				return 1
 			}
 		}
 	}
+	return 0
 }

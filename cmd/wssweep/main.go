@@ -10,6 +10,10 @@
 //	wssweep -sweep retry -lambda 0.9 -T 2
 //	wssweep -sweep multisteal -lambda 0.9 -T 10
 //	wssweep -sweep lambda -model simple
+//
+// The swept values solve independently, so they run in parallel on -workers
+// pool workers (GOMAXPROCS by default); rows are emitted in sweep order
+// regardless of which solve finishes first.
 package main
 
 import (
@@ -20,16 +24,26 @@ import (
 	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/meanfield"
+	"repro/internal/sched"
+	"repro/internal/sim"
 	"repro/internal/table"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run holds the whole program so that deferred cleanups — most importantly
+// the profile flushes — execute on every exit path; main's os.Exit would
+// skip them.
+func run() (code int) {
 	sweep := flag.String("sweep", "threshold", "parameter to sweep: threshold, transfer-threshold, choices, retry, multisteal, lambda")
 	model := flag.String("model", "simple", "model for -sweep lambda: nosteal, simple, choices")
 	lambda := flag.Float64("lambda", 0.9, "arrival rate")
 	tFlag := flag.Int("T", 2, "victim threshold (for retry and multisteal sweeps)")
 	rFlag := flag.Float64("r", 0.25, "transfer rate (for transfer-threshold sweep)")
 	maxV := flag.Int("max", 8, "largest swept integer value")
+	workers := flag.Int("workers", 0, "parallel solver workers (0 = GOMAXPROCS)")
 	metricsFlag := flag.Bool("metrics", false, "add fixed-point metrics columns (E[L], utilization, steal success s_T)")
 	jsonFlag := flag.Bool("json", false, "emit the table as JSON")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -39,20 +53,28 @@ func main() {
 	stopCPU, err := cliutil.StartCPUProfile(*cpuprofile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wssweep:", err)
-		os.Exit(1)
+		return 1
 	}
+	defer func() {
+		stopCPU()
+		if err := cliutil.WriteMemProfile(*memprofile); err != nil {
+			fmt.Fprintln(os.Stderr, "wssweep:", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}()
 
 	headers := []string{"value", "E[T]"}
 	if *metricsFlag {
 		headers = append(headers, "E[L]", "utilization", "s_T")
 	}
 	t := table.New(fmt.Sprintf("Sweep %s (λ = %g)", *sweep, *lambda), headers...)
-	// add appends one row; fp may be nil for closed-form entries with no
+	// cells renders one row; fp may be nil for closed-form entries with no
 	// tail vector behind them (the metrics columns then show "-").
-	add := func(label string, v float64, fp *core.FixedPoint, T int) {
+	cells := func(label string, v float64, fp *core.FixedPoint, T int) []string {
 		if !*metricsFlag {
-			t.AddRow(label, fmt.Sprintf("%.4f", v))
-			return
+			return []string{label, fmt.Sprintf("%.4f", v)}
 		}
 		meanTasks, util, sT := "-", "-", "-"
 		if fp != nil {
@@ -62,59 +84,98 @@ func main() {
 				sT = fmt.Sprintf("%.4f", p)
 			}
 		}
-		t.AddRow(label, fmt.Sprintf("%.4f", v), meanTasks, util, sT)
+		return []string{label, fmt.Sprintf("%.4f", v), meanTasks, util, sT}
 	}
+
+	// Each swept value becomes one deferred row computation; they all run on
+	// the shared pool and land in their sweep-order slot.
+	var jobs []func() []string
+	addJob := func(fn func() []string) { jobs = append(jobs, fn) }
 
 	switch *sweep {
 	case "threshold":
 		for T := 2; T <= *maxV; T++ {
-			fp := meanfield.MustSolve(meanfield.NewThreshold(*lambda, T), meanfield.SolveOptions{})
-			add(fmt.Sprintf("T=%d", T), fp.SojournTime(), &fp, T)
+			T := T
+			addJob(func() []string {
+				fp := meanfield.MustSolve(meanfield.NewThreshold(*lambda, T), meanfield.SolveOptions{})
+				return cells(fmt.Sprintf("T=%d", T), fp.SojournTime(), &fp, T)
+			})
 		}
 	case "transfer-threshold":
 		for T := 2; T <= *maxV; T++ {
-			fp := meanfield.MustSolve(meanfield.NewTransfer(*lambda, T, *rFlag), meanfield.SolveOptions{})
-			add(fmt.Sprintf("T=%d", T), fp.SojournTime(), &fp, T)
+			T := T
+			addJob(func() []string {
+				fp := meanfield.MustSolve(meanfield.NewTransfer(*lambda, T, *rFlag), meanfield.SolveOptions{})
+				return cells(fmt.Sprintf("T=%d", T), fp.SojournTime(), &fp, T)
+			})
 		}
 	case "choices":
 		for d := 1; d <= *maxV; d++ {
-			fp := meanfield.MustSolve(meanfield.NewChoices(*lambda, 2, d), meanfield.SolveOptions{})
-			add(fmt.Sprintf("d=%d", d), fp.SojournTime(), &fp, 2)
+			d := d
+			addJob(func() []string {
+				fp := meanfield.MustSolve(meanfield.NewChoices(*lambda, 2, d), meanfield.SolveOptions{})
+				return cells(fmt.Sprintf("d=%d", d), fp.SojournTime(), &fp, 2)
+			})
 		}
 	case "retry":
 		for _, r := range []float64{0, 0.25, 0.5, 1, 2, 4, 8, 16} {
-			fp := meanfield.MustSolve(meanfield.NewRepeated(*lambda, *tFlag, r), meanfield.SolveOptions{})
-			add(fmt.Sprintf("r=%g", r), fp.SojournTime(), &fp, *tFlag)
+			r := r
+			addJob(func() []string {
+				fp := meanfield.MustSolve(meanfield.NewRepeated(*lambda, *tFlag, r), meanfield.SolveOptions{})
+				return cells(fmt.Sprintf("r=%g", r), fp.SojournTime(), &fp, *tFlag)
+			})
 		}
 	case "multisteal":
 		for k := 1; 2*k <= *tFlag; k++ {
-			fp := meanfield.MustSolve(meanfield.NewMultiSteal(*lambda, *tFlag, k), meanfield.SolveOptions{})
-			add(fmt.Sprintf("k=%d", k), fp.SojournTime(), &fp, *tFlag)
+			k := k
+			addJob(func() []string {
+				fp := meanfield.MustSolve(meanfield.NewMultiSteal(*lambda, *tFlag, k), meanfield.SolveOptions{})
+				return cells(fmt.Sprintf("k=%d", k), fp.SojournTime(), &fp, *tFlag)
+			})
 		}
-		half := meanfield.MustSolve(meanfield.NewStealHalf(*lambda, *tFlag), meanfield.SolveOptions{})
-		add("k=⌈j/2⌉", half.SojournTime(), &half, *tFlag)
+		addJob(func() []string {
+			half := meanfield.MustSolve(meanfield.NewStealHalf(*lambda, *tFlag), meanfield.SolveOptions{})
+			return cells("k=⌈j/2⌉", half.SojournTime(), &half, *tFlag)
+		})
 	case "lambda":
+		switch *model {
+		case "nosteal", "simple", "choices":
+		default:
+			fmt.Fprintf(os.Stderr, "wssweep: unknown model %q\n", *model)
+			return 2
+		}
 		for _, lam := range []float64{0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99} {
-			var v float64
-			var fp *core.FixedPoint
-			switch *model {
-			case "nosteal":
-				v = meanfield.MM1SojournTime(lam)
-			case "simple":
-				s := meanfield.MustSolve(meanfield.NewSimpleWS(lam), meanfield.SolveOptions{})
-				v, fp = s.SojournTime(), &s
-			case "choices":
-				s := meanfield.MustSolve(meanfield.NewChoices(lam, 2, 2), meanfield.SolveOptions{})
-				v, fp = s.SojournTime(), &s
-			default:
-				fmt.Fprintf(os.Stderr, "wssweep: unknown model %q\n", *model)
-				os.Exit(2)
-			}
-			add(fmt.Sprintf("λ=%g", lam), v, fp, 2)
+			lam := lam
+			addJob(func() []string {
+				var v float64
+				var fp *core.FixedPoint
+				switch *model {
+				case "nosteal":
+					v = meanfield.MM1SojournTime(lam)
+				case "simple":
+					s := meanfield.MustSolve(meanfield.NewSimpleWS(lam), meanfield.SolveOptions{})
+					v, fp = s.SojournTime(), &s
+				case "choices":
+					s := meanfield.MustSolve(meanfield.NewChoices(lam, 2, 2), meanfield.SolveOptions{})
+					v, fp = s.SojournTime(), &s
+				}
+				return cells(fmt.Sprintf("λ=%g", lam), v, fp, 2)
+			})
 		}
 	default:
 		fmt.Fprintf(os.Stderr, "wssweep: unknown sweep %q\n", *sweep)
-		os.Exit(2)
+		return 2
+	}
+
+	rows := make([][]string, len(jobs))
+	pool := sched.New(*workers)
+	for i, job := range jobs {
+		i, job := i, job
+		pool.Go(func(*sim.Runner) { rows[i] = job() })
+	}
+	pool.Close() // waits for every job
+	for _, r := range rows {
+		t.AddRow(r...)
 	}
 
 	if *jsonFlag {
@@ -124,11 +185,7 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wssweep:", err)
-		os.Exit(1)
+		return 1
 	}
-	stopCPU()
-	if err := cliutil.WriteMemProfile(*memprofile); err != nil {
-		fmt.Fprintln(os.Stderr, "wssweep:", err)
-		os.Exit(1)
-	}
+	return 0
 }

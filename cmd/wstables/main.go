@@ -6,11 +6,17 @@
 //
 //	wstables [-table all|1|2|3|4|tails|threshold|repeated|multisteal|
 //	          preemptive|rebalance|hetero|static|stability]
-//	         [-full] [-reps N] [-horizon T] [-csv] [-json] [-metrics]
-//	         [-cpuprofile FILE] [-memprofile FILE]
+//	         [-full] [-reps N] [-horizon T] [-workers N] [-csv] [-json]
+//	         [-metrics] [-cpuprofile FILE] [-memprofile FILE]
 //
 // By default a reduced scale runs in seconds; -full reproduces the paper's
 // 10 × 100,000-second simulations for 16–128 processors (minutes).
+//
+// All requested tables share one global experiment scheduler: every
+// (table, cell, replication) work item is flattened onto -workers pool
+// workers (GOMAXPROCS by default), so `-table all` keeps every core busy
+// instead of running cells one after another. The output is byte-identical
+// for every worker count.
 package main
 
 import (
@@ -18,18 +24,28 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"sync"
 
 	"repro/internal/cliutil"
 	"repro/internal/experiments"
+	"repro/internal/sched"
 	"repro/internal/table"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run holds the whole program so that deferred cleanups — most importantly
+// the profile flushes — execute on every exit path; main's os.Exit would
+// skip them.
+func run() (code int) {
 	which := flag.String("table", "all", "which table to produce: all, 1, 2, 3, 4, tails, threshold, repeated, multisteal, preemptive, rebalance, hetero, static, stability, convergence, transient, empirical-tails")
 	full := flag.Bool("full", false, "use the paper's full simulation scale (10 reps × 100k seconds, n up to 128)")
 	reps := flag.Int("reps", 0, "override the number of replications")
 	horizon := flag.Float64("horizon", 0, "override the simulated horizon")
 	seed := flag.Uint64("seed", 1998, "random seed")
+	workers := flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	jsonFlag := flag.Bool("json", false, "emit JSON instead of aligned text")
 	metricsFlag := flag.Bool("metrics", false, "append the simulation-metrics table (λ = 0.9)")
@@ -40,13 +56,15 @@ func main() {
 	stopCPU, err := cliutil.StartCPUProfile(*cpuprofile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wstables:", err)
-		os.Exit(1)
+		return 1
 	}
 	defer func() {
 		stopCPU()
 		if err := cliutil.WriteMemProfile(*memprofile); err != nil {
 			fmt.Fprintln(os.Stderr, "wstables:", err)
-			os.Exit(1)
+			if code == 0 {
+				code = 1
+			}
 		}
 	}()
 
@@ -63,7 +81,13 @@ func main() {
 		sc.Warmup = *horizon / 10
 	}
 
-	emit := func(t *table.Table) {
+	// One scheduler for everything this invocation runs: all cells of all
+	// tables interleave across its workers.
+	pool := sched.New(*workers)
+	defer pool.Close()
+	sc.Pool = pool
+
+	emit := func(t *table.Table) error {
 		var err error
 		switch {
 		case *jsonFlag:
@@ -74,10 +98,10 @@ func main() {
 			err = t.WriteText(os.Stdout)
 		}
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "wstables:", err)
-			os.Exit(1)
+			return err
 		}
 		fmt.Println()
+		return nil
 	}
 
 	builders := map[string]func() *table.Table{
@@ -108,18 +132,42 @@ func main() {
 
 	switch *which {
 	case "all":
-		for _, k := range order {
-			emit(builders[k]())
+		// Build every table concurrently — each builder enqueues its cells
+		// on the shared pool and assembles its rows — then emit in the
+		// canonical order.
+		tables := make([]*table.Table, len(order))
+		var wg sync.WaitGroup
+		for i, k := range order {
+			i, k := i, k
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				tables[i] = builders[k]()
+			}()
+		}
+		wg.Wait()
+		for _, t := range tables {
+			if err := emit(t); err != nil {
+				fmt.Fprintln(os.Stderr, "wstables:", err)
+				return 1
+			}
 		}
 	default:
 		b, ok := builders[*which]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "wstables: unknown table %q (options: all, %s)\n", *which, strings.Join(order, ", "))
-			os.Exit(2)
+			return 2
 		}
-		emit(b())
+		if err := emit(b()); err != nil {
+			fmt.Fprintln(os.Stderr, "wstables:", err)
+			return 1
+		}
 	}
 	if *metricsFlag {
-		emit(experiments.MetricsTable(0.9, sc))
+		if err := emit(experiments.MetricsTable(0.9, sc)); err != nil {
+			fmt.Fprintln(os.Stderr, "wstables:", err)
+			return 1
+		}
 	}
+	return 0
 }

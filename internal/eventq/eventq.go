@@ -37,6 +37,10 @@ func New(n int) *Queue {
 // Len returns the number of pending events.
 func (q *Queue) Len() int { return len(q.a) }
 
+// Cap returns the current backing capacity. Reset retains it, which is what
+// lets a reused engine replay a run without re-growing its event list.
+func (q *Queue) Cap() int { return cap(q.a) }
+
 // Push inserts an event. The sequence number is assigned internally.
 func (q *Queue) Push(e Event) {
 	e.seq = q.seq

@@ -76,6 +76,39 @@ func TestReset(t *testing.T) {
 	}
 }
 
+// TestResetRetainsCapacityAndRestartsSeq pins the two properties engine
+// reuse depends on: Reset keeps the heap's backing array (so recycled
+// engines stop allocating) and restarts the FIFO sequence counter (so a
+// reused queue breaks ties exactly like a fresh one — byte-identical
+// replications).
+func TestResetRetainsCapacityAndRestartsSeq(t *testing.T) {
+	q := New(4)
+	for i := 0; i < 100; i++ {
+		q.Push(Event{Time: float64(i)})
+	}
+	grown := q.Cap()
+	if grown < 100 {
+		t.Fatalf("Cap() = %d after 100 pushes", grown)
+	}
+	q.Reset()
+	if q.Cap() != grown {
+		t.Errorf("Reset dropped capacity: %d -> %d", grown, q.Cap())
+	}
+	// Same-time events on the reused queue must pop in push order, and in
+	// the same order a fresh queue would produce.
+	fresh := New(4)
+	for i := int32(0); i < 10; i++ {
+		q.Push(Event{Time: 1, Proc: i})
+		fresh.Push(Event{Time: 1, Proc: i})
+	}
+	for fresh.Len() > 0 {
+		a, b := q.PopMin(), fresh.PopMin()
+		if a.Proc != b.Proc {
+			t.Fatalf("tie-break order diverged after Reset: got proc %d, fresh queue gives %d", a.Proc, b.Proc)
+		}
+	}
+}
+
 func TestInterleavedPushPop(t *testing.T) {
 	q := New(0)
 	r := rng.New(1)

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/dist"
 	"repro/internal/meanfield"
+	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/table"
 )
@@ -32,8 +33,25 @@ type Scale struct {
 	Lambdas []float64
 	// Seed selects the random streams.
 	Seed uint64
-	// Workers bounds the parallel replication goroutines (0 = GOMAXPROCS).
+	// Workers bounds the parallel simulation workers (0 = GOMAXPROCS).
+	// Ignored when Pool is set — the pool's own size governs.
 	Workers int
+	// Pool, when non-nil, is the shared experiment scheduler to run every
+	// simulation cell on. Table builders running concurrently on one Pool
+	// interleave their replications across its workers instead of each
+	// spawning their own goroutines. When nil, each table builder creates
+	// a private pool of Workers workers for its own cells.
+	Pool *sched.Pool
+}
+
+// scheduler returns the pool to run cells on and a release function to call
+// once the table is assembled (a no-op for a shared Pool).
+func (sc Scale) scheduler() (*sched.Pool, func()) {
+	if sc.Pool != nil {
+		return sc.Pool, func() {}
+	}
+	p := sched.New(sc.Workers)
+	return p, p.Close
 }
 
 // PaperScale matches the paper: 10 replications of 100,000 seconds each
@@ -71,16 +89,30 @@ var table1Lambdas = []float64{0.50, 0.70, 0.80, 0.90, 0.95, 0.99}
 // table3Lambdas is the arrival-rate column of Table 3.
 var table3Lambdas = []float64{0.50, 0.70, 0.80, 0.90, 0.95}
 
-// simSojourn runs replications of opts and returns the mean sojourn time.
-func simSojourn(opts sim.Options, sc Scale) float64 {
+// submit enqueues one cell of opts at the Scale's horizon, warmup, and seed
+// on the pool, returning its future. Builders enqueue every cell up front so
+// replications from all cells interleave across the workers, then assemble
+// rows in order from the futures.
+func submit(p *sched.Pool, opts sim.Options, sc Scale) *sched.Cell {
 	opts.Horizon = sc.Horizon
 	opts.Warmup = sc.Warmup
 	opts.Seed = sc.Seed
-	agg, err := sim.Replication{Reps: sc.Reps, Workers: sc.Workers}.Run(opts)
+	return submitRaw(p, opts, sc.Reps)
+}
+
+// submitRaw enqueues opts as given (for cells that override the scale's
+// time span, e.g. static drains).
+func submitRaw(p *sched.Pool, opts sim.Options, reps int) *sched.Cell {
+	c, err := p.Sim(opts, reps)
 	if err != nil {
 		panic(fmt.Sprintf("experiments: simulation failed: %v", err))
 	}
-	return agg.Sojourn.Mean
+	return c
+}
+
+// sojourn blocks for a cell and returns its mean sojourn time.
+func sojourn(c *sched.Cell) float64 {
+	return c.Aggregate().Sojourn.Mean
 }
 
 // Table1 reproduces the paper's Table 1: simulations of the simplest WS
@@ -88,6 +120,8 @@ func simSojourn(opts sim.Options, sc Scale) float64 {
 // each processor count, against the fixed-point estimate, with the relative
 // error between the largest simulation and the estimate.
 func Table1(sc Scale) *table.Table {
+	p, release := sc.scheduler()
+	defer release()
 	lams := sc.lambdas(table1Lambdas)
 	headers := []string{"λ"}
 	for _, n := range sc.Ns {
@@ -96,17 +130,23 @@ func Table1(sc Scale) *table.Table {
 	headers = append(headers, "Estimate", "Rel Error (%)")
 	t := table.New("Table 1: simplest WS model — simulations vs fixed-point estimate", headers...)
 
+	cells := make([]*sched.Cell, 0, len(lams)*len(sc.Ns))
 	for _, lam := range lams {
-		row := []float64{lam}
-		var last float64
 		for _, n := range sc.Ns {
-			v := simSojourn(sim.Options{
+			cells = append(cells, submit(p, sim.Options{
 				N:       n,
 				Lambda:  lam,
 				Service: dist.NewExponential(1),
 				Policy:  sim.PolicySteal,
 				T:       2,
-			}, sc)
+			}, sc))
+		}
+	}
+	for li, lam := range lams {
+		row := []float64{lam}
+		var last float64
+		for ni := range sc.Ns {
+			v := sojourn(cells[li*len(sc.Ns)+ni])
 			row = append(row, v)
 			last = v
 		}
@@ -125,6 +165,8 @@ func Table1(sc Scale) *table.Table {
 // use Deterministic(1) service; estimates use the Erlang stage model with
 // c = 10 and c = 20 stages.
 func Table2(sc Scale) *table.Table {
+	p, release := sc.scheduler()
+	defer release()
 	lams := sc.lambdas(table1Lambdas)
 	headers := []string{"λ"}
 	for _, n := range sc.Ns {
@@ -133,7 +175,19 @@ func Table2(sc Scale) *table.Table {
 	headers = append(headers, "c = 10", "c = 20")
 	t := table.New("Table 2: constant service times (T = 2) — simulations vs stage estimates", headers...)
 
-	// Estimates depend only on λ; solve each once.
+	cells := make([]*sched.Cell, 0, len(lams)*len(sc.Ns))
+	for _, lam := range lams {
+		for _, n := range sc.Ns {
+			cells = append(cells, submit(p, sim.Options{
+				N:       n,
+				Lambda:  lam,
+				Service: dist.NewDeterministic(1),
+				Policy:  sim.PolicySteal,
+				T:       2,
+			}, sc))
+		}
+	}
+	// Estimates depend only on λ; solve each once while the cells run.
 	est := map[int]map[float64]float64{10: {}, 20: {}}
 	for _, c := range []int{10, 20} {
 		for _, lam := range lams {
@@ -141,16 +195,10 @@ func Table2(sc Scale) *table.Table {
 			est[c][lam] = fp.SojournTime()
 		}
 	}
-	for _, lam := range lams {
+	for li, lam := range lams {
 		row := []float64{lam}
-		for _, n := range sc.Ns {
-			row = append(row, simSojourn(sim.Options{
-				N:       n,
-				Lambda:  lam,
-				Service: dist.NewDeterministic(1),
-				Policy:  sim.PolicySteal,
-				T:       2,
-			}, sc))
+		for ni := range sc.Ns {
+			row = append(row, sojourn(cells[li*len(sc.Ns)+ni]))
 		}
 		row = append(row, est[10][lam], est[20][lam])
 		t.AddNumericRow(3, row...)
@@ -163,6 +211,8 @@ func Table2(sc Scale) *table.Table {
 // fixed-point estimate; the best threshold is ~1/r at small arrival rates
 // and larger at high ones.
 func Table3(sc Scale) *table.Table {
+	p, release := sc.scheduler()
+	defer release()
 	const r = 0.25
 	lams := sc.lambdas(table3Lambdas)
 	n := sc.Ns[len(sc.Ns)-1] // the paper reports only its largest system
@@ -173,17 +223,23 @@ func Table3(sc Scale) *table.Table {
 	}
 	t := table.New("Table 3: transfer times (r = 0.25) — simulations vs estimates", headers...)
 
+	cells := make([]*sched.Cell, 0, len(lams)*len(ts))
 	for _, lam := range lams {
-		row := []float64{lam}
 		for _, T := range ts {
-			v := simSojourn(sim.Options{
+			cells = append(cells, submit(p, sim.Options{
 				N:            n,
 				Lambda:       lam,
 				Service:      dist.NewExponential(1),
 				Policy:       sim.PolicySteal,
 				T:            T,
 				TransferRate: r,
-			}, sc)
+			}, sc))
+		}
+	}
+	for li, lam := range lams {
+		row := []float64{lam}
+		for ti, T := range ts {
+			v := sojourn(cells[li*len(ts)+ti])
 			fp := meanfield.MustSolve(meanfield.NewTransfer(lam, T, r), meanfield.SolveOptions{})
 			row = append(row, v, fp.SojournTime())
 		}
@@ -204,6 +260,10 @@ func Table4(sc Scale) *table.Table {
 		fmt.Sprintf("Sim(%d) 2 choices", n),
 		"Estimate 2 choices",
 	)
+	p, release := sc.scheduler()
+	defer release()
+	oneCells := make([]*sched.Cell, 0, len(lams))
+	twoCells := make([]*sched.Cell, 0, len(lams))
 	for _, lam := range lams {
 		base := sim.Options{
 			N:       n,
@@ -212,11 +272,13 @@ func Table4(sc Scale) *table.Table {
 			Policy:  sim.PolicySteal,
 			T:       2,
 		}
-		one := simSojourn(base, sc)
+		oneCells = append(oneCells, submit(p, base, sc))
 		base.D = 2
-		two := simSojourn(base, sc)
+		twoCells = append(twoCells, submit(p, base, sc))
+	}
+	for li, lam := range lams {
 		est := meanfield.MustSolve(meanfield.NewChoices(lam, 2, 2), meanfield.SolveOptions{}).SojournTime()
-		t.AddNumericRow(3, lam, one, two, est)
+		t.AddNumericRow(3, lam, sojourn(oneCells[li]), sojourn(twoCells[li]), est)
 	}
 	return t
 }

@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/meanfield"
+	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/stability"
 	"repro/internal/table"
@@ -118,22 +119,27 @@ func PreemptiveSweep(lambda float64, bs []int, T int) *table.Table {
 // RebalanceStudy (X5) compares the Rudolph–Slivkin-Allalouf–Upfal pairwise
 // rebalancing model against simulation at several rates.
 func RebalanceStudy(lambda float64, rates []float64, sc Scale) *table.Table {
+	p, release := sc.scheduler()
+	defer release()
 	n := sc.Ns[len(sc.Ns)-1]
 	t := table.New(
 		fmt.Sprintf("Pairwise rebalancing at λ = %g", lambda),
 		"r", fmt.Sprintf("Sim(%d)", n), "ODE estimate",
 	)
+	cells := make([]*sched.Cell, 0, len(rates))
 	for _, r := range rates {
-		v := simSojourn(sim.Options{
+		cells = append(cells, submit(p, sim.Options{
 			N:             n,
 			Lambda:        lambda,
 			Service:       dist.NewExponential(1),
 			Policy:        sim.PolicyRebalance,
 			RebalanceRate: r,
-		}, sc)
+		}, sc))
+	}
+	for ri, r := range rates {
 		fp := meanfield.MustSolve(meanfield.NewRebalance(lambda, meanfield.ConstRate(r), r), meanfield.SolveOptions{})
 		t.AddRow(fmt.Sprintf("%g", r),
-			fmt.Sprintf("%.4f", v),
+			fmt.Sprintf("%.4f", sojourn(cells[ri])),
 			fmt.Sprintf("%.4f", fp.SojournTime()))
 	}
 	return t
@@ -153,7 +159,9 @@ func HeteroStudy(sc Scale) *table.Table {
 	m := meanfield.NewHetero(q, lf, ls, muF, muS, T)
 	fp := meanfield.MustSolve(m, meanfield.SolveOptions{})
 
-	opts := sim.Options{
+	p, release := sc.scheduler()
+	defer release()
+	agg := submit(p, sim.Options{
 		N:       n,
 		Service: dist.NewExponential(1),
 		Policy:  sim.PolicySteal,
@@ -162,14 +170,7 @@ func HeteroStudy(sc Scale) *table.Table {
 			{Frac: q, Lambda: lf, Rate: muF},
 			{Frac: 1 - q, Lambda: ls, Rate: muS},
 		},
-		Horizon: sc.Horizon,
-		Warmup:  sc.Warmup,
-		Seed:    sc.Seed,
-	}
-	agg, err := sim.Replication{Reps: sc.Reps, Workers: sc.Workers}.Run(opts)
-	if err != nil {
-		panic(err)
-	}
+	}, sc).Aggregate()
 	t.AddRow("mean tasks/processor",
 		fmt.Sprintf("%.4f", agg.Load.Mean),
 		fmt.Sprintf("%.4f", fp.MeanTasks()))
@@ -187,11 +188,10 @@ func StaticDrain(k int, sc Scale) *table.Table {
 		fmt.Sprintf("Static system: drain time from %d tasks/processor", k),
 		"policy", fmt.Sprintf("Sim(%d) drain", n), "ODE drain (to 1%% load)",
 	)
-	odeSteal := meanfield.NewStatic(meanfield.UniformInitial(k), 0, 2).DrainTime(0.01, 0.05, 1000)
-	odeNone := meanfield.NewStatic(meanfield.UniformInitial(k), 0, k+100).DrainTime(0.01, 0.05, 1000)
-
-	run := func(policy sim.PolicyKind, retry float64) float64 {
-		opts := sim.Options{
+	p, release := sc.scheduler()
+	defer release()
+	cell := func(policy sim.PolicyKind, retry float64) *sched.Cell {
+		return submitRaw(p, sim.Options{
 			N:           n,
 			Service:     dist.NewExponential(1),
 			Policy:      policy,
@@ -200,15 +200,16 @@ func StaticDrain(k int, sc Scale) *table.Table {
 			InitialLoad: k,
 			Horizon:     10000,
 			Seed:        sc.Seed,
-		}
-		agg, err := sim.Replication{Reps: sc.Reps, Workers: sc.Workers}.Run(opts)
-		if err != nil {
-			panic(err)
-		}
-		return agg.Drain.Mean
+		}, sc.Reps)
 	}
-	t.AddRow("no stealing", fmt.Sprintf("%.3f", run(sim.PolicyNone, 0)), fmt.Sprintf("%.3f", odeNone.Time))
-	t.AddRow("steal, retries r=10", fmt.Sprintf("%.3f", run(sim.PolicySteal, 10)), fmt.Sprintf("%.3f", odeSteal.Time))
+	noneCell := cell(sim.PolicyNone, 0)
+	stealCell := cell(sim.PolicySteal, 10)
+
+	odeSteal := meanfield.NewStatic(meanfield.UniformInitial(k), 0, 2).DrainTime(0.01, 0.05, 1000)
+	odeNone := meanfield.NewStatic(meanfield.UniformInitial(k), 0, k+100).DrainTime(0.01, 0.05, 1000)
+
+	t.AddRow("no stealing", fmt.Sprintf("%.3f", noneCell.Aggregate().Drain.Mean), fmt.Sprintf("%.3f", odeNone.Time))
+	t.AddRow("steal, retries r=10", fmt.Sprintf("%.3f", stealCell.Aggregate().Drain.Mean), fmt.Sprintf("%.3f", odeSteal.Time))
 	return t
 }
 

@@ -8,6 +8,7 @@ import (
 	"repro/internal/meanfield"
 	"repro/internal/numeric"
 	"repro/internal/ode"
+	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/table"
 )
@@ -29,15 +30,21 @@ func ConvergenceInN(lambda float64, ns []int, sc Scale) *table.Table {
 		"n", "Sim E[T]", "gap vs estimate (%)", "gap × n",
 	)
 	want := meanfield.SolveSimpleWS(lambda).SojournTime()
-	var fitNs, fitGaps []float64
+	p, release := sc.scheduler()
+	defer release()
+	cells := make([]*sched.Cell, 0, len(ns))
 	for _, n := range ns {
-		v := simSojourn(sim.Options{
+		cells = append(cells, submit(p, sim.Options{
 			N:       n,
 			Lambda:  lambda,
 			Service: dist.NewExponential(1),
 			Policy:  sim.PolicySteal,
 			T:       2,
-		}, sc)
+		}, sc))
+	}
+	var fitNs, fitGaps []float64
+	for i, n := range ns {
+		v := sojourn(cells[i])
 		gap := (v - want) / want
 		if gap > 0 {
 			fitNs = append(fitNs, float64(n))
@@ -140,20 +147,16 @@ func TransientTable(lambda float64, n int, span, every float64, reps int, seed u
 // paper's central object, far finer-grained than mean sojourn times.
 func EmpiricalTails(lambda float64, depth int, sc Scale) *table.Table {
 	n := sc.Ns[len(sc.Ns)-1]
-	agg, err := sim.Replication{Reps: sc.Reps, Workers: sc.Workers}.Run(sim.Options{
+	p, release := sc.scheduler()
+	defer release()
+	agg := submit(p, sim.Options{
 		N:         n,
 		Lambda:    lambda,
 		Service:   dist.NewExponential(1),
 		Policy:    sim.PolicySteal,
 		T:         2,
-		Horizon:   sc.Horizon,
-		Warmup:    sc.Warmup,
 		TailDepth: depth,
-		Seed:      sc.Seed,
-	})
-	if err != nil {
-		panic(err)
-	}
+	}, sc).Aggregate()
 	cf := meanfield.SolveSimpleWS(lambda)
 	t := table.New(
 		fmt.Sprintf("Empirical tails at λ = %g, n = %d vs fixed point", lambda, n),
@@ -178,21 +181,22 @@ func TailLatency(lambda float64, sc Scale) *table.Table {
 		fmt.Sprintf("Sojourn-time quantiles at λ = %g, n = %d", lambda, n),
 		"policy", "mean", "P50", "P95", "P99",
 	)
-	run := func(name string, policy sim.PolicyKind, T int) {
-		agg, err := sim.Replication{Reps: sc.Reps, Workers: sc.Workers}.Run(sim.Options{
+	p, release := sc.scheduler()
+	defer release()
+	cell := func(policy sim.PolicyKind, T int) *sched.Cell {
+		return submit(p, sim.Options{
 			N:              n,
 			Lambda:         lambda,
 			Service:        dist.NewExponential(1),
 			Policy:         policy,
 			T:              T,
-			Horizon:        sc.Horizon,
-			Warmup:         sc.Warmup,
 			SojournHistMax: 60 / (1 - lambda),
-			Seed:           sc.Seed,
-		})
-		if err != nil {
-			panic(err)
-		}
+		}, sc)
+	}
+	noneCell := cell(sim.PolicyNone, 0)
+	stealCell := cell(sim.PolicySteal, 2)
+	row := func(name string, c *sched.Cell) {
+		agg := c.Aggregate()
 		// Average the per-replication quantiles.
 		var p50, p95, p99 float64
 		for _, r := range agg.Results {
@@ -207,7 +211,7 @@ func TailLatency(lambda float64, sc Scale) *table.Table {
 			fmt.Sprintf("%.3f", p95/k),
 			fmt.Sprintf("%.3f", p99/k))
 	}
-	run("no stealing", sim.PolicyNone, 0)
-	run("steal T=2", sim.PolicySteal, 2)
+	row("no stealing", noneCell)
+	row("steal T=2", stealCell)
 	return t
 }

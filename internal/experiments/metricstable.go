@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/dist"
+	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/table"
 )
@@ -45,13 +46,16 @@ func MetricsTable(lambda float64, sc Scale) *table.Table {
 		fmt.Sprintf("Simulation metrics by model variant (λ = %g, n = %d)", lambda, n),
 		"model", "utilization", "steal rate (/proc/t)", "steal success", "E[T]", "Mevents/s",
 	)
-	for _, v := range variants {
+	p, release := sc.scheduler()
+	defer release()
+	cells := make([]*sched.Cell, len(variants))
+	for i, v := range variants {
 		o := base
 		v.mod(&o)
-		agg, err := sim.Replication{Reps: sc.Reps, Workers: sc.Workers}.Run(o)
-		if err != nil {
-			panic(fmt.Sprintf("experiments: metrics table: %v", err))
-		}
+		cells[i] = submitRaw(p, o, sc.Reps)
+	}
+	for i, v := range variants {
+		agg := cells[i].Aggregate()
 		m := agg.Metrics
 		t.AddRow(
 			v.name,

@@ -33,26 +33,39 @@ func splitmix64(x *uint64) uint64 {
 // yield well-separated states even for small seed values (0, 1, 2, ...).
 func New(seed uint64) *Source {
 	var src Source
+	src.Reseed(seed)
+	return &src
+}
+
+// Reseed re-initializes r in place to the exact state New(seed) would
+// produce, so long-lived workers can restart a stream without allocating a
+// fresh Source.
+func (r *Source) Reseed(seed uint64) {
 	x := seed
-	for i := range src.s {
-		src.s[i] = splitmix64(&x)
+	for i := range r.s {
+		r.s[i] = splitmix64(&x)
 	}
 	// All-zero state is the one invalid state for xoshiro; SplitMix64 cannot
 	// produce four consecutive zeros, but guard anyway.
-	if src.s[0]|src.s[1]|src.s[2]|src.s[3] == 0 {
-		src.s[0] = 0x9e3779b97f4a7c15
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
 	}
-	return &src
+}
+
+// DeriveSeed returns the seed of the independent stream i derived from
+// seed: New(DeriveSeed(seed, i)) and Derive(seed, i) are the same stream.
+func DeriveSeed(seed uint64, i int) uint64 {
+	x := seed ^ 0xd1342543de82ef95
+	_ = splitmix64(&x)
+	mix := splitmix64(&x) + uint64(i)*0x9e3779b97f4a7c15
+	return splitmix64(&mix) ^ seed
 }
 
 // Derive returns a new independent Source for stream i, deterministically
 // derived from seed. It is the supported way to give each replication or
 // worker its own stream.
 func Derive(seed uint64, i int) *Source {
-	x := seed ^ 0xd1342543de82ef95
-	_ = splitmix64(&x)
-	mix := splitmix64(&x) + uint64(i)*0x9e3779b97f4a7c15
-	return New(splitmix64(&mix) ^ seed)
+	return New(DeriveSeed(seed, i))
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }

@@ -1,0 +1,138 @@
+// Package sched is the global experiment scheduler: one machine-wide worker
+// pool that executes every (table, cell, replication) work item of an
+// evaluation run.
+//
+// The per-cell runner sim.Replication caps its parallelism at Reps
+// goroutines, so a table whose cells run sequentially can never use more
+// than Reps cores, and a fresh engine is built for every replication. This
+// package flattens the work instead: table builders enqueue whole cells up
+// front (Pool.Sim), every replication of every cell becomes one queue item,
+// and a fixed set of workers — GOMAXPROCS by default — drains them. Each
+// worker owns a reusable sim.Runner, so engine allocations scale with the
+// worker count rather than with cells × replications.
+//
+// Determinism: replication i of a cell always runs on the random stream
+// rng.Derive(Seed, i) and lands in slot i of the cell's result slice, so
+// aggregates are bit-identical for every worker count and any interleaving
+// of cells — the scheduler changes wall-clock time, never numbers.
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sim"
+)
+
+// Pool is a bounded worker pool. Submitting is safe from any goroutine, so
+// independent table builders can share one Pool and keep every core busy.
+type Pool struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []job
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// job is one unit of work: fn runs on a worker, with that worker's
+// long-lived Runner available for engine reuse.
+type job func(r *sim.Runner)
+
+// New starts a pool with the given number of workers; workers <= 0 means
+// GOMAXPROCS. Close must be called to release the workers.
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{}
+	p.cond = sync.NewCond(&p.mu)
+	p.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go p.worker()
+	}
+	return p
+}
+
+// worker drains the queue until the pool closes. The Runner persists across
+// jobs: this is where engine reuse pays off.
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	var r sim.Runner
+	for {
+		p.mu.Lock()
+		for len(p.queue) == 0 && !p.closed {
+			p.cond.Wait()
+		}
+		if len(p.queue) == 0 {
+			p.mu.Unlock()
+			return
+		}
+		j := p.queue[0]
+		p.queue = p.queue[1:]
+		p.mu.Unlock()
+		j(&r)
+	}
+}
+
+// Go submits one job. It never blocks: the queue is unbounded, so builders
+// can enqueue a whole evaluation suite before the first result is read.
+func (p *Pool) Go(fn func(r *sim.Runner)) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		panic("sched: Go on closed Pool")
+	}
+	p.queue = append(p.queue, fn)
+	p.mu.Unlock()
+	p.cond.Signal()
+}
+
+// Close wakes the workers and waits for every submitted job to finish.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	p.cond.Broadcast()
+	p.wg.Wait()
+}
+
+// Cell is the future of one (Options, Reps) table cell submitted with Sim.
+type Cell struct {
+	opts    sim.Options
+	results []sim.Result
+	pending atomic.Int64
+	done    chan struct{}
+}
+
+// Sim validates o and enqueues reps replications of it as independent work
+// items. Replication i runs on the stream rng.Derive(o.Seed, i), exactly as
+// sim.Replication would run it.
+func (p *Pool) Sim(o sim.Options, reps int) (*Cell, error) {
+	if err := (sim.Replication{Reps: reps}).Validate(&o); err != nil {
+		return nil, err
+	}
+	c := &Cell{
+		opts:    o,
+		results: make([]sim.Result, reps),
+		done:    make(chan struct{}),
+	}
+	c.pending.Store(int64(reps))
+	for i := 0; i < reps; i++ {
+		i := i
+		p.Go(func(r *sim.Runner) {
+			c.results[i] = r.RunRep(c.opts, i)
+			if c.pending.Add(-1) == 0 {
+				close(c.done)
+			}
+		})
+	}
+	return c, nil
+}
+
+// Aggregate blocks until every replication of the cell has run and returns
+// the same aggregate sim.Replication.Run would produce.
+func (c *Cell) Aggregate() sim.Aggregate {
+	<-c.done
+	return sim.AggregateResults(c.opts, c.results)
+}

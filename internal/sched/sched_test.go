@@ -1,0 +1,172 @@
+package sched_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// testOptions is a small but non-trivial configuration: short enough for
+// unit tests, long enough that replication streams genuinely diverge.
+func testOptions(seed uint64) sim.Options {
+	return sim.Options{
+		N:       32,
+		Lambda:  0.9,
+		Service: dist.NewExponential(1),
+		Policy:  sim.PolicySteal,
+		T:       2,
+		Horizon: 300,
+		Warmup:  30,
+		Seed:    seed,
+	}
+}
+
+// stripWallClock zeroes the only non-deterministic fields of a Result so
+// the rest can be compared exactly.
+func stripWallClock(rs []sim.Result) []sim.Result {
+	out := make([]sim.Result, len(rs))
+	for i, r := range rs {
+		r.Metrics.WallSeconds = 0
+		r.Metrics.EventsPerSec = 0
+		out[i] = r
+	}
+	return out
+}
+
+// fingerprint renders the deterministic content of results for comparison
+// (fmt handles NaN quantiles, which reflect.DeepEqual would reject).
+func fingerprint(rs []sim.Result) string {
+	return fmt.Sprintf("%+v", stripWallClock(rs))
+}
+
+// TestDeterministicAcrossWorkerCounts is the scheduler's core contract:
+// per-replication results are bit-identical whether one worker runs the
+// whole cell or many workers race over it.
+func TestDeterministicAcrossWorkerCounts(t *testing.T) {
+	const reps = 6
+	run := func(workers int) string {
+		p := sched.New(workers)
+		defer p.Close()
+		c, err := p.Sim(testOptions(7), reps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		agg := c.Aggregate()
+		if len(agg.Results) != reps {
+			t.Fatalf("got %d results, want %d", len(agg.Results), reps)
+		}
+		return fingerprint(agg.Results)
+	}
+	want := run(1)
+	for _, workers := range []int{2, 4, 8} {
+		if got := run(workers); got != want {
+			t.Errorf("workers=%d: results differ from workers=1", workers)
+		}
+	}
+}
+
+// TestMatchesReplicationRunner pins the scheduler to the legacy per-cell
+// path: Pool.Sim must reproduce sim.Replication.Run replication for
+// replication, so switching the experiments layer to the global scheduler
+// cannot move any published number.
+func TestMatchesReplicationRunner(t *testing.T) {
+	const reps = 5
+	opts := testOptions(1998)
+
+	agg, err := sim.Replication{Reps: reps}.Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p := sched.New(3)
+	defer p.Close()
+	c, err := p.Sim(opts, reps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := c.Aggregate()
+
+	if fingerprint(got.Results) != fingerprint(agg.Results) {
+		t.Error("Pool.Sim results differ from sim.Replication.Run")
+	}
+	if got.Sojourn != agg.Sojourn || got.Load != agg.Load {
+		t.Errorf("aggregate summaries differ: sojourn %v vs %v, load %v vs %v",
+			got.Sojourn, agg.Sojourn, got.Load, agg.Load)
+	}
+}
+
+// TestConcurrentSubmitters hammers one pool from many goroutines — the
+// wstables `-table all` shape — and checks every cell still gets exactly
+// its own deterministic results.
+func TestConcurrentSubmitters(t *testing.T) {
+	p := sched.New(4)
+	defer p.Close()
+
+	const cells = 8
+	want := make([]string, cells)
+	for i := range want {
+		agg, err := sim.Replication{Reps: 1}.Run(testOptions(uint64(100 + i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = fingerprint(agg.Results)
+	}
+
+	got := make([]string, cells)
+	var wg sync.WaitGroup
+	for i := 0; i < cells; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := p.Sim(testOptions(uint64(100+i)), 1)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got[i] = fingerprint(c.Aggregate().Results)
+		}()
+	}
+	wg.Wait()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("cell %d: scheduled result differs from direct replication run", i)
+		}
+	}
+}
+
+// TestAggregateIdempotent checks that reading a cell twice is safe and
+// stable (builders sometimes read Sojourn first and the full aggregate
+// later).
+func TestAggregateIdempotent(t *testing.T) {
+	p := sched.New(2)
+	defer p.Close()
+	c, err := p.Sim(testOptions(3), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := c.Aggregate()
+	b := c.Aggregate()
+	if fingerprint(a.Results) != fingerprint(b.Results) || a.Sojourn != b.Sojourn {
+		t.Error("Aggregate not idempotent")
+	}
+}
+
+// TestSimValidates ensures invalid options surface at submit time, not as
+// a worker panic deep inside the queue.
+func TestSimValidates(t *testing.T) {
+	p := sched.New(1)
+	defer p.Close()
+	bad := testOptions(1)
+	bad.N = 0
+	if _, err := p.Sim(bad, 2); err == nil {
+		t.Error("want error for N=0, got nil")
+	}
+	if _, err := p.Sim(testOptions(1), 0); err == nil {
+		t.Error("want error for reps=0, got nil")
+	}
+}

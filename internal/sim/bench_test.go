@@ -55,3 +55,29 @@ func BenchmarkConstantService(b *testing.B) {
 func BenchmarkWithTailSampling(b *testing.B) {
 	benchRun(b, Options{N: 128, Lambda: 0.9, Service: dist.NewExponential(1), Policy: PolicySteal, T: 2, TailDepth: 16, TailEvery: 1})
 }
+
+func BenchmarkStealHalf(b *testing.B) {
+	benchRun(b, Options{N: 128, Lambda: 0.9, Service: dist.NewExponential(1), Policy: PolicySteal, T: 2, Half: true})
+}
+
+// BenchmarkRunnerReuse measures the steady-state reuse path the scheduler's
+// workers take: the engine is recycled between runs, so this isolates the
+// per-event cost from engine construction. Compare against
+// BenchmarkPolicySimpleSteal (a fresh engine per run) to see what reuse
+// saves; allocs/op here is the number the zero-alloc discipline pins.
+func BenchmarkRunnerReuse(b *testing.B) {
+	o := Options{N: 128, Lambda: 0.9, Service: dist.NewExponential(1), Policy: PolicySteal, T: 2,
+		Horizon: 500, Warmup: 50, Seed: 1}
+	if err := (Replication{Reps: 1}).Validate(&o); err != nil {
+		b.Fatal(err)
+	}
+	var r Runner
+	r.RunRep(o, 1) // warm
+	var events int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		events += r.RunRep(o, 1).Metrics.Events
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(events), "ns/event")
+}

@@ -67,15 +67,60 @@ type engine struct {
 	sampleEvery  float64
 	qhist        []int64
 	qhistSamples int64
+
+	// Reusable scratch, retained across reset so the steady-state event
+	// loop settles at zero allocations per event.
+	stealBuf []float64 // holds the tasks of one steal while they move
+	allIDs   []int32   // cached identity permutation for the one-class case
 }
 
 // newEngine builds the initial state and schedules the priming events.
 func newEngine(o Options, stream *rng.Source) *engine {
-	e := &engine{
-		o:     o,
-		r:     stream,
-		q:     eventq.New(4 * o.N),
-		procs: make([]proc, o.N),
+	e := &engine{}
+	e.init(o, stream)
+	return e
+}
+
+// reset re-initializes e for a fresh run of o on the given stream, recycling
+// the processor slice, task deques, event queue, and sampling buffers of the
+// previous run. A reset engine is indistinguishable from a new one: the
+// event sequence, random draws, and results are byte-identical.
+func (e *engine) reset(o Options, stream *rng.Source) {
+	e.init(o, stream)
+}
+
+// init is the shared construction path of newEngine and reset.
+func (e *engine) init(o Options, stream *rng.Source) {
+	e.o = o
+	e.r = stream
+	e.now = 0
+	e.totalTasks = 0
+	e.loadIntegral = 0
+	e.loadSince = 0
+	e.res = Result{}
+	e.sojournSum = 0
+	e.tails = nil
+	e.series = nil
+	e.sojournH = nil
+	e.met = metrics.Metrics{}
+	e.sampleEvery = 0
+	e.qhist = nil
+	e.qhistSamples = 0
+
+	if e.q == nil {
+		e.q = eventq.New(4 * o.N)
+	} else {
+		e.q.Reset()
+	}
+	if cap(e.procs) >= o.N {
+		e.procs = e.procs[:o.N]
+		for i := range e.procs {
+			pr := &e.procs[i]
+			pr.q.Reset()
+			*pr = proc{q: pr.q}
+		}
+	} else {
+		e.procs = make([]proc, o.N)
 	}
 	e.res.DrainTime = -1
 
@@ -84,7 +129,10 @@ func newEngine(o Options, stream *rng.Source) *engine {
 		for i := range e.procs {
 			e.procs[i].rate = 1
 		}
-		e.classProcs = [][]int32{allProcs(o.N)}
+		if len(e.allIDs) != o.N {
+			e.allIDs = allProcs(o.N)
+		}
+		e.classProcs = append(e.classProcs[:0], e.allIDs)
 	} else {
 		e.classProcs = make([][]int32, len(o.Classes))
 		next := 0
@@ -142,7 +190,6 @@ func newEngine(o Options, stream *rng.Source) *engine {
 	if o.SojournHistMax > 0 {
 		e.sojournH = stats.NewHistogram(0, o.SojournHistMax, 1000)
 	}
-	return e
 }
 
 func allProcs(n int) []int32 {
@@ -281,15 +328,19 @@ func (e *engine) trySteal(thief int32, left int) bool {
 		return true
 	}
 	// Instantaneous transfer of K tasks (or half the victim's queue under
-	// the steal-half heuristic), preserving their relative order.
+	// the steal-half heuristic), preserving their relative order. The moved
+	// tasks pass through a scratch buffer owned by the engine; it grows to
+	// the largest steal ever seen and is then reused, keeping the hot path
+	// allocation-free.
 	k := e.o.K
 	if e.o.Half {
 		k = (load + 1) / 2
 	}
-	tmp := make([]float64, 0, k)
+	tmp := e.stealBuf[:0]
 	for j := 0; j < k; j++ {
 		tmp = append(tmp, vic.q.PopBack())
 	}
+	e.stealBuf = tmp
 	for j := len(tmp) - 1; j >= 0; j-- {
 		pr := &e.procs[thief]
 		pr.q.PushBack(tmp[j])
@@ -335,10 +386,10 @@ func (e *engine) afterCompletion(p int32) {
 func (e *engine) rebalance(p int32) {
 	partner := int32(e.r.IntnExcept(e.o.N, int(p)))
 	a, b := &e.procs[p], &e.procs[partner]
-	ai, bi := p, partner
+	bi := partner
 	if a.q.Len() < b.q.Len() {
 		a, b = b, a
-		ai, bi = bi, ai
+		bi = p
 	}
 	// a is the larger side; move tasks until a holds the ceiling half.
 	total := a.q.Len() + b.q.Len()
@@ -354,7 +405,6 @@ func (e *engine) rebalance(p int32) {
 		}
 		moved++
 	}
-	_ = ai
 	if moved > 0 {
 		e.met.Rebalances++
 		e.met.RebalanceMoves += moved

@@ -4,16 +4,65 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/metrics"
 	"repro/internal/rng"
 	"repro/internal/stats"
 )
 
+// Runner executes simulation runs while recycling engine state — the
+// processor slice, per-processor task deques, the future event list, and
+// the sampling buffers — between runs. A worker goroutine that owns a
+// Runner performs roughly one engine allocation for its whole lifetime
+// instead of one per replication, and the steady-state event loop settles
+// at zero allocations per event.
+//
+// A Runner is not safe for concurrent use; give each worker its own. The
+// zero value is ready to use.
+type Runner struct {
+	e   *engine
+	src rng.Source
+}
+
+// RunRep executes replication rep of o on the stream rng.Derive(o.Seed, rep),
+// exactly as Replication.Run does for each of its replications. o must
+// already be normalized and validated.
+func (r *Runner) RunRep(o Options, rep int) Result {
+	r.src.Reseed(rng.DeriveSeed(o.Seed, rep))
+	return r.runStream(o)
+}
+
+// Run executes a single run of o on the stream rng.New(o.Seed), exactly as
+// the package-level Run does, after normalizing and validating o.
+func (r *Runner) Run(o Options) (Result, error) {
+	o.normalize()
+	if err := o.Validate(); err != nil {
+		return Result{}, err
+	}
+	r.src.Reseed(o.Seed)
+	return r.runStream(o), nil
+}
+
+// runStream runs o on the Runner's current stream, reusing the engine.
+func (r *Runner) runStream(o Options) Result {
+	if r.e == nil {
+		r.e = newEngine(o, &r.src)
+	} else {
+		r.e.reset(o, &r.src)
+	}
+	r.e.run()
+	return r.e.res
+}
+
 // Replication runs R independent replications of a configuration in
 // parallel worker goroutines, each on its own derived random stream, and
 // aggregates the results. This mirrors the paper's procedure of averaging
 // 10 simulations per table cell.
+//
+// Replication parallelism is bounded by its own Workers field; to share one
+// machine-wide worker pool across many cells and tables, use package sched
+// instead.
 type Replication struct {
 	// Reps is the number of independent replications (≥ 1).
 	Reps int
@@ -42,15 +91,23 @@ type Aggregate struct {
 	Results []Result
 }
 
+// Validate normalizes o in place and checks that the replication set is
+// runnable. It is the shared gate used by Run and by external runners such
+// as package sched; after it returns nil, o can be handed directly to
+// Runner.RunRep for each replication index.
+func (rp Replication) Validate(o *Options) error {
+	if rp.Reps < 1 {
+		return fmt.Errorf("sim: need Reps >= 1, got %d", rp.Reps)
+	}
+	o.normalize()
+	return o.Validate()
+}
+
 // Run executes the replications. Each replication i uses the random stream
 // derived from (o.Seed, i), so results are reproducible regardless of
 // worker count and scheduling.
 func (rp Replication) Run(o Options) (Aggregate, error) {
-	if rp.Reps < 1 {
-		return Aggregate{}, fmt.Errorf("sim: need Reps >= 1, got %d", rp.Reps)
-	}
-	o.normalize()
-	if err := o.Validate(); err != nil {
+	if err := rp.Validate(&o); err != nil {
 		return Aggregate{}, err
 	}
 	workers := rp.Workers
@@ -63,24 +120,30 @@ func (rp Replication) Run(o Options) (Aggregate, error) {
 
 	results := make([]Result, rp.Reps)
 	var wg sync.WaitGroup
-	next := make(chan int)
+	var next atomic.Int64
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range next {
-				e := newEngine(o, rng.Derive(o.Seed, i))
-				e.run()
-				results[i] = e.res
+			var r Runner
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= rp.Reps {
+					return
+				}
+				results[i] = r.RunRep(o, i)
 			}
 		}()
 	}
-	for i := 0; i < rp.Reps; i++ {
-		next <- i
-	}
-	close(next)
 	wg.Wait()
 
+	return AggregateResults(o, results), nil
+}
+
+// AggregateResults summarizes a completed replication set of o. Results
+// must be indexed by replication (result i from stream rng.Derive(o.Seed, i))
+// for the aggregate to match Replication.Run.
+func AggregateResults(o Options, results []Result) Aggregate {
 	agg := Aggregate{Results: results}
 	var soj, load, drain []float64
 	for _, r := range results {
@@ -101,5 +164,5 @@ func (rp Replication) Run(o Options) (Aggregate, error) {
 		ms[i] = r.Metrics
 	}
 	agg.Metrics = metrics.Summarize(ms, o.N)
-	return agg, nil
+	return agg
 }

@@ -13,19 +13,23 @@ import "repro/internal/eventq"
 type tailSampler struct {
 	depth    int
 	sums     []float64 // Σ over samples of (fraction with ≥ i tasks)
+	counts   []int     // per-sample scratch, reused between snapshots
 	nSamples int64
 }
 
 // newTailSampler returns a sampler for tails s_0..s_{depth-1}.
 func newTailSampler(depth int) *tailSampler {
-	return &tailSampler{depth: depth, sums: make([]float64, depth)}
+	return &tailSampler{depth: depth, sums: make([]float64, depth), counts: make([]int, depth+1)}
 }
 
 // sample records one snapshot of the processor loads.
 func (ts *tailSampler) sample(procs []proc) {
 	n := len(procs)
 	// Count processors with load exactly l, then cumulate from the top.
-	counts := make([]int, ts.depth+1)
+	counts := ts.counts
+	for i := range counts {
+		counts[i] = 0
+	}
 	for i := range procs {
 		l := procs[i].q.Len()
 		if l >= ts.depth {
