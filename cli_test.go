@@ -5,12 +5,16 @@ package repro
 // checking exit status and the shape of its output.
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
 )
 
@@ -24,7 +28,7 @@ func TestMain(m *testing.M) {
 		fmt.Fprintln(os.Stderr, "cli_test:", err)
 		os.Exit(1)
 	}
-	for _, name := range []string{"wstables", "wssim", "wsfixed", "wsode", "wssweep", "wsbench"} {
+	for _, name := range []string{"wstables", "wssim", "wsfixed", "wsode", "wssweep", "wsbench", "wsserved"} {
 		out := filepath.Join(dir, name)
 		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+name)
 		if msg, err := cmd.CombinedOutput(); err != nil {
@@ -397,5 +401,57 @@ func TestCLIWsodeMetricsJSON(t *testing.T) {
 	}
 	if len(tr.Times) != len(tr.Loads) || len(tr.Times) < 10 {
 		t.Errorf("wsode -json trajectory malformed: %d times, %d loads", len(tr.Times), len(tr.Loads))
+	}
+}
+
+// TestServeMatchesWsfixed boots the real wsserved daemon and asserts the
+// HTTP fixed-point response is byte-identical to wsfixed -json: the serving
+// layer and the CLI render the same report through the same encoder.
+func TestServeMatchesWsfixed(t *testing.T) {
+	dir := buildCmds(t)
+
+	cmd := exec.Command(filepath.Join(dir, "wsserved"), "-addr", "127.0.0.1:0", "-log", "text")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd.Process.Signal(syscall.SIGTERM)
+		if err := cmd.Wait(); err != nil {
+			t.Errorf("wsserved did not exit cleanly after SIGTERM: %v", err)
+		}
+	}()
+
+	// The daemon logs its bound address once listening; scrape it.
+	var addr string
+	sc := bufio.NewScanner(stderr)
+	for sc.Scan() {
+		if _, rest, ok := strings.Cut(sc.Text(), "addr="); ok {
+			addr = strings.Fields(rest)[0]
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatal("wsserved never reported its listen address")
+	}
+	go io.Copy(io.Discard, stderr) // keep the pipe drained
+
+	resp, err := http.Post("http://"+addr+"/v1/fixedpoint", "application/json",
+		strings.NewReader(`{"model":"threshold","lambda":0.8,"t":3,"tails":5}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	served, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/fixedpoint: status %d, err %v", resp.StatusCode, err)
+	}
+
+	cli := run(t, "wsfixed", "-model", "threshold", "-lambda", "0.8", "-T", "3", "-tails", "5", "-json")
+	if string(served) != cli {
+		t.Errorf("served response differs from wsfixed -json\nserved: %s\ncli:    %s", served, cli)
 	}
 }

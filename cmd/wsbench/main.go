@@ -1,5 +1,5 @@
 // Command wsbench measures the repository's performance numbers and writes
-// them to a machine-readable JSON file (BENCH_PR2.json at the repo root, by
+// them to a machine-readable JSON file (BENCH_PR3.json at the repo root, by
 // convention), so the perf trajectory across PRs is recorded next to the
 // code rather than in commit messages.
 //
@@ -14,7 +14,7 @@
 //
 // Usage:
 //
-//	wsbench [-out BENCH_PR2.json] [-runs 6] [-horizon 2000]
+//	wsbench [-out BENCH_PR3.json] [-runs 6] [-horizon 2000]
 package main
 
 import (
@@ -76,7 +76,7 @@ type Report struct {
 }
 
 func run() int {
-	out := flag.String("out", "BENCH_PR2.json", "output JSON file (- for stdout)")
+	out := flag.String("out", "BENCH_PR3.json", "output JSON file (- for stdout)")
 	runs := flag.Int("runs", 6, "measured steady-state runs per throughput config")
 	horizon := flag.Float64("horizon", 2_000, "simulated horizon per throughput run")
 	tables := flag.Bool("tables", true, "also time Tables 1-4 at QuickScale (the slow part)")

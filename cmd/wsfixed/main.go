@@ -21,7 +21,7 @@ import (
 	"os"
 
 	"repro/internal/cliutil"
-	"repro/internal/core"
+	"repro/internal/experiments"
 	"repro/internal/meanfield"
 )
 
@@ -47,75 +47,38 @@ func run() int {
 	jsonFlag := flag.Bool("json", false, "emit the fixed point as JSON")
 	flag.Parse()
 
-	var m core.Model
-	switch *model {
-	case "nosteal":
-		m = meanfield.NewNoSteal(*lambda)
-	case "simple":
-		m = meanfield.NewSimpleWS(*lambda)
-	case "threshold":
-		m = meanfield.NewThreshold(*lambda, *tFlag)
-	case "preemptive":
-		m = meanfield.NewPreemptive(*lambda, *bFlag, *tFlag)
-	case "repeated":
-		m = meanfield.NewRepeated(*lambda, *tFlag, *rFlag)
-	case "choices":
-		m = meanfield.NewChoices(*lambda, *tFlag, *dFlag)
-	case "multisteal":
-		m = meanfield.NewMultiSteal(*lambda, *tFlag, *kFlag)
-	case "stages":
-		m = meanfield.NewStages(*lambda, *cFlag, *tFlag)
-	case "transfer":
-		m = meanfield.NewTransfer(*lambda, *tFlag, *rFlag)
-	case "rebalance":
-		m = meanfield.NewRebalance(*lambda, meanfield.ConstRate(*rFlag), *rFlag)
-	case "stealhalf":
-		m = meanfield.NewStealHalf(*lambda, *tFlag)
-	case "spawning":
-		m = meanfield.NewSpawning(*lambda*(1-*liFlag), *liFlag, *tFlag)
-	case "repeated-transfer":
-		m = meanfield.NewRepeatedTransfer(*lambda, *tFlag, *raFlag, *rFlag)
-	default:
-		fmt.Fprintf(os.Stderr, "wsfixed: unknown model %q\n", *model)
-		return 2
+	spec := experiments.FixedPointSpec{
+		Model:  *model,
+		Lambda: *lambda,
+		T:      *tFlag,
+		B:      *bFlag,
+		D:      *dFlag,
+		K:      *kFlag,
+		C:      *cFlag,
+		R:      *rFlag,
+		RA:     *raFlag,
+		LI:     *liFlag,
+		Tails:  *tails,
 	}
-
-	fp, err := meanfield.Solve(m, meanfield.SolveOptions{})
+	rep, fp, err := spec.Solve()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wsfixed:", err)
 		return 1
 	}
-	ratioT := core.TailRatio(fp.State, *tFlag+1, 1e-6)
 	if *jsonFlag {
-		nTails := *tails
-		if nTails > m.Dim() {
-			nTails = m.Dim()
-		}
-		out := struct {
-			Model       string    `json:"model"`
-			Lambda      float64   `json:"lambda"`
-			Dim         int       `json:"dim"`
-			Residual    float64   `json:"residual"`
-			MeanTasks   float64   `json:"mean_tasks"`
-			SojournTime float64   `json:"sojourn_time"`
-			Utilization float64   `json:"utilization"`
-			TailRatio   float64   `json:"tail_ratio"`
-			Tails       []float64 `json:"tails"`
-		}{m.Name(), *lambda, m.Dim(), fp.Residual, fp.MeanTasks(),
-			fp.SojournTime(), fp.BusyFraction(), ratioT, fp.State[:nTails]}
-		if err := cliutil.WriteJSON(os.Stdout, out); err != nil {
+		if err := cliutil.WriteJSON(os.Stdout, rep); err != nil {
 			fmt.Fprintln(os.Stderr, "wsfixed:", err)
 			return 1
 		}
 		return 0
 	}
-	fmt.Printf("model:            %s\n", m.Name())
-	fmt.Printf("dimension:        %d\n", m.Dim())
-	fmt.Printf("residual:         %.3e\n", fp.Residual)
-	fmt.Printf("mean tasks E[L]:  %.6f\n", fp.MeanTasks())
+	fmt.Printf("model:            %s\n", rep.Model)
+	fmt.Printf("dimension:        %d\n", rep.Dim)
+	fmt.Printf("residual:         %.3e\n", rep.Residual)
+	fmt.Printf("mean tasks E[L]:  %.6f\n", rep.MeanTasks)
 	fmt.Printf("time in sys E[T]: %.6f   (no stealing: %.6f)\n",
-		fp.SojournTime(), meanfield.MM1SojournTime(*lambda))
-	fmt.Printf("tail decay ratio: %.6f   (no stealing: %.6f)\n", ratioT, *lambda)
+		rep.SojournTime, meanfield.MM1SojournTime(*lambda))
+	fmt.Printf("tail decay ratio: %.6f   (no stealing: %.6f)\n", rep.TailRatio, *lambda)
 	if *metricsFlag {
 		// The observable counterparts of the simulator's metrics layer:
 		// what `wssim -metrics` should converge to for this model. The
@@ -129,7 +92,7 @@ func run() int {
 		}
 	}
 	fmt.Println("tails:")
-	for i := 0; i < *tails && i < m.Dim(); i++ {
+	for i := 0; i < *tails && i < rep.Dim; i++ {
 		fmt.Printf("  π_%-3d = %.8f\n", i, fp.State[i])
 	}
 	return 0

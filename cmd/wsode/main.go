@@ -16,10 +16,7 @@ import (
 
 	"repro/internal/asciiplot"
 	"repro/internal/cliutil"
-	"repro/internal/core"
-	"repro/internal/meanfield"
-	"repro/internal/numeric"
-	"repro/internal/ode"
+	"repro/internal/experiments"
 )
 
 func main() {
@@ -40,48 +37,24 @@ func run() int {
 	jsonFlag := flag.Bool("json", false, "emit the trajectory (and metrics) as JSON")
 	flag.Parse()
 
-	var m core.Model
-	switch *model {
-	case "nosteal":
-		m = meanfield.NewNoSteal(*lambda)
-	case "simple":
-		m = meanfield.NewSimpleWS(*lambda)
-	case "threshold":
-		m = meanfield.NewThreshold(*lambda, *tFlag)
-	case "choices":
-		m = meanfield.NewChoices(*lambda, *tFlag, *dFlag)
-	default:
-		fmt.Fprintf(os.Stderr, "wsode: unknown model %q\n", *model)
-		return 2
+	spec := experiments.ODESpec{
+		Model:  *model,
+		Lambda: *lambda,
+		T:      *tFlag,
+		D:      *dFlag,
+		Span:   *span,
+		Dt:     *dt,
 	}
-
-	fp, err := meanfield.Solve(m, meanfield.SolveOptions{})
+	rep, err := spec.Integrate()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wsode:", err)
 		return 1
 	}
-
-	x := m.Initial()
-	var times, loads, dists []float64
-	next := 0.0
-	h := *dt
-	if h > 0.05 {
-		h = 0.05
-	}
-	ode.SolveObserved(m.Derivs, x, *span, h, func(t float64, y []float64) bool {
-		if t+1e-12 < next && t < *span {
-			return true
-		}
-		next = t + *dt
-		times = append(times, t)
-		loads = append(loads, m.MeanTasks(y))
-		dists = append(dists, numeric.Dist1(y, fp.State))
-		return true
-	})
+	times, loads, dists := rep.Times, rep.Loads, rep.Distances
 
 	if *plot {
 		chart, err := asciiplot.Render(asciiplot.Options{
-			Title:  fmt.Sprintf("%s: mean load from empty (fixed point %.4f)", m.Name(), fp.MeanTasks()),
+			Title:  fmt.Sprintf("%s: mean load from empty (fixed point %.4f)", rep.Model, rep.FixedPoint),
 			Width:  72,
 			Height: 18,
 		}, asciiplot.Series{Name: "mean tasks per processor", Xs: times, Ys: loads})
@@ -93,43 +66,20 @@ func run() int {
 		return 0
 	}
 
-	// Convergence metrics: when the trajectory first comes within 1% (in
-	// L1 distance relative to the fixed point's mean) and its state at the
-	// end of the span.
-	settle := -1.0
-	tol := 0.01 * fp.MeanTasks()
-	for i := range times {
-		if dists[i] <= tol {
-			settle = times[i]
-			break
-		}
-	}
 	if *jsonFlag {
-		out := struct {
-			Model         string    `json:"model"`
-			Lambda        float64   `json:"lambda"`
-			FixedPoint    float64   `json:"fixed_point_mean_tasks"`
-			SettleTime    float64   `json:"settle_time"`
-			FinalLoad     float64   `json:"final_load"`
-			FinalDistance float64   `json:"final_distance"`
-			Times         []float64 `json:"times"`
-			Loads         []float64 `json:"loads"`
-			Distances     []float64 `json:"distances"`
-		}{m.Name(), *lambda, fp.MeanTasks(), settle,
-			loads[len(loads)-1], dists[len(dists)-1], times, loads, dists}
-		if err := cliutil.WriteJSON(os.Stdout, out); err != nil {
+		if err := cliutil.WriteJSON(os.Stdout, rep); err != nil {
 			fmt.Fprintln(os.Stderr, "wsode:", err)
 			return 1
 		}
 		return 0
 	}
 	if *metricsFlag {
-		fmt.Printf("model:             %s\n", m.Name())
-		fmt.Printf("fixed point E[L]:  %.6f\n", fp.MeanTasks())
-		fmt.Printf("final load:        %.6f  (at t = %.1f)\n", loads[len(loads)-1], times[len(times)-1])
-		fmt.Printf("final L1 distance: %.3e\n", dists[len(dists)-1])
-		if settle >= 0 {
-			fmt.Printf("settle time (1%%):  %.1f\n", settle)
+		fmt.Printf("model:             %s\n", rep.Model)
+		fmt.Printf("fixed point E[L]:  %.6f\n", rep.FixedPoint)
+		fmt.Printf("final load:        %.6f  (at t = %.1f)\n", rep.FinalLoad, times[len(times)-1])
+		fmt.Printf("final L1 distance: %.3e\n", rep.FinalDistance)
+		if rep.SettleTime >= 0 {
+			fmt.Printf("settle time (1%%):  %.1f\n", rep.SettleTime)
 		} else {
 			fmt.Printf("settle time (1%%):  not reached within span %.1f\n", *span)
 		}
@@ -138,7 +88,7 @@ func run() int {
 	fmt.Println("t,mean_tasks,sojourn_estimate,l1_distance_to_fixed_point")
 	for i := range times {
 		fmt.Printf("%.3f,%.6f,%.6f,%.6e\n",
-			times[i], loads[i], loads[i]/m.ArrivalRate(), dists[i])
+			times[i], loads[i], loads[i] / *lambda, dists[i])
 	}
 	return 0
 }

@@ -1,0 +1,106 @@
+// Command wsserved is the model-serving daemon: it exposes the
+// repository's mean-field solvers and finite-n simulator over HTTP with
+// result caching, request coalescing, and admission control (see
+// internal/serve for the endpoint list and README "Serving" for curl
+// examples).
+//
+// Usage:
+//
+//	wsserved -addr :8080
+//	wsserved -addr :8080 -workers 4 -queue 32 -cache 1024 -deadline 30s -log json
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: /readyz flips to 503,
+// in-flight requests drain (up to -drain), then the scheduler pool is
+// released.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+// run returns the process exit code instead of calling os.Exit so that
+// deferred cleanups always execute and tests can drive it directly.
+func run() int {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "scheduler pool workers (0 = GOMAXPROCS)")
+	cache := flag.Int("cache", 512, "result-cache entries")
+	queue := flag.Int("queue", 16, "simulate admission slots (excess requests get 429)")
+	deadline := flag.Duration("deadline", 60*time.Second, "per-request simulate deadline")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
+	logFormat := flag.String("log", "text", "request log format: text, json, off")
+	flag.Parse()
+
+	var logger *slog.Logger
+	switch *logFormat {
+	case "text":
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	case "json":
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	case "off":
+		logger = slog.New(slog.DiscardHandler)
+	default:
+		fmt.Fprintf(os.Stderr, "wsserved: unknown log format %q\n", *logFormat)
+		return 2
+	}
+
+	srv := serve.New(serve.Config{
+		Workers:      *workers,
+		CacheEntries: *cache,
+		QueueDepth:   *queue,
+		SimDeadline:  *deadline,
+		Logger:       logger,
+	})
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wsserved:", err)
+		return 1
+	}
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	logger.Info("serving", "addr", ln.Addr().String())
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "wsserved:", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop advertising readiness, then drain.
+	logger.Info("shutting down", "drain", drain.String())
+	srv.SetDraining(true)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "wsserved: shutdown:", err)
+		return 1
+	}
+	logger.Info("drained")
+	return 0
+}

@@ -17,7 +17,7 @@ import (
 	"os"
 
 	"repro/internal/cliutil"
-	"repro/internal/dist"
+	"repro/internal/experiments"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -58,33 +58,15 @@ func run() (code int) {
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
 
-	var svc dist.Distribution
-	switch *service {
-	case "exp":
-		svc = dist.NewExponential(1)
-	case "const":
-		svc = dist.NewDeterministic(1)
-	case "erlang":
-		svc = dist.ErlangWithMean(*stages, 1)
-	case "hyper":
-		svc = dist.NewHyperExponential(0.5, 2, 2.0/3)
-	case "uniform":
-		svc = dist.NewUniform(0.5, 1.5)
-	default:
-		fmt.Fprintf(os.Stderr, "wssim: unknown service %q\n", *service)
+	svc, err := experiments.ServiceDist(*service, *stages)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wssim:", err)
 		return 2
 	}
 
-	var pk sim.PolicyKind
-	switch *policy {
-	case "none":
-		pk = sim.PolicyNone
-	case "steal":
-		pk = sim.PolicySteal
-	case "rebalance":
-		pk = sim.PolicyRebalance
-	default:
-		fmt.Fprintf(os.Stderr, "wssim: unknown policy %q\n", *policy)
+	pk, err := experiments.ParsePolicy(*policy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wssim:", err)
 		return 2
 	}
 

@@ -1,0 +1,147 @@
+// Serving: a load generator against the wsserved HTTP daemon.
+//
+// It starts an in-process server (or targets an already-running daemon via
+// -addr), then demonstrates the serving layer's three behaviors under
+// concurrent load:
+//
+//  1. Result caching — the same fixed-point request repeated is served
+//     from the LRU cache without re-solving.
+//  2. Request coalescing — a burst of identical simulate requests rides a
+//     single engine computation; every caller gets the same bytes.
+//  3. Admission control — distinct simulate requests beyond the queue
+//     depth are rejected immediately with 429 + Retry-After instead of
+//     piling up.
+//
+// Run with:
+//
+//	go run ./examples/serving
+//	go run ./examples/serving -addr http://localhost:8080   # external daemon
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "", "base URL of a running wsserved (empty = start one in-process)")
+	burst := flag.Int("burst", 32, "concurrent identical simulate requests in the coalescing demo")
+	flag.Parse()
+
+	base := *addr
+	if base == "" {
+		// A deliberately small server so the demo's overload phase actually
+		// overloads: 2 admission slots, in-process listener.
+		srv := serve.New(serve.Config{
+			QueueDepth: 2,
+			Logger:     slog.New(slog.DiscardHandler),
+		})
+		defer srv.Close()
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		base = ts.URL
+		fmt.Printf("started in-process wsserved at %s (queue depth 2)\n\n", base)
+	}
+	client := &http.Client{Timeout: 120 * time.Second}
+
+	// --- 1. Caching: identical fixed-point requests ---------------------
+	fpBody := `{"model":"simple","lambda":0.9}`
+	t0 := time.Now()
+	post(client, base+"/v1/fixedpoint", fpBody)
+	cold := time.Since(t0)
+	t0 = time.Now()
+	post(client, base+"/v1/fixedpoint", fpBody)
+	warm := time.Since(t0)
+	fmt.Printf("caching:   first solve %v, repeat %v (%s)\n", cold, warm,
+		metricLine(client, base, "wsserved_cache_hits_total"))
+
+	// --- 2. Coalescing: a burst of identical simulate requests ----------
+	simBody := `{"n":64,"lambda":0.9,"horizon":4000,"reps":4,"seed":42}`
+	var wg sync.WaitGroup
+	codes := make([]int, *burst)
+	bodies := make([]string, *burst)
+	t0 = time.Now()
+	for i := 0; i < *burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			codes[i], bodies[i] = post(client, base+"/v1/simulate", simBody)
+		}(i)
+	}
+	wg.Wait()
+	okAll, identical := true, true
+	for i := range codes {
+		okAll = okAll && codes[i] == http.StatusOK
+		identical = identical && bodies[i] == bodies[0]
+	}
+	fmt.Printf("coalesce:  %d identical requests in %v, all 200: %v, byte-identical: %v\n",
+		*burst, time.Since(t0), okAll, identical)
+	fmt.Printf("           %s — the whole burst cost one replication set\n",
+		metricLine(client, base, "wsserved_sim_runs_total"))
+
+	// --- 3. Backpressure: distinct heavy requests past the queue --------
+	const distinct = 12
+	var rejected, accepted int
+	var mu sync.Mutex
+	wg = sync.WaitGroup{}
+	for i := 0; i < distinct; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Distinct seeds defeat the cache and the coalescer, so each
+			// request needs its own admission slot.
+			body := fmt.Sprintf(`{"n":256,"lambda":0.95,"horizon":20000,"reps":4,"seed":%d}`, 1000+i)
+			code, _ := post(client, base+"/v1/simulate", body)
+			mu.Lock()
+			if code == http.StatusTooManyRequests {
+				rejected++
+			} else if code == http.StatusOK {
+				accepted++
+			}
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	fmt.Printf("overload:  %d distinct requests → %d served, %d rejected with 429 (%s)\n",
+		distinct, accepted, rejected, metricLine(client, base, "wsserved_sim_rejected_total"))
+}
+
+// post issues one JSON POST and returns the status code and body.
+func post(client *http.Client, url, body string) (int, string) {
+	resp, err := client.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		log.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatalf("POST %s: read: %v", url, err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+// metricLine scrapes /metrics and returns the first sample line for name.
+func metricLine(client *http.Client, base, name string) string {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return "metrics unavailable: " + err.Error()
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	for _, line := range strings.Split(string(b), "\n") {
+		if strings.HasPrefix(line, name) {
+			return line
+		}
+	}
+	return name + " not found"
+}

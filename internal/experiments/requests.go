@@ -1,0 +1,625 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/meanfield"
+	"repro/internal/metrics"
+	"repro/internal/numeric"
+	"repro/internal/ode"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// This file holds the request-shaped entry points: plain structs that
+// describe one unit of work — a fixed-point solve, an ODE integration, or a
+// finite-n simulation — with JSON tags mirroring the CLI flags. The cmd/
+// tools build them from flags; the serving layer (internal/serve) decodes
+// them from request bodies, so a CLI invocation and an HTTP request with
+// the same parameters are guaranteed to run the same code and render the
+// same report structs.
+
+// finite reports whether v is a usable number (not NaN or ±Inf). Request
+// bodies arrive from the network, so every float field is gated on it.
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// FixedPointModels lists the -model names accepted by FixedPointSpec, in
+// the order wsfixed documents them.
+var FixedPointModels = []string{
+	"nosteal", "simple", "threshold", "preemptive", "repeated", "choices",
+	"multisteal", "stages", "transfer", "rebalance", "stealhalf",
+	"spawning", "repeated-transfer",
+}
+
+// FixedPointSpec selects a mean-field model and its parameters, exactly as
+// the wsfixed flags do. The zero value of every parameter field means "use
+// the wsfixed default"; Normalize fills those in.
+type FixedPointSpec struct {
+	// Model is the model name (see FixedPointModels).
+	Model string `json:"model"`
+	// Lambda is the arrival rate, in (0, 1).
+	Lambda float64 `json:"lambda"`
+	// T is the victim threshold (default 2).
+	T int `json:"t,omitempty"`
+	// B is the preemptive steal-begin level.
+	B int `json:"b,omitempty"`
+	// D is the number of victim choices (default 2).
+	D int `json:"d,omitempty"`
+	// K is the number of tasks per steal (default 2).
+	K int `json:"k,omitempty"`
+	// C is the number of Erlang stages per task (default 10).
+	C int `json:"c,omitempty"`
+	// R is the model's rate parameter — retry, transfer, or rebalance rate
+	// depending on the model (default 1).
+	R float64 `json:"r,omitempty"`
+	// RA is the retry rate for model "repeated-transfer" (default 1).
+	RA float64 `json:"ra,omitempty"`
+	// LI is the internal spawn fraction for model "spawning" (default 0.3).
+	LI float64 `json:"li,omitempty"`
+	// Tails is how many leading tail entries to report (default 12).
+	Tails int `json:"tails,omitempty"`
+}
+
+// Normalize fills defaulted fields in place, mirroring the wsfixed flag
+// defaults. It is idempotent, so hashing a normalized spec is stable.
+func (s *FixedPointSpec) Normalize() {
+	if s.Model == "" {
+		s.Model = "simple"
+	}
+	if s.T == 0 {
+		s.T = 2
+	}
+	if s.D == 0 {
+		s.D = 2
+	}
+	if s.K == 0 {
+		s.K = 2
+	}
+	if s.C == 0 {
+		s.C = 10
+	}
+	if s.R == 0 {
+		s.R = 1
+	}
+	if s.RA == 0 {
+		s.RA = 1
+	}
+	if s.LI == 0 {
+		s.LI = 0.3
+	}
+	if s.Tails == 0 {
+		s.Tails = 12
+	}
+}
+
+// Validate checks a normalized spec without building the model, returning
+// a descriptive error for out-of-range parameters (NaN and ±Inf included).
+func (s *FixedPointSpec) Validate() error {
+	known := false
+	for _, m := range FixedPointModels {
+		if s.Model == m {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return fmt.Errorf("experiments: unknown model %q", s.Model)
+	}
+	if !finite(s.Lambda) || s.Lambda <= 0 || s.Lambda >= 1 {
+		return fmt.Errorf("experiments: arrival rate lambda = %v outside (0, 1)", s.Lambda)
+	}
+	if !finite(s.R) || s.R <= 0 {
+		return fmt.Errorf("experiments: rate r = %v, want > 0", s.R)
+	}
+	if !finite(s.RA) || s.RA <= 0 {
+		return fmt.Errorf("experiments: retry rate ra = %v, want > 0", s.RA)
+	}
+	if !finite(s.LI) || s.LI < 0 || s.LI >= 1 {
+		return fmt.Errorf("experiments: spawn fraction li = %v outside [0, 1)", s.LI)
+	}
+	if s.T < 2 {
+		return fmt.Errorf("experiments: threshold T = %d, want >= 2", s.T)
+	}
+	if s.B < 0 || s.D < 1 || s.K < 1 || s.C < 1 || s.Tails < 1 {
+		return fmt.Errorf("experiments: negative or zero structural parameter (b=%d d=%d k=%d c=%d tails=%d)",
+			s.B, s.D, s.K, s.C, s.Tails)
+	}
+	return nil
+}
+
+// BuildModel normalizes, validates, and constructs the mean-field model.
+// Construction panics (for parameter combinations only the constructors
+// check, e.g. multisteal's T >= 2K) are converted into errors so malformed
+// network requests cannot crash a server.
+func (s *FixedPointSpec) BuildModel() (m core.Model, err error) {
+	s.Normalize()
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			m, err = nil, fmt.Errorf("experiments: invalid model parameters: %v", r)
+		}
+	}()
+	switch s.Model {
+	case "nosteal":
+		m = meanfield.NewNoSteal(s.Lambda)
+	case "simple":
+		m = meanfield.NewSimpleWS(s.Lambda)
+	case "threshold":
+		m = meanfield.NewThreshold(s.Lambda, s.T)
+	case "preemptive":
+		m = meanfield.NewPreemptive(s.Lambda, s.B, s.T)
+	case "repeated":
+		m = meanfield.NewRepeated(s.Lambda, s.T, s.R)
+	case "choices":
+		m = meanfield.NewChoices(s.Lambda, s.T, s.D)
+	case "multisteal":
+		m = meanfield.NewMultiSteal(s.Lambda, s.T, s.K)
+	case "stages":
+		m = meanfield.NewStages(s.Lambda, s.C, s.T)
+	case "transfer":
+		m = meanfield.NewTransfer(s.Lambda, s.T, s.R)
+	case "rebalance":
+		m = meanfield.NewRebalance(s.Lambda, meanfield.ConstRate(s.R), s.R)
+	case "stealhalf":
+		m = meanfield.NewStealHalf(s.Lambda, s.T)
+	case "spawning":
+		m = meanfield.NewSpawning(s.Lambda*(1-s.LI), s.LI, s.T)
+	case "repeated-transfer":
+		m = meanfield.NewRepeatedTransfer(s.Lambda, s.T, s.RA, s.R)
+	}
+	return m, nil
+}
+
+// FixedPointReport is the JSON shape of one solved fixed point — the exact
+// struct wsfixed -json emits, so serving the report bytes and running the
+// CLI produce identical output.
+type FixedPointReport struct {
+	Model       string    `json:"model"`
+	Lambda      float64   `json:"lambda"`
+	Dim         int       `json:"dim"`
+	Residual    float64   `json:"residual"`
+	MeanTasks   float64   `json:"mean_tasks"`
+	SojournTime float64   `json:"sojourn_time"`
+	Utilization float64   `json:"utilization"`
+	TailRatio   float64   `json:"tail_ratio"`
+	Tails       []float64 `json:"tails"`
+}
+
+// Solve builds the model, finds its fixed point, and renders the report.
+// The raw fixed point is returned alongside for callers (wsfixed's text
+// mode) that need the full state vector.
+func (s *FixedPointSpec) Solve() (FixedPointReport, core.FixedPoint, error) {
+	m, err := s.BuildModel()
+	if err != nil {
+		return FixedPointReport{}, core.FixedPoint{}, err
+	}
+	fp, err := meanfield.Solve(m, meanfield.SolveOptions{})
+	if err != nil {
+		return FixedPointReport{}, core.FixedPoint{}, err
+	}
+	nTails := s.Tails
+	if nTails > m.Dim() {
+		nTails = m.Dim()
+	}
+	return FixedPointReport{
+		Model:       m.Name(),
+		Lambda:      s.Lambda,
+		Dim:         m.Dim(),
+		Residual:    fp.Residual,
+		MeanTasks:   fp.MeanTasks(),
+		SojournTime: fp.SojournTime(),
+		Utilization: fp.BusyFraction(),
+		TailRatio:   core.TailRatio(fp.State, s.T+1, 1e-6),
+		Tails:       fp.State[:nTails],
+	}, fp, nil
+}
+
+// ODEModels lists the -model names accepted by ODESpec (the subset wsode
+// integrates).
+var ODEModels = []string{"nosteal", "simple", "threshold", "choices"}
+
+// ODESpec describes one mean-field trajectory integration, mirroring the
+// wsode flags.
+type ODESpec struct {
+	// Model is the model name (see ODEModels).
+	Model string `json:"model"`
+	// Lambda is the arrival rate, in (0, 1).
+	Lambda float64 `json:"lambda"`
+	// T is the victim threshold (default 2).
+	T int `json:"t,omitempty"`
+	// D is the number of victim choices (default 2).
+	D int `json:"d,omitempty"`
+	// Span is the integration span (default 200).
+	Span float64 `json:"span,omitempty"`
+	// Dt is the output sampling interval (default 1).
+	Dt float64 `json:"dt,omitempty"`
+}
+
+// maxODEPoints bounds the trajectory length a single request can demand
+// (span/dt points), protecting servers from pathological span/dt ratios.
+const maxODEPoints = 200_000
+
+// Normalize fills defaulted fields in place, mirroring the wsode flags.
+func (s *ODESpec) Normalize() {
+	if s.Model == "" {
+		s.Model = "simple"
+	}
+	if s.T == 0 {
+		s.T = 2
+	}
+	if s.D == 0 {
+		s.D = 2
+	}
+	if s.Span == 0 {
+		s.Span = 200
+	}
+	if s.Dt == 0 {
+		s.Dt = 1
+	}
+}
+
+// Validate checks a normalized spec.
+func (s *ODESpec) Validate() error {
+	known := false
+	for _, m := range ODEModels {
+		if s.Model == m {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return fmt.Errorf("experiments: unknown ODE model %q", s.Model)
+	}
+	if !finite(s.Lambda) || s.Lambda <= 0 || s.Lambda >= 1 {
+		return fmt.Errorf("experiments: arrival rate lambda = %v outside (0, 1)", s.Lambda)
+	}
+	if s.T < 2 || s.D < 1 {
+		return fmt.Errorf("experiments: invalid threshold/choices (t=%d d=%d)", s.T, s.D)
+	}
+	if !finite(s.Span) || s.Span <= 0 || !finite(s.Dt) || s.Dt <= 0 {
+		return fmt.Errorf("experiments: span and dt must be positive and finite (span=%v dt=%v)", s.Span, s.Dt)
+	}
+	if s.Span/s.Dt > maxODEPoints {
+		return fmt.Errorf("experiments: span/dt = %v points exceeds the %d-point limit", s.Span/s.Dt, maxODEPoints)
+	}
+	return nil
+}
+
+// BuildModel normalizes, validates, and constructs the model.
+func (s *ODESpec) BuildModel() (core.Model, error) {
+	s.Normalize()
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	switch s.Model {
+	case "nosteal":
+		return meanfield.NewNoSteal(s.Lambda), nil
+	case "simple":
+		return meanfield.NewSimpleWS(s.Lambda), nil
+	case "threshold":
+		return meanfield.NewThreshold(s.Lambda, s.T), nil
+	default:
+		return meanfield.NewChoices(s.Lambda, s.T, s.D), nil
+	}
+}
+
+// ODEPoint is one sampled trajectory point: the state at time T, its mean
+// load, the sojourn-time estimate via Little's law, and the L1 distance to
+// the fixed point.
+type ODEPoint struct {
+	T        float64 `json:"t"`
+	Load     float64 `json:"mean_tasks"`
+	Sojourn  float64 `json:"sojourn_estimate"`
+	Distance float64 `json:"l1_distance"`
+}
+
+// Trajectory integrates the model from the empty system, invoking yield for
+// every sampled point (wsode's CSV rows, the streaming endpoint's NDJSON
+// lines). Integration stops early if yield returns false.
+func (s *ODESpec) Trajectory(yield func(p ODEPoint) bool) error {
+	m, err := s.BuildModel()
+	if err != nil {
+		return err
+	}
+	fp, err := meanfield.Solve(m, meanfield.SolveOptions{})
+	if err != nil {
+		return err
+	}
+	x := m.Initial()
+	next := 0.0
+	h := s.Dt
+	if h > 0.05 {
+		h = 0.05
+	}
+	ode.SolveObserved(m.Derivs, x, s.Span, h, func(t float64, y []float64) bool {
+		if t+1e-12 < next && t < s.Span {
+			return true
+		}
+		next = t + s.Dt
+		load := m.MeanTasks(y)
+		return yield(ODEPoint{
+			T:        t,
+			Load:     load,
+			Sojourn:  load / m.ArrivalRate(),
+			Distance: numeric.Dist1(y, fp.State),
+		})
+	})
+	return nil
+}
+
+// ODEReport is the JSON shape of one integrated trajectory — the exact
+// struct wsode -json emits.
+type ODEReport struct {
+	Model         string    `json:"model"`
+	Lambda        float64   `json:"lambda"`
+	FixedPoint    float64   `json:"fixed_point_mean_tasks"`
+	SettleTime    float64   `json:"settle_time"`
+	FinalLoad     float64   `json:"final_load"`
+	FinalDistance float64   `json:"final_distance"`
+	Times         []float64 `json:"times"`
+	Loads         []float64 `json:"loads"`
+	Distances     []float64 `json:"distances"`
+}
+
+// Integrate runs the trajectory to completion and renders the report,
+// including the 1% settle time relative to the fixed point's mean load.
+func (s *ODESpec) Integrate() (ODEReport, error) {
+	m, err := s.BuildModel()
+	if err != nil {
+		return ODEReport{}, err
+	}
+	fp, err := meanfield.Solve(m, meanfield.SolveOptions{})
+	if err != nil {
+		return ODEReport{}, err
+	}
+	rep := ODEReport{Model: m.Name(), Lambda: s.Lambda, FixedPoint: fp.MeanTasks(), SettleTime: -1}
+	if err := s.Trajectory(func(p ODEPoint) bool {
+		rep.Times = append(rep.Times, p.T)
+		rep.Loads = append(rep.Loads, p.Load)
+		rep.Distances = append(rep.Distances, p.Distance)
+		return true
+	}); err != nil {
+		return ODEReport{}, err
+	}
+	tol := 0.01 * rep.FixedPoint
+	for i := range rep.Times {
+		if rep.Distances[i] <= tol {
+			rep.SettleTime = rep.Times[i]
+			break
+		}
+	}
+	rep.FinalLoad = rep.Loads[len(rep.Loads)-1]
+	rep.FinalDistance = rep.Distances[len(rep.Distances)-1]
+	return rep, nil
+}
+
+// ServiceDist maps a service-distribution name (the wssim -service values)
+// to a unit-mean distribution; stages is the Erlang stage count.
+func ServiceDist(name string, stages int) (dist.Distribution, error) {
+	switch name {
+	case "exp":
+		return dist.NewExponential(1), nil
+	case "const":
+		return dist.NewDeterministic(1), nil
+	case "erlang":
+		if stages < 1 {
+			return nil, fmt.Errorf("experiments: erlang service needs stages >= 1, got %d", stages)
+		}
+		return dist.ErlangWithMean(stages, 1), nil
+	case "hyper":
+		return dist.NewHyperExponential(0.5, 2, 2.0/3), nil
+	case "uniform":
+		return dist.NewUniform(0.5, 1.5), nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown service distribution %q", name)
+	}
+}
+
+// ParsePolicy maps a policy name (the wssim -policy values) to its
+// sim.PolicyKind.
+func ParsePolicy(name string) (sim.PolicyKind, error) {
+	switch name {
+	case "none":
+		return sim.PolicyNone, nil
+	case "steal":
+		return sim.PolicySteal, nil
+	case "rebalance":
+		return sim.PolicyRebalance, nil
+	default:
+		return 0, fmt.Errorf("experiments: unknown policy %q", name)
+	}
+}
+
+// Serving-side resource caps for SimSpec. A batch CLI may simulate anything
+// it likes, but a network request gets bounded work.
+const (
+	// MaxSimN caps the processor count of one request.
+	MaxSimN = 4096
+	// MaxSimReps caps the replications of one request.
+	MaxSimReps = 64
+	// MaxSimHorizon caps the simulated time span of one request.
+	MaxSimHorizon = 1_000_000
+)
+
+// SimSpec describes one finite-n simulation cell, mirroring the wssim
+// flags. Defaults are sized for interactive serving (QuickScale-like),
+// not the paper's 100,000-second batch runs.
+type SimSpec struct {
+	// N is the processor count (default 64, max MaxSimN).
+	N int `json:"n,omitempty"`
+	// Lambda is the external per-processor arrival rate (0 for static runs).
+	Lambda float64 `json:"lambda,omitempty"`
+	// LambdaInt is the internal spawn rate while busy.
+	LambdaInt float64 `json:"lambda_int,omitempty"`
+	// Policy is the stealing discipline: none, steal (default), rebalance.
+	Policy string `json:"policy,omitempty"`
+	// Service is the service distribution: exp (default), const, erlang,
+	// hyper, uniform.
+	Service string `json:"service,omitempty"`
+	// Stages is the Erlang stage count for service "erlang" (default 10).
+	Stages int `json:"stages,omitempty"`
+	// T, B, D, K and Half are the stealing parameters (defaults 2,0,1,1).
+	T    int  `json:"t,omitempty"`
+	B    int  `json:"b,omitempty"`
+	D    int  `json:"d,omitempty"`
+	K    int  `json:"k,omitempty"`
+	Half bool `json:"half,omitempty"`
+	// Retry, Transfer and Rebalance are the rate parameters.
+	Retry     float64 `json:"retry,omitempty"`
+	Transfer  float64 `json:"transfer,omitempty"`
+	Rebalance float64 `json:"rebalance,omitempty"`
+	// Initial is the initial tasks per processor (static runs).
+	Initial int `json:"initial,omitempty"`
+	// Horizon is the simulated time (default 8000, max MaxSimHorizon);
+	// Warmup the discarded prefix (default 0).
+	Horizon float64 `json:"horizon,omitempty"`
+	Warmup  float64 `json:"warmup,omitempty"`
+	// Reps is the number of replications (default 4, max MaxSimReps).
+	Reps int `json:"reps,omitempty"`
+	// Seed selects the random streams (default 1).
+	Seed uint64 `json:"seed,omitempty"`
+	// QHist, when positive, samples a queue-length histogram of this depth.
+	QHist int `json:"qhist,omitempty"`
+}
+
+// Normalize fills defaulted fields in place. Like sim.Options.normalize it
+// also pins D and K to 1 under the steal policy, so specs that differ only
+// in explicit-versus-implied defaults canonicalize identically.
+func (s *SimSpec) Normalize() {
+	if s.N == 0 {
+		s.N = 64
+	}
+	if s.Policy == "" {
+		s.Policy = "steal"
+	}
+	if s.Service == "" {
+		s.Service = "exp"
+	}
+	if s.Service == "erlang" && s.Stages == 0 {
+		s.Stages = 10
+	}
+	if s.Service != "erlang" {
+		s.Stages = 0
+	}
+	if s.Policy == "steal" {
+		if s.T == 0 {
+			s.T = 2
+		}
+		if s.D == 0 {
+			s.D = 1
+		}
+		if s.K == 0 {
+			s.K = 1
+		}
+	}
+	if s.Horizon == 0 {
+		s.Horizon = 8_000
+	}
+	if s.Reps == 0 {
+		s.Reps = 4
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+}
+
+// Options normalizes and validates the spec and converts it into runnable
+// sim.Options, enforcing the serving-side resource caps on top of the
+// simulator's own validation.
+func (s *SimSpec) Options() (sim.Options, error) {
+	s.Normalize()
+	for name, v := range map[string]float64{
+		"lambda": s.Lambda, "lambda_int": s.LambdaInt, "retry": s.Retry,
+		"transfer": s.Transfer, "rebalance": s.Rebalance,
+		"horizon": s.Horizon, "warmup": s.Warmup,
+	} {
+		if !finite(v) {
+			return sim.Options{}, fmt.Errorf("experiments: field %s = %v is not finite", name, v)
+		}
+	}
+	if s.Lambda < 0 {
+		return sim.Options{}, fmt.Errorf("experiments: negative arrival rate lambda = %v", s.Lambda)
+	}
+	if s.N > MaxSimN {
+		return sim.Options{}, fmt.Errorf("experiments: n = %d exceeds the serving cap %d", s.N, MaxSimN)
+	}
+	if s.Reps < 1 || s.Reps > MaxSimReps {
+		return sim.Options{}, fmt.Errorf("experiments: reps = %d outside [1, %d]", s.Reps, MaxSimReps)
+	}
+	if s.Horizon > MaxSimHorizon {
+		return sim.Options{}, fmt.Errorf("experiments: horizon = %v exceeds the serving cap %v", s.Horizon, float64(MaxSimHorizon))
+	}
+	svc, err := ServiceDist(s.Service, s.Stages)
+	if err != nil {
+		return sim.Options{}, err
+	}
+	pk, err := ParsePolicy(s.Policy)
+	if err != nil {
+		return sim.Options{}, err
+	}
+	o := sim.Options{
+		N:              s.N,
+		Lambda:         s.Lambda,
+		LambdaInt:      s.LambdaInt,
+		Service:        svc,
+		Policy:         pk,
+		T:              s.T,
+		B:              s.B,
+		D:              s.D,
+		K:              s.K,
+		Half:           s.Half,
+		RetryRate:      s.Retry,
+		TransferRate:   s.Transfer,
+		RebalanceRate:  s.Rebalance,
+		InitialLoad:    s.Initial,
+		Horizon:        s.Horizon,
+		Warmup:         s.Warmup,
+		Seed:           s.Seed,
+		QueueHistDepth: s.QHist,
+	}
+	if err := (sim.Replication{Reps: s.Reps}).Validate(&o); err != nil {
+		return sim.Options{}, err
+	}
+	return o, nil
+}
+
+// SimReport is the JSON shape of one aggregated simulation cell — the same
+// layout wssim -json emits.
+type SimReport struct {
+	N       int             `json:"n"`
+	Lambda  float64         `json:"lambda"`
+	Policy  string          `json:"policy"`
+	Service string          `json:"service"`
+	Reps    int             `json:"reps"`
+	Horizon float64         `json:"horizon"`
+	Warmup  float64         `json:"warmup"`
+	Sojourn stats.Summary   `json:"sojourn"`
+	Load    stats.Summary   `json:"load"`
+	Drain   stats.Summary   `json:"drain"`
+	Tails   []float64       `json:"tails,omitempty"`
+	Metrics metrics.Summary `json:"metrics"`
+}
+
+// BuildSimReport renders the aggregate of a spec's replication set. The
+// spec must be normalized (Options does this).
+func BuildSimReport(s *SimSpec, agg sim.Aggregate) SimReport {
+	return SimReport{
+		N:       s.N,
+		Lambda:  s.Lambda,
+		Policy:  s.Policy,
+		Service: s.Service,
+		Reps:    s.Reps,
+		Horizon: s.Horizon,
+		Warmup:  s.Warmup,
+		Sojourn: agg.Sojourn,
+		Load:    agg.Load,
+		Drain:   agg.Drain,
+		Tails:   agg.Tails,
+		Metrics: agg.Metrics,
+	}
+}

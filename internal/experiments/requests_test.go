@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/meanfield"
+	"repro/internal/sim"
+)
+
+func TestFixedPointSpecDefaults(t *testing.T) {
+	s := FixedPointSpec{Model: "simple", Lambda: 0.9}
+	s.Normalize()
+	if s.T != 2 || s.D != 2 || s.K != 2 || s.C != 10 || s.Tails != 12 {
+		t.Errorf("defaults not filled: %+v", s)
+	}
+	if s.R != 1 || s.RA != 1 || s.LI != 0.3 {
+		t.Errorf("rate defaults not filled: %+v", s)
+	}
+}
+
+// TestFixedPointSolveMatchesDirect: the request path must agree with
+// driving the meanfield package by hand.
+func TestFixedPointSolveMatchesDirect(t *testing.T) {
+	s := FixedPointSpec{Model: "threshold", Lambda: 0.8, T: 3}
+	rep, fp, err := s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := meanfield.NewThreshold(0.8, 3)
+	want, err := meanfield.Solve(m, meanfield.SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Model != m.Name() || rep.Dim != m.Dim() {
+		t.Errorf("report identity = %s/%d, want %s/%d", rep.Model, rep.Dim, m.Name(), m.Dim())
+	}
+	if rep.MeanTasks != want.MeanTasks() || rep.SojournTime != want.SojournTime() {
+		t.Errorf("report means = %v/%v, want %v/%v",
+			rep.MeanTasks, rep.SojournTime, want.MeanTasks(), want.SojournTime())
+	}
+	if fp.Residual != want.Residual {
+		t.Errorf("residual = %v, want %v", fp.Residual, want.Residual)
+	}
+	if len(rep.Tails) != min(12, m.Dim()) {
+		t.Errorf("len(tails) = %d", len(rep.Tails))
+	}
+}
+
+func TestFixedPointSpecRejects(t *testing.T) {
+	cases := []FixedPointSpec{
+		{Model: "simple", Lambda: -0.5},
+		{Model: "simple", Lambda: 1.5},
+		{Model: "simple", Lambda: math.NaN()},
+		{Model: "simple", Lambda: math.Inf(1)},
+		{Model: "nosuch", Lambda: 0.5},
+		{Model: "threshold", Lambda: 0.5, T: -1},
+		{Model: "multisteal", Lambda: 0.5, T: 2, K: 2}, // constructor panic: T < 2K
+	}
+	for _, s := range cases {
+		if _, err := s.BuildModel(); err == nil {
+			t.Errorf("BuildModel(%+v) accepted", s)
+		}
+	}
+}
+
+func TestODESpecValidate(t *testing.T) {
+	good := ODESpec{Model: "choices", Lambda: 0.95, D: 3}
+	if _, err := good.BuildModel(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+	bad := []ODESpec{
+		{Model: "transfer", Lambda: 0.9},           // not in the ODE set
+		{Model: "simple", Lambda: 0.9, Span: -1},   // negative span
+		{Model: "simple", Lambda: 0.9, Dt: 1e-308}, // span/dt explodes
+		{Model: "simple", Lambda: 0},               // zero rate survives Normalize
+	}
+	for _, s := range bad {
+		if _, err := s.BuildModel(); err == nil {
+			t.Errorf("BuildModel(%+v) accepted", s)
+		}
+	}
+}
+
+// TestODEIntegrateConverges: the trajectory must approach the fixed point
+// and report a settle time within the span.
+func TestODEIntegrateConverges(t *testing.T) {
+	s := ODESpec{Model: "simple", Lambda: 0.9}
+	rep, err := s.Integrate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Times) == 0 || len(rep.Times) != len(rep.Loads) || len(rep.Times) != len(rep.Distances) {
+		t.Fatalf("ragged trajectory: %d/%d/%d points", len(rep.Times), len(rep.Loads), len(rep.Distances))
+	}
+	if rep.SettleTime < 0 {
+		t.Errorf("trajectory never settled within span %v", s.Span)
+	}
+	if rep.FinalDistance > 0.01*rep.FixedPoint {
+		t.Errorf("final distance %v still above the 1%% band of %v", rep.FinalDistance, rep.FixedPoint)
+	}
+}
+
+// TestTrajectoryEarlyStop: yield returning false halts integration.
+func TestTrajectoryEarlyStop(t *testing.T) {
+	s := ODESpec{Model: "simple", Lambda: 0.9}
+	n := 0
+	if err := s.Trajectory(func(p ODEPoint) bool {
+		n++
+		return n < 5
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Errorf("yield ran %d times, want 5", n)
+	}
+}
+
+func TestSimSpecOptions(t *testing.T) {
+	s := SimSpec{N: 16, Lambda: 0.8, Horizon: 1200, Warmup: 100, Reps: 2, Seed: 7}
+	o, err := s.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.N != 16 || o.Lambda != 0.8 || o.Horizon != 1200 || o.Warmup != 100 || o.Seed != 7 {
+		t.Errorf("options mismatch: %+v", o)
+	}
+	if err := o.Validate(); err != nil {
+		t.Errorf("emitted options invalid: %v", err)
+	}
+	// Replications through the spec path match the direct path.
+	agg, err := sim.Replication{Reps: 2}.Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := BuildSimReport(&s, agg)
+	if rep.N != 16 || rep.Reps != 2 || rep.Policy != "steal" {
+		t.Errorf("report identity: %+v", rep)
+	}
+	if rep.Sojourn.Mean != agg.Sojourn.Mean || rep.Load.Mean != agg.Load.Mean {
+		t.Errorf("report stats diverge from aggregate")
+	}
+}
+
+func TestSimSpecCaps(t *testing.T) {
+	cases := []struct {
+		name string
+		s    SimSpec
+	}{
+		{"n over cap", SimSpec{N: MaxSimN + 1, Lambda: 0.8}},
+		{"reps over cap", SimSpec{N: 16, Lambda: 0.8, Reps: MaxSimReps + 1}},
+		{"horizon over cap", SimSpec{N: 16, Lambda: 0.8, Horizon: MaxSimHorizon + 1}},
+		{"negative lambda", SimSpec{N: 16, Lambda: -0.8}},
+		{"nan warmup", SimSpec{N: 16, Lambda: 0.8, Warmup: math.NaN()}},
+		{"unknown policy", SimSpec{N: 16, Lambda: 0.8, Policy: "nosuch"}},
+		{"unknown service", SimSpec{N: 16, Lambda: 0.8, Service: "nosuch"}},
+	}
+	for _, tc := range cases {
+		if _, err := tc.s.Options(); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestServiceDistAndPolicy(t *testing.T) {
+	for _, name := range []string{"exp", "const", "erlang", "hyper", "uniform"} {
+		if _, err := ServiceDist(name, 10); err != nil {
+			t.Errorf("ServiceDist(%q): %v", name, err)
+		}
+	}
+	if _, err := ServiceDist("bogus", 0); err == nil {
+		t.Error("ServiceDist accepted bogus name")
+	}
+	if _, err := ServiceDist("erlang", -1); err == nil {
+		t.Error("ServiceDist accepted negative stage count")
+	}
+	for _, name := range []string{"none", "steal", "rebalance"} {
+		if _, err := ParsePolicy(name); err != nil {
+			t.Errorf("ParsePolicy(%q): %v", name, err)
+		}
+	}
+	if _, err := ParsePolicy("bogus"); err == nil {
+		t.Error("ParsePolicy accepted bogus name")
+	}
+}
+
+// TestSpecErrorsNamePackage: request-validation errors surface to HTTP
+// clients, so they must be prefixed and descriptive, never raw panics.
+func TestSpecErrorsNamePackage(t *testing.T) {
+	s := FixedPointSpec{Model: "multisteal", Lambda: 0.5, T: 2, K: 2}
+	_, err := s.BuildModel()
+	if err == nil || !strings.Contains(err.Error(), "experiments:") {
+		t.Errorf("constructor panic not converted to package error: %v", err)
+	}
+}

@@ -177,28 +177,15 @@ func Summarize(ms []Metrics, n int) Summary {
 	s.EventsPerSec = stats.Summarize(eps)
 
 	s.MeanCounters = make(map[string]float64)
-	addMean := func(name string, get func(*Counters) int64) {
-		var sum float64
-		for i := range ms {
-			sum += float64(get(&ms[i].Counters))
-		}
-		s.MeanCounters[name] = sum / float64(len(ms))
-	}
 	if len(ms) > 0 {
-		addMean("arrivals", func(c *Counters) int64 { return c.Arrivals })
-		addMean("spawns", func(c *Counters) int64 { return c.Spawns })
-		addMean("departures", func(c *Counters) int64 { return c.Departures })
-		addMean("steal_attempts", func(c *Counters) int64 { return c.StealAttempts })
-		addMean("steal_successes", func(c *Counters) int64 { return c.StealSuccesses })
-		addMean("steal_fail_empty", func(c *Counters) int64 { return c.StealFailEmpty })
-		addMean("steal_fail_threshold", func(c *Counters) int64 { return c.StealFailThreshold })
-		addMean("retries", func(c *Counters) int64 { return c.Retries })
-		addMean("retries_stale", func(c *Counters) int64 { return c.RetriesStale })
-		addMean("transfers_started", func(c *Counters) int64 { return c.TransfersStarted })
-		addMean("transfers_completed", func(c *Counters) int64 { return c.TransfersCompleted })
-		addMean("rebalances", func(c *Counters) int64 { return c.Rebalances })
-		addMean("rebalance_moves", func(c *Counters) int64 { return c.RebalanceMoves })
-		addMean("events", func(c *Counters) int64 { return c.Events })
+		for i := range ms {
+			ms[i].Counters.Each(func(name string, v int64) {
+				s.MeanCounters[name] += float64(v)
+			})
+		}
+		for name := range s.MeanCounters {
+			s.MeanCounters[name] /= float64(len(ms))
+		}
 	}
 
 	// Element-wise average of the queue histograms, truncated to the
@@ -244,14 +231,7 @@ func (s Summary) Table(title string) *table.Table {
 	row("steal attempt rate (/proc/time)", s.StealAttemptRate)
 	row("steal success rate", s.StealSuccessRate)
 	row("event-loop throughput (events/s)", s.EventsPerSec)
-	counterOrder := []string{
-		"arrivals", "spawns", "departures",
-		"steal_attempts", "steal_successes", "steal_fail_empty", "steal_fail_threshold",
-		"retries", "retries_stale",
-		"transfers_started", "transfers_completed",
-		"rebalances", "rebalance_moves", "events",
-	}
-	for _, name := range counterOrder {
+	for _, name := range CounterNames {
 		if v, ok := s.MeanCounters[name]; ok && v > 0 {
 			t.AddRow("mean "+name, fmt.Sprintf("%.1f", v))
 		}

@@ -1,0 +1,105 @@
+package sched_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// TestCancelledCellNeverRuns pins the cancellation contract the serving
+// layer relies on: a cell cancelled while its replications are still queued
+// executes zero engine runs, yet still resolves so no waiter hangs.
+func TestCancelledCellNeverRuns(t *testing.T) {
+	p := sched.New(1)
+	defer p.Close()
+
+	// Park the single worker so the cell's replications stay queued.
+	release := make(chan struct{})
+	parked := make(chan struct{})
+	p.Go(func(r *sim.Runner) {
+		close(parked)
+		<-release
+	})
+	<-parked
+
+	c, err := p.Sim(testOptions(11), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Cancel()
+	close(release)
+
+	select {
+	case <-c.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled cell never resolved")
+	}
+	if got := c.Ran(); got != 0 {
+		t.Fatalf("cancelled cell ran %d replications, want 0", got)
+	}
+}
+
+// TestAggregateCtxDeadline checks that an expired context abandons the cell:
+// the waiter returns the context error immediately and queued replications
+// are skipped rather than executed.
+func TestAggregateCtxDeadline(t *testing.T) {
+	p := sched.New(1)
+	defer p.Close()
+
+	release := make(chan struct{})
+	parked := make(chan struct{})
+	p.Go(func(r *sim.Runner) {
+		close(parked)
+		<-release
+	})
+	<-parked
+
+	c, err := p.Sim(testOptions(13), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.AggregateCtx(ctx); err != context.Canceled {
+		t.Fatalf("AggregateCtx error = %v, want context.Canceled", err)
+	}
+	close(release)
+	<-c.Done()
+	if got := c.Ran(); got != 0 {
+		t.Fatalf("abandoned cell ran %d replications, want 0", got)
+	}
+}
+
+// TestAggregateCtxCompletes checks the happy path: with a live context,
+// AggregateCtx returns the same aggregate Aggregate would.
+func TestAggregateCtxCompletes(t *testing.T) {
+	p := sched.New(2)
+	defer p.Close()
+	const reps = 4
+	c, err := p.Sim(testOptions(17), reps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := c.AggregateCtx(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(agg.Results) != reps {
+		t.Fatalf("got %d results, want %d", len(agg.Results), reps)
+	}
+	if got := c.Ran(); got != reps {
+		t.Fatalf("cell ran %d replications, want %d", got, reps)
+	}
+	want := sched.New(1)
+	defer want.Close()
+	wc, err := want.Sim(testOptions(17), reps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fingerprint(agg.Results) != fingerprint(wc.Aggregate().Results) {
+		t.Fatal("AggregateCtx results differ from Aggregate results")
+	}
+}

@@ -18,6 +18,7 @@
 package sched
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -98,11 +99,19 @@ func (p *Pool) Close() {
 }
 
 // Cell is the future of one (Options, Reps) table cell submitted with Sim.
+//
+// A Cell can be abandoned with Cancel (or, equivalently, by AggregateCtx
+// when its context expires): replications still sitting in the pool's queue
+// then resolve as no-ops instead of burning a worker on results nobody will
+// read. Cancellation is cooperative and queue-level — a replication that a
+// worker has already started runs to completion.
 type Cell struct {
-	opts    sim.Options
-	results []sim.Result
-	pending atomic.Int64
-	done    chan struct{}
+	opts      sim.Options
+	results   []sim.Result
+	pending   atomic.Int64
+	done      chan struct{}
+	cancelled atomic.Bool
+	ran       atomic.Int64
 }
 
 // Sim validates o and enqueues reps replications of it as independent work
@@ -121,7 +130,10 @@ func (p *Pool) Sim(o sim.Options, reps int) (*Cell, error) {
 	for i := 0; i < reps; i++ {
 		i := i
 		p.Go(func(r *sim.Runner) {
-			c.results[i] = r.RunRep(c.opts, i)
+			if !c.cancelled.Load() {
+				c.results[i] = r.RunRep(c.opts, i)
+				c.ran.Add(1)
+			}
 			if c.pending.Add(-1) == 0 {
 				close(c.done)
 			}
@@ -131,8 +143,37 @@ func (p *Pool) Sim(o sim.Options, reps int) (*Cell, error) {
 }
 
 // Aggregate blocks until every replication of the cell has run and returns
-// the same aggregate sim.Replication.Run would produce.
+// the same aggregate sim.Replication.Run would produce. It must not be
+// called on a cancelled cell (skipped replications leave zero Results).
 func (c *Cell) Aggregate() sim.Aggregate {
 	<-c.done
 	return sim.AggregateResults(c.opts, c.results)
 }
+
+// AggregateCtx is Aggregate with an escape hatch: if ctx expires before the
+// cell resolves, the cell is cancelled so its queued replications never run,
+// and the context's error is returned. This is how a server abandons the
+// work of a disconnected or timed-out request without burning workers.
+func (c *Cell) AggregateCtx(ctx context.Context) (sim.Aggregate, error) {
+	select {
+	case <-c.done:
+		return sim.AggregateResults(c.opts, c.results), nil
+	case <-ctx.Done():
+		c.Cancel()
+		return sim.Aggregate{}, ctx.Err()
+	}
+}
+
+// Cancel marks the cell abandoned: replications still queued resolve as
+// no-ops. Replications already running (or already run) are unaffected.
+// Cancel is idempotent and safe from any goroutine.
+func (c *Cell) Cancel() { c.cancelled.Store(true) }
+
+// Done returns a channel closed once every replication has either run or
+// been skipped by cancellation.
+func (c *Cell) Done() <-chan struct{} { return c.done }
+
+// Ran reports how many replications actually executed an engine run —
+// reps for a cell that resolved normally, possibly fewer (down to zero)
+// for a cancelled one.
+func (c *Cell) Ran() int64 { return c.ran.Load() }

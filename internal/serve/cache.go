@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruCache is a fixed-capacity LRU over rendered response bodies. Keys are
+// canonical request hashes (see request.go), values the exact bytes served,
+// so a hit is byte-identical to the miss that populated it.
+//
+// The map holds *list.Element whose Value is an entry; the list front is
+// most recently used. All methods are safe for concurrent use; hit/miss
+// accounting lives in the server's metrics registry, not here.
+type lruCache struct {
+	mu  sync.Mutex
+	max int
+	ll  *list.List
+	m   map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	val []byte
+}
+
+// newLRUCache returns a cache holding at most max entries; max < 1 is
+// pinned to 1 so the zero-config server still coalesces repeats.
+func newLRUCache(max int) *lruCache {
+	if max < 1 {
+		max = 1
+	}
+	return &lruCache{max: max, ll: list.New(), m: make(map[string]*list.Element)}
+}
+
+// Get returns the cached bytes for key, marking it most recently used.
+// Callers must not mutate the returned slice.
+func (c *lruCache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// Add stores val under key, evicting the least recently used entry when
+// over capacity.
+func (c *lruCache) Add(key string, val []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).val = val
+		return
+	}
+	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	if c.ll.Len() > c.max {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.m, last.Value.(*cacheEntry).key)
+	}
+}
+
+// Len returns the current entry count.
+func (c *lruCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

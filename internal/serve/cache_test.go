@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestLRUCacheEviction(t *testing.T) {
+	c := newLRUCache(2)
+	c.Add("a", []byte("A"))
+	c.Add("b", []byte("B"))
+	if _, ok := c.Get("a"); !ok { // touch a: b becomes LRU
+		t.Fatal("a missing")
+	}
+	c.Add("c", []byte("C")) // evicts b
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	if v, ok := c.Get("a"); !ok || string(v) != "A" {
+		t.Errorf("a = %q, %v", v, ok)
+	}
+	if v, ok := c.Get("c"); !ok || string(v) != "C" {
+		t.Errorf("c = %q, %v", v, ok)
+	}
+	if c.Len() != 2 {
+		t.Errorf("len = %d, want 2", c.Len())
+	}
+}
+
+func TestLRUCacheUpdate(t *testing.T) {
+	c := newLRUCache(2)
+	c.Add("a", []byte("A1"))
+	c.Add("a", []byte("A2"))
+	if v, _ := c.Get("a"); string(v) != "A2" {
+		t.Errorf("a = %q, want A2", v)
+	}
+	if c.Len() != 1 {
+		t.Errorf("len = %d, want 1", c.Len())
+	}
+}
+
+func TestLRUCacheZeroCapacity(t *testing.T) {
+	c := newLRUCache(0) // pinned to 1
+	c.Add("a", []byte("A"))
+	if _, ok := c.Get("a"); !ok {
+		t.Error("capacity-pinned cache dropped its only entry")
+	}
+}
+
+// TestLRUCacheConcurrent hammers the cache from many goroutines; the race
+// detector is the assertion.
+func TestLRUCacheConcurrent(t *testing.T) {
+	c := newLRUCache(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := fmt.Sprintf("k%d", (g+i)%16)
+				c.Add(k, []byte(k))
+				c.Get(k)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 8 {
+		t.Errorf("len = %d exceeds capacity", c.Len())
+	}
+}

@@ -1,0 +1,105 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// flightGroup coalesces concurrent identical requests: among callers that
+// arrive with the same key while no result exists yet, exactly one (the
+// leader) executes the compute function; the rest (followers) wait for its
+// result. This is the classic singleflight shape with one addition the
+// serving layer needs: the computation's context is scoped to the set of
+// callers still interested. Every caller that abandons (its own context
+// ends) detaches from the call, and when the last one detaches the shared
+// compute context is cancelled — so work for requests nobody is waiting on
+// stops instead of burning the pool (see sched.Cell.AggregateCtx, which
+// turns that cancellation into skipped replications).
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	done    chan struct{}
+	val     []byte
+	err     error
+	waiters int
+	cancel  context.CancelFunc
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: make(map[string]*flightCall)}
+}
+
+// detach drops one waiter from c, cancelling the compute context when the
+// last one leaves.
+func (g *flightGroup) detach(c *flightCall) {
+	g.mu.Lock()
+	c.waiters--
+	last := c.waiters == 0
+	g.mu.Unlock()
+	if last {
+		c.cancel()
+	}
+}
+
+// Do returns the result of fn for key, executing fn at most once among
+// concurrent callers. fn receives a context that expires after timeout (if
+// positive) or when every caller has abandoned. shared reports whether this
+// caller was a follower riding an in-flight computation. A caller whose own
+// ctx ends before the result is ready gets ctx.Err().
+func (g *flightGroup) Do(ctx context.Context, key string, timeout time.Duration,
+	fn func(ctx context.Context) ([]byte, error)) (val []byte, err error, shared bool) {
+
+	g.mu.Lock()
+	if c, ok := g.m[key]; ok {
+		c.waiters++
+		g.mu.Unlock()
+		// Follower: wait for the leader, or abandon on our own ctx.
+		stop := context.AfterFunc(ctx, func() { g.detach(c) })
+		select {
+		case <-c.done:
+			if stop() {
+				g.detach(c)
+			}
+			return c.val, c.err, true
+		case <-ctx.Done():
+			// AfterFunc already ran (or is running) detach.
+			return nil, ctx.Err(), true
+		}
+	}
+
+	// Leader: create the call and compute inline.
+	base := context.Background()
+	var cancelTimeout context.CancelFunc = func() {}
+	if timeout > 0 {
+		base, cancelTimeout = context.WithTimeout(base, timeout)
+	}
+	computeCtx, cancel := context.WithCancel(base)
+	c := &flightCall{done: make(chan struct{}), waiters: 1, cancel: cancel}
+	g.m[key] = c
+	g.mu.Unlock()
+	defer cancelTimeout()
+
+	// If the leader's own request is abandoned it detaches like any other
+	// waiter; followers keep the computation alive.
+	stop := context.AfterFunc(ctx, func() { g.detach(c) })
+
+	c.val, c.err = fn(computeCtx)
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(c.done)
+	if stop() {
+		g.detach(c)
+	}
+	if ctx.Err() != nil && c.err == nil {
+		// Our caller left; the result still stands for followers, but this
+		// caller gets its own cancellation.
+		return nil, ctx.Err(), false
+	}
+	return c.val, c.err, false
+}

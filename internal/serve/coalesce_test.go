@@ -1,0 +1,160 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestFlightGroupCoalesces: concurrent callers with one key run the
+// compute exactly once and all see its result.
+func TestFlightGroupCoalesces(t *testing.T) {
+	g := newFlightGroup()
+	var calls atomic.Int64
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	const n = 16
+	var wg sync.WaitGroup
+	vals := make([][]byte, n)
+	shareds := make([]bool, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err, shared := g.Do(context.Background(), "k", 0, func(ctx context.Context) ([]byte, error) {
+				if calls.Add(1) == 1 {
+					close(started)
+				}
+				<-release
+				return []byte("result"), nil
+			})
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+			}
+			vals[i], shareds[i] = v, shared
+		}(i)
+	}
+	<-started
+	// Give followers a moment to pile onto the in-flight call, then let
+	// the leader finish.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if got := calls.Load(); got != 1 {
+		t.Errorf("compute ran %d times, want 1", got)
+	}
+	leaders := 0
+	for i := range vals {
+		if string(vals[i]) != "result" {
+			t.Errorf("caller %d got %q", i, vals[i])
+		}
+		if !shareds[i] {
+			leaders++
+		}
+	}
+	if leaders != 1 {
+		t.Errorf("%d leaders, want 1", leaders)
+	}
+}
+
+// TestFlightGroupSequentialCallsRerun: once a call completes, the next
+// caller computes afresh (caching is the cache's job, not the group's).
+func TestFlightGroupSequentialCallsRerun(t *testing.T) {
+	g := newFlightGroup()
+	var calls atomic.Int64
+	for i := 0; i < 3; i++ {
+		_, err, shared := g.Do(context.Background(), "k", 0, func(ctx context.Context) ([]byte, error) {
+			calls.Add(1)
+			return nil, nil
+		})
+		if err != nil || shared {
+			t.Errorf("call %d: err=%v shared=%v", i, err, shared)
+		}
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("compute ran %d times, want 3", got)
+	}
+}
+
+// TestFlightGroupCancelWhenAbandoned: when every caller abandons, the
+// compute context is cancelled so the work can stop.
+func TestFlightGroupCancelWhenAbandoned(t *testing.T) {
+	g := newFlightGroup()
+	ctx, cancel := context.WithCancel(context.Background())
+	computeCancelled := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, err, _ := g.Do(ctx, "k", 0, func(cctx context.Context) ([]byte, error) {
+			<-cctx.Done() // must fire once the only caller leaves
+			close(computeCancelled)
+			return nil, cctx.Err()
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v, want context.Canceled", err)
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case <-computeCancelled:
+	case <-time.After(10 * time.Second):
+		t.Fatal("compute context never cancelled after abandonment")
+	}
+	<-done
+}
+
+// TestFlightGroupFollowerKeepsComputeAlive: the leader abandoning does not
+// cancel the compute while a follower is still waiting.
+func TestFlightGroupFollowerKeepsComputeAlive(t *testing.T) {
+	g := newFlightGroup()
+	leaderCtx, leaderCancel := context.WithCancel(context.Background())
+	inCompute := make(chan struct{})
+	release := make(chan struct{})
+
+	go func() {
+		g.Do(leaderCtx, "k", 0, func(cctx context.Context) ([]byte, error) {
+			close(inCompute)
+			select {
+			case <-cctx.Done():
+				return nil, cctx.Err()
+			case <-release:
+				return []byte("ok"), nil
+			}
+		})
+	}()
+	<-inCompute
+
+	followerDone := make(chan error, 1)
+	go func() {
+		_, err, _ := g.Do(context.Background(), "k", 0, func(context.Context) ([]byte, error) {
+			t.Error("follower must not compute")
+			return nil, nil
+		})
+		followerDone <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	leaderCancel() // follower still interested → compute survives
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	if err := <-followerDone; err != nil {
+		t.Errorf("follower got %v, want the leader's result", err)
+	}
+}
+
+// TestFlightGroupTimeout: the timeout bounds the compute context.
+func TestFlightGroupTimeout(t *testing.T) {
+	g := newFlightGroup()
+	_, err, _ := g.Do(context.Background(), "k", 10*time.Millisecond, func(cctx context.Context) ([]byte, error) {
+		<-cctx.Done()
+		return nil, cctx.Err()
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want deadline exceeded", err)
+	}
+}

@@ -1,0 +1,429 @@
+// Package serve is the HTTP front door of the repository: a model-serving
+// daemon that turns the batch experiment substrate — mean-field solvers,
+// the finite-n simulator, and the global scheduler pool — into network
+// endpoints suitable for heavy interactive traffic.
+//
+// The serving strategy follows the cost structure of the paper's two
+// tiers. Mean-field fixed points and ODE trajectories are cheap
+// deterministic functions of the request parameters, so they are served
+// through an LRU result cache keyed by a canonical request hash; repeats
+// are O(1). Finite-n simulations are the expensive tier: they run on the
+// shared sched.Pool behind admission control (a bounded number of
+// concurrently admitted requests, 429 + Retry-After beyond it) with
+// per-request deadlines, and their results — deterministic given the seed
+// — are cached too. Concurrent identical requests of either tier coalesce
+// onto one computation via a singleflight group whose compute context dies
+// when the last interested caller disconnects, which the scheduler turns
+// into skipped replications.
+//
+// Endpoints:
+//
+//	POST /v1/fixedpoint  mean-field fixed point (wsfixed -json, byte-identical)
+//	POST /v1/ode         integrated trajectory (wsode -json, byte-identical)
+//	POST /v1/simulate    finite-n replication set on the scheduler pool
+//	GET  /v1/stream/ode  NDJSON stream of trajectory points
+//	GET  /healthz        liveness
+//	GET  /readyz         readiness (503 while draining)
+//	GET  /metrics        Prometheus text exposition
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cliutil"
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// Config tunes a Server. The zero value serves with sensible defaults.
+type Config struct {
+	// Pool is the scheduler pool simulations run on. When nil the server
+	// creates its own with Workers workers and owns its lifecycle.
+	Pool *sched.Pool
+	// Workers sizes the server-owned pool (0 = GOMAXPROCS); ignored when
+	// Pool is set.
+	Workers int
+	// CacheEntries bounds the result cache (default 512).
+	CacheEntries int
+	// QueueDepth is the number of simulate requests admitted concurrently
+	// (in flight on the pool or waiting for it); beyond it requests are
+	// rejected with 429 (default 16).
+	QueueDepth int
+	// SimDeadline caps the end-to-end compute time of one simulate request
+	// (default 60s). A request may shorten it with "deadline_sec".
+	SimDeadline time.Duration
+	// Logger receives one structured line per request; nil discards.
+	Logger *slog.Logger
+}
+
+// Server is the serving daemon. Create with New, expose via Handler, and
+// Close when done (after draining HTTP traffic).
+type Server struct {
+	cfg      Config
+	pool     *sched.Pool
+	ownPool  bool
+	cache    *lruCache
+	flight   *flightGroup
+	admit    chan struct{}
+	met      *serverMetrics
+	mux      *http.ServeMux
+	log      *slog.Logger
+	draining atomic.Bool
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) *Server {
+	if cfg.CacheEntries == 0 {
+		cfg.CacheEntries = 512
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = 16
+	}
+	if cfg.SimDeadline == 0 {
+		cfg.SimDeadline = 60 * time.Second
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
+	s := &Server{
+		cfg:    cfg,
+		pool:   cfg.Pool,
+		cache:  newLRUCache(cfg.CacheEntries),
+		flight: newFlightGroup(),
+		admit:  make(chan struct{}, cfg.QueueDepth),
+		met:    newServerMetrics(),
+		mux:    http.NewServeMux(),
+		log:    logger,
+	}
+	if s.pool == nil {
+		s.pool = sched.New(cfg.Workers)
+		s.ownPool = true
+	}
+	s.mux.HandleFunc("POST /v1/fixedpoint", s.route("/v1/fixedpoint", s.handleFixedPoint))
+	s.mux.HandleFunc("POST /v1/ode", s.route("/v1/ode", s.handleODE))
+	s.mux.HandleFunc("POST /v1/simulate", s.route("/v1/simulate", s.handleSimulate))
+	s.mux.HandleFunc("GET /v1/stream/ode", s.route("/v1/stream/ode", s.handleStreamODE))
+	s.mux.HandleFunc("GET /healthz", s.route("/healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /readyz", s.route("/readyz", s.handleReadyz))
+	s.mux.HandleFunc("GET /metrics", s.route("/metrics", s.handleMetrics))
+	return s
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// SetDraining flips the readiness endpoint: a draining server answers
+// /readyz with 503 so load balancers stop routing to it, while in-flight
+// and even new requests still complete. Call before http.Server.Shutdown.
+func (s *Server) SetDraining(d bool) { s.draining.Store(d) }
+
+// Close releases the server-owned scheduler pool (a no-op for a shared
+// pool). Call only after HTTP traffic has drained.
+func (s *Server) Close() {
+	if s.ownPool {
+		s.pool.Close()
+	}
+}
+
+// CacheStats reports lifetime cache hits and misses (used by tests and the
+// example load generator).
+func (s *Server) CacheStats() (hits, misses int64) { return s.met.snapshotHits() }
+
+// statusWriter captures the status code and body size for logging/metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += n
+	return n, err
+}
+
+// Flush forwards to the underlying flusher so streaming handlers work
+// through the wrapper.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// route wraps a handler with per-request accounting and structured logging.
+func (s *Server) route(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		s.met.inFlightDelta(1)
+		h(sw, r)
+		s.met.inFlightDelta(-1)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		elapsed := time.Since(start)
+		s.met.observeRequest(name, strconv.Itoa(sw.status), elapsed.Seconds())
+		s.log.Info("request",
+			"method", r.Method,
+			"route", name,
+			"status", sw.status,
+			"bytes", sw.bytes,
+			"duration_ms", float64(elapsed.Microseconds())/1000,
+			"remote", r.RemoteAddr,
+		)
+	}
+}
+
+// errOverloaded marks an admission-control rejection.
+var errOverloaded = errors.New("serve: admission queue full")
+
+// writeError renders an error response. httpError carries its own status;
+// overload maps to 429 with a Retry-After hint; context expirations map to
+// 504 (deadline) or 499-style client-closed (unloggable to the client).
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	var he *httpError
+	status := http.StatusInternalServerError
+	switch {
+	case errors.As(err, &he):
+		status = he.status
+	case errors.Is(err, errOverloaded):
+		w.Header().Set("Retry-After", "1")
+		status = http.StatusTooManyRequests
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// Client went away; nothing useful to send.
+		status = 499
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	fmt.Fprintf(w, "{\n  \"error\": %q\n}\n", err.Error())
+}
+
+// writeBody serves pre-rendered JSON bytes.
+func writeBody(w http.ResponseWriter, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.Write(body)
+}
+
+// renderJSON renders v exactly as the CLIs' -json mode does (indented, with
+// a trailing newline), so cached bodies are byte-identical to CLI output.
+func renderJSON(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := cliutil.WriteJSON(&buf, v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// serveCached implements the shared read path: cache lookup on the
+// canonical key, then a coalesced compute on miss, then cache fill. timeout
+// bounds the compute context (0 = none).
+func (s *Server) serveCached(ctx context.Context, key string, timeout time.Duration,
+	compute func(ctx context.Context) ([]byte, error)) ([]byte, error) {
+
+	if body, ok := s.cache.Get(key); ok {
+		s.met.addCacheHit()
+		return body, nil
+	}
+	s.met.addCacheMiss()
+	body, err, shared := s.flight.Do(ctx, key, timeout, compute)
+	if shared {
+		s.met.addCoalesced()
+	}
+	if err != nil {
+		return nil, err
+	}
+	if !shared { // the leader fills the cache once
+		s.cache.Add(key, body)
+	}
+	return body, nil
+}
+
+// handleFixedPoint serves POST /v1/fixedpoint.
+func (s *Server) handleFixedPoint(w http.ResponseWriter, r *http.Request) {
+	var spec experiments.FixedPointSpec
+	if err := decodeStrict(r.Body, &spec); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if _, err := spec.BuildModel(); err != nil {
+		s.writeError(w, errBadRequest("%v", err))
+		return
+	}
+	key, err := canonicalKey("fp", &spec)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	body, err := s.serveCached(r.Context(), key, 0, func(context.Context) ([]byte, error) {
+		rep, _, err := spec.Solve()
+		if err != nil {
+			return nil, errBadRequest("%v", err)
+		}
+		return renderJSON(rep)
+	})
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeBody(w, body)
+}
+
+// handleODE serves POST /v1/ode.
+func (s *Server) handleODE(w http.ResponseWriter, r *http.Request) {
+	var spec experiments.ODESpec
+	if err := decodeStrict(r.Body, &spec); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if _, err := spec.BuildModel(); err != nil {
+		s.writeError(w, errBadRequest("%v", err))
+		return
+	}
+	key, err := canonicalKey("ode", &spec)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	body, err := s.serveCached(r.Context(), key, 0, func(context.Context) ([]byte, error) {
+		rep, err := spec.Integrate()
+		if err != nil {
+			return nil, errBadRequest("%v", err)
+		}
+		return renderJSON(rep)
+	})
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeBody(w, body)
+}
+
+// SimulateRequest is the body of POST /v1/simulate: a simulation spec plus
+// serving-only knobs that do not participate in the cache key.
+type SimulateRequest struct {
+	experiments.SimSpec
+	// DeadlineSec, when positive, shortens the server's simulate deadline
+	// for this request. It cannot extend it.
+	DeadlineSec float64 `json:"deadline_sec,omitempty"`
+}
+
+// handleSimulate serves POST /v1/simulate.
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req SimulateRequest
+	if err := decodeStrict(r.Body, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	opts, err := req.SimSpec.Options()
+	if err != nil {
+		s.writeError(w, errBadRequest("%v", err))
+		return
+	}
+	key, err := canonicalKey("sim", &req.SimSpec)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	timeout := s.cfg.SimDeadline
+	if req.DeadlineSec > 0 {
+		if d := time.Duration(req.DeadlineSec * float64(time.Second)); d < timeout {
+			timeout = d
+		}
+	}
+	spec := req.SimSpec // normalized by Options
+	body, err := s.serveCached(r.Context(), key, timeout, func(ctx context.Context) ([]byte, error) {
+		return s.computeSim(ctx, &spec, opts)
+	})
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeBody(w, body)
+}
+
+// computeSim is the admission-controlled slow path of one simulate
+// computation: acquire a queue slot (or reject), dispatch the replication
+// set onto the pool, and wait under the compute context. Replications left
+// queued when the context dies are skipped by the scheduler, not run.
+func (s *Server) computeSim(ctx context.Context, spec *experiments.SimSpec, opts sim.Options) ([]byte, error) {
+	select {
+	case s.admit <- struct{}{}:
+	default:
+		s.met.addRejected()
+		return nil, errOverloaded
+	}
+	s.met.queueDelta(1)
+	defer func() {
+		<-s.admit
+		s.met.queueDelta(-1)
+	}()
+
+	cell, err := s.pool.Sim(opts, spec.Reps)
+	if err != nil {
+		return nil, errBadRequest("%v", err)
+	}
+	agg, aggErr := cell.AggregateCtx(ctx)
+	ran := cell.Ran()
+	var cs []metrics.Counters
+	if aggErr == nil {
+		cs = make([]metrics.Counters, len(agg.Results))
+		for i, res := range agg.Results {
+			cs[i] = res.Metrics.Counters
+		}
+	}
+	s.met.observeSim(ran, int64(spec.Reps)-ran, cs)
+	if aggErr != nil {
+		return nil, aggErr
+	}
+	return renderJSON(experiments.BuildSimReport(spec, agg))
+}
+
+// handleHealthz serves GET /healthz: process liveness, nothing more.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz serves GET /readyz: 200 while accepting traffic, 503 once
+// draining.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+// handleMetrics serves GET /metrics in Prometheus text format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	p := metrics.NewPromWriter()
+	s.met.emit(p, s.cache.Len())
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	p.WriteTo(w)
+}

@@ -3,13 +3,13 @@
 #
 #   scripts/bench.sh [extra wsbench flags...]
 #
-# Writes BENCH_PR2.json at the repo root (ns/event and allocs/event for the
+# Writes BENCH_PR3.json at the repo root (ns/event and allocs/event for the
 # steady-state engine configurations, plus Table 1-4 wall times at 1 worker
 # vs GOMAXPROCS) and then runs the Go micro-benchmarks once for a quick
 # smoke reading. Commit the refreshed JSON alongside performance changes.
 set -eu
 cd "$(dirname "$0")/.."
 
-go run ./cmd/wsbench -out BENCH_PR2.json "$@"
+go run ./cmd/wsbench -out BENCH_PR3.json "$@"
 echo
 go test -run '^$' -bench 'BenchmarkSimulatorThroughput|BenchmarkRunnerReuse|BenchmarkPolicySimpleSteal|BenchmarkStealHalf' -benchmem ./internal/sim/ .

@@ -1,0 +1,74 @@
+#!/usr/bin/env sh
+# End-to-end smoke test of the wsserved daemon: build the real binary,
+# boot it, exercise health, a cached fixed-point round trip, the metrics
+# endpoint, and graceful SIGTERM shutdown.
+#
+#   scripts/smoke_serve.sh [port]
+#
+# Exits non-zero on the first failed assertion. Needs curl.
+set -eu
+cd "$(dirname "$0")/.."
+
+PORT="${1:-18080}"
+BASE="http://127.0.0.1:$PORT"
+BIN="$(mktemp -d)/wsserved"
+trap 'kill "$SRV_PID" 2>/dev/null || true; rm -rf "$(dirname "$BIN")"' EXIT
+
+echo "# build"
+go build -o "$BIN" ./cmd/wsserved
+
+echo "# start"
+"$BIN" -addr "127.0.0.1:$PORT" -log off &
+SRV_PID=$!
+
+# Poll /healthz until the daemon is up (or give up after ~5s).
+i=0
+until curl -fsS "$BASE/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -lt 50 ] || { echo "FAIL: daemon never became healthy"; exit 1; }
+    sleep 0.1
+done
+echo "ok: /healthz"
+
+curl -fsS "$BASE/readyz" >/dev/null
+echo "ok: /readyz"
+
+# Two identical fixed-point requests: identical bytes, second is a cache hit.
+BODY='{"model":"simple","lambda":0.9}'
+R1=$(curl -fsS -X POST -d "$BODY" "$BASE/v1/fixedpoint")
+R2=$(curl -fsS -X POST -d "$BODY" "$BASE/v1/fixedpoint")
+[ "$R1" = "$R2" ] || { echo "FAIL: repeated request returned different bytes"; exit 1; }
+echo "$R1" | grep -q '"sojourn_time"' || { echo "FAIL: response missing sojourn_time"; exit 1; }
+echo "ok: /v1/fixedpoint byte-stable"
+
+METRICS=$(curl -fsS "$BASE/metrics")
+echo "$METRICS" | grep -q '^wsserved_cache_hits_total 1$' || {
+    echo "FAIL: expected exactly one cache hit in /metrics"
+    echo "$METRICS" | grep cache || true
+    exit 1
+}
+echo "ok: cache hit visible in /metrics"
+
+# A small simulate round trip through the admission queue and pool.
+SIM=$(curl -fsS -X POST -d '{"n":8,"lambda":0.8,"horizon":500,"reps":2,"seed":3}' "$BASE/v1/simulate")
+echo "$SIM" | grep -q '"sojourn"' || { echo "FAIL: simulate response missing sojourn"; exit 1; }
+echo "ok: /v1/simulate"
+
+# Malformed input is a 400, not a crash.
+CODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST -d '{"model":"simple","lambda":-1}' "$BASE/v1/fixedpoint")
+[ "$CODE" = "400" ] || { echo "FAIL: invalid request returned $CODE, want 400"; exit 1; }
+echo "ok: validation rejects bad lambda with 400"
+
+echo "# graceful shutdown"
+kill -TERM "$SRV_PID"
+i=0
+while kill -0 "$SRV_PID" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -lt 100 ] || { echo "FAIL: daemon ignored SIGTERM"; exit 1; }
+    sleep 0.1
+done
+wait "$SRV_PID" 2>/dev/null && RC=0 || RC=$?
+[ "$RC" = "0" ] || { echo "FAIL: daemon exited with $RC after SIGTERM"; exit 1; }
+echo "ok: clean exit on SIGTERM"
+
+echo "PASS"
