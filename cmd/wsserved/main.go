@@ -12,6 +12,12 @@
 // The daemon shuts down gracefully on SIGINT/SIGTERM: /readyz flips to 503,
 // in-flight requests drain (up to -drain), then the scheduler pool is
 // released.
+//
+// Robustness knobs (see README "Operations"): -read-timeout/-write-timeout/
+// -idle-timeout harden the HTTP server against slow clients; -breaker.*
+// tunes the /v1/simulate circuit breaker; and the -chaos.* flags enable
+// deterministic fault injection for self-tests (never set them in
+// production — the zero values are fully inert).
 package main
 
 import (
@@ -27,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/serve"
 )
 
@@ -44,6 +51,37 @@ func run() int {
 	deadline := flag.Duration("deadline", 60*time.Second, "per-request simulate deadline")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
 	logFormat := flag.String("log", "text", "request log format: text, json, off")
+
+	// HTTP server timeouts. WriteTimeout covers the whole handler in
+	// net/http, so its default must exceed the simulate deadline or long
+	// simulations would be cut mid-response; the streaming route instead
+	// re-arms a per-write deadline (-stream-write-timeout) and is the reason
+	// WriteTimeout cannot be tight.
+	readTimeout := flag.Duration("read-timeout", 30*time.Second,
+		"max time to read a request, header included (0 = none)")
+	writeTimeout := flag.Duration("write-timeout", 90*time.Second,
+		"max time from end of request header to end of response (0 = none); must exceed -deadline")
+	idleTimeout := flag.Duration("idle-timeout", 120*time.Second,
+		"max keep-alive idle time per connection (0 = none)")
+	streamWriteTimeout := flag.Duration("stream-write-timeout", 10*time.Second,
+		"per-write progress deadline on streaming responses")
+
+	// Circuit breaker on /v1/simulate.
+	brkThreshold := flag.Float64("breaker.threshold", 0.5,
+		"failure rate over the window that opens the simulate breaker")
+	brkWindow := flag.Int("breaker.window", 20, "simulate breaker sliding-window size")
+	brkMinSamples := flag.Int("breaker.min-samples", 10,
+		"outcomes required in the window before the breaker may open")
+	brkCooldown := flag.Duration("breaker.cooldown", 5*time.Second,
+		"open-state hold time before a half-open probe")
+
+	// Deterministic fault injection (self-test only; inert at defaults).
+	chaosSeed := flag.Uint64("chaos.seed", 0, "chaos decision-stream seed")
+	chaosPLatency := flag.Float64("chaos.p.latency", 0, "per-probe latency-fault probability")
+	chaosPError := flag.Float64("chaos.p.error", 0, "per-probe error-fault probability")
+	chaosPPanic := flag.Float64("chaos.p.panic", 0, "per-probe panic-fault probability")
+	chaosPPerturb := flag.Float64("chaos.p.perturb", 0, "per-probe numeric-perturbation probability")
+	chaosLatency := flag.Duration("chaos.latency", 5*time.Millisecond, "injected latency per fault")
 	flag.Parse()
 
 	var logger *slog.Logger
@@ -59,12 +97,36 @@ func run() int {
 		return 2
 	}
 
+	// The injector stays nil unless at least one probability is set, so the
+	// default daemon carries zero chaos machinery on its hot paths.
+	var inj *chaos.Injector
+	if *chaosPLatency > 0 || *chaosPError > 0 || *chaosPPanic > 0 || *chaosPPerturb > 0 {
+		inj = chaos.New(chaos.Config{
+			Seed:     *chaosSeed,
+			PLatency: *chaosPLatency,
+			PError:   *chaosPError,
+			PPanic:   *chaosPPanic,
+			PPerturb: *chaosPPerturb,
+			Latency:  *chaosLatency,
+		})
+		logger.Warn("chaos injection enabled",
+			"seed", *chaosSeed,
+			"p_latency", *chaosPLatency, "p_error", *chaosPError,
+			"p_panic", *chaosPPanic, "p_perturb", *chaosPPerturb)
+	}
+
 	srv := serve.New(serve.Config{
-		Workers:      *workers,
-		CacheEntries: *cache,
-		QueueDepth:   *queue,
-		SimDeadline:  *deadline,
-		Logger:       logger,
+		Workers:            *workers,
+		CacheEntries:       *cache,
+		QueueDepth:         *queue,
+		SimDeadline:        *deadline,
+		StreamWriteTimeout: *streamWriteTimeout,
+		Logger:             logger,
+		Chaos:              inj,
+		BreakerWindow:      *brkWindow,
+		BreakerThreshold:   *brkThreshold,
+		BreakerMinSamples:  *brkMinSamples,
+		BreakerCooldown:    *brkCooldown,
 	})
 	defer srv.Close()
 
@@ -76,6 +138,13 @@ func run() int {
 	httpSrv := &http.Server{
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
+	if *writeTimeout > 0 && *writeTimeout <= *deadline {
+		logger.Warn("write-timeout does not exceed the simulate deadline; long simulations may be cut off",
+			"write_timeout", writeTimeout.String(), "deadline", deadline.String())
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)

@@ -1,0 +1,210 @@
+package chaos
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilAndZeroConfigInert pins the zero-overhead contract: a nil
+// injector and a zero-config injector answer every probe with "no fault".
+func TestNilAndZeroConfigInert(t *testing.T) {
+	for name, in := range map[string]*Injector{
+		"nil":  nil,
+		"zero": New(Config{}),
+	} {
+		if in.Delay("s") != 0 {
+			t.Errorf("%s: Delay injected", name)
+		}
+		if err := in.Err("s"); err != nil {
+			t.Errorf("%s: Err injected %v", name, err)
+		}
+		in.MaybePanic("s") // must not panic
+		x := []float64{1, 2}
+		if in.Perturb("s", x) || math.IsNaN(x[0]) {
+			t.Errorf("%s: Perturb fired", name)
+		}
+		if f := in.PerturbFunc("s"); f != nil {
+			t.Errorf("%s: PerturbFunc not nil", name)
+		}
+		if in.Total() != 0 {
+			t.Errorf("%s: counted faults on inert injector", name)
+		}
+	}
+}
+
+// TestDeterministicPerSite pins that two injectors with the same seed make
+// identical decision sequences at each site, and different seeds diverge.
+func TestDeterministicPerSite(t *testing.T) {
+	cfg := Config{Seed: 42, PError: 0.3}
+	a, b := New(cfg), New(cfg)
+	other := New(Config{Seed: 43, PError: 0.3})
+
+	var seqA, seqB, seqO []bool
+	for i := 0; i < 200; i++ {
+		seqA = append(seqA, a.Err("site1") != nil)
+		seqB = append(seqB, b.Err("site1") != nil)
+		seqO = append(seqO, other.Err("site1") != nil)
+	}
+	if !equalBools(seqA, seqB) {
+		t.Fatal("same seed produced different decision sequences")
+	}
+	if equalBools(seqA, seqO) {
+		t.Fatal("different seeds produced identical decision sequences (suspicious)")
+	}
+	if a.Count("site1", KindError) == 0 {
+		t.Fatal("p=0.3 over 200 probes injected nothing")
+	}
+	// Interleaving another site must not shift site1's stream.
+	c := New(cfg)
+	var seqC []bool
+	for i := 0; i < 200; i++ {
+		c.Err("noise")
+		seqC = append(seqC, c.Err("site1") != nil)
+	}
+	if !equalBools(seqA, seqC) {
+		t.Fatal("probing another site shifted site1's decision sequence")
+	}
+}
+
+func equalBools(a, b []bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestFaultKinds exercises each kind at p=1 and checks counters and typed
+// values.
+func TestFaultKinds(t *testing.T) {
+	in := New(Config{Seed: 7, PLatency: 1, PError: 1, PPanic: 1, PPerturb: 1, Latency: time.Millisecond})
+
+	if d := in.Delay("a"); d != time.Millisecond {
+		t.Fatalf("Delay = %v, want 1ms", d)
+	}
+	err := in.Err("a")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("Err = %v, want wrapped ErrInjected", err)
+	}
+	panicked := false
+	func() {
+		defer func() {
+			if v := recover(); v != nil {
+				panicked = true
+				if pv, ok := v.(PanicValue); !ok || pv.Site != "a" {
+					t.Errorf("panic value = %#v, want PanicValue{a}", v)
+				}
+			}
+		}()
+		in.MaybePanic("a")
+	}()
+	if !panicked {
+		t.Fatal("MaybePanic at p=1 did not panic")
+	}
+	x := []float64{1, 2}
+	if !in.Perturb("a", x) || !math.IsNaN(x[0]) {
+		t.Fatalf("Perturb at p=1 left x = %v", x)
+	}
+	for _, kind := range []string{KindLatency, KindError, KindPanic, KindPerturb} {
+		if got := in.Count("a", kind); got != 1 {
+			t.Errorf("Count(a, %s) = %d, want 1", kind, got)
+		}
+	}
+	if in.Total() != 4 {
+		t.Errorf("Total = %d, want 4", in.Total())
+	}
+}
+
+// TestSetDisabled pins the recovery-drill switch: a disabled injector stops
+// injecting without losing its counters, and re-enabling resumes.
+func TestSetDisabled(t *testing.T) {
+	in := New(Config{Seed: 1, PError: 1})
+	if in.Err("s") == nil {
+		t.Fatal("enabled injector at p=1 injected nothing")
+	}
+	in.SetDisabled(true)
+	for i := 0; i < 50; i++ {
+		if in.Err("s") != nil {
+			t.Fatal("disabled injector injected")
+		}
+	}
+	if got := in.Count("s", KindError); got != 1 {
+		t.Fatalf("Count = %d after disable, want 1 (counters preserved)", got)
+	}
+	in.SetDisabled(false)
+	if in.Err("s") == nil {
+		t.Fatal("re-enabled injector at p=1 injected nothing")
+	}
+}
+
+// TestConcurrentProbes runs many goroutines against shared sites; the race
+// detector checks the locking, and the counter total must equal the number
+// of injected faults implied by p=1.
+func TestConcurrentProbes(t *testing.T) {
+	in := New(Config{Seed: 9, PError: 1})
+	const goroutines, probes = 8, 100
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			siteName := []string{"x", "y"}[g%2]
+			for i := 0; i < probes; i++ {
+				in.Err(siteName)
+				in.Sleep(siteName) // PLatency=0: must be free and fault-free
+			}
+		}()
+	}
+	wg.Wait()
+	if got := in.Total(); got != goroutines*probes {
+		t.Fatalf("Total = %d, want %d", got, goroutines*probes)
+	}
+}
+
+// TestEachOrderStable pins Each's deterministic (site, kind) enumeration
+// order, which keeps /metrics output stable between scrapes.
+func TestEachOrderStable(t *testing.T) {
+	in := New(Config{Seed: 3, PError: 1, PLatency: 1})
+	in.Err("beta")
+	in.Delay("alpha")
+	in.Err("alpha")
+	var got []string
+	in.Each(func(siteName, kind string, n uint64) {
+		got = append(got, siteName+"/"+kind)
+	})
+	want := []string{"alpha/error", "alpha/latency", "beta/error"}
+	if len(got) != len(want) {
+		t.Fatalf("Each yielded %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Each yielded %v, want %v", got, want)
+		}
+	}
+}
+
+// TestConfigValidate rejects out-of-range probabilities.
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{PError: -0.1},
+		{PPanic: 1.5},
+		{PLatency: math.NaN()},
+		{Latency: -time.Second},
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", cfg)
+		}
+	}
+	if err := (Config{Seed: 1, PError: 0.5}).Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}

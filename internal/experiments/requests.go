@@ -61,6 +61,12 @@ type FixedPointSpec struct {
 	LI float64 `json:"li,omitempty"`
 	// Tails is how many leading tail entries to report (default 12).
 	Tails int `json:"tails,omitempty"`
+	// MaxIter, when positive, caps the solver's outer iterations (default
+	// 0 = the solver's own budget). It is a serving-side cost knob: a
+	// caller that would rather get a fast typed 422 (not converged) than
+	// wait out the full budget near λ = 1 sets it low. It participates in
+	// the cache key because it can change the outcome.
+	MaxIter int `json:"max_iter,omitempty"`
 }
 
 // Normalize fills defaulted fields in place, mirroring the wsfixed flag
@@ -127,8 +133,15 @@ func (s *FixedPointSpec) Validate() error {
 		return fmt.Errorf("experiments: negative or zero structural parameter (b=%d d=%d k=%d c=%d tails=%d)",
 			s.B, s.D, s.K, s.C, s.Tails)
 	}
+	if s.MaxIter < 0 || s.MaxIter > MaxSolveIter {
+		return fmt.Errorf("experiments: max_iter = %d outside [0, %d]", s.MaxIter, MaxSolveIter)
+	}
 	return nil
 }
+
+// MaxSolveIter caps the per-request solver iteration budget a network
+// caller may demand.
+const MaxSolveIter = 100_000
 
 // BuildModel normalizes, validates, and constructs the mean-field model.
 // Construction panics (for parameter combinations only the constructors
@@ -194,11 +207,22 @@ type FixedPointReport struct {
 // The raw fixed point is returned alongside for callers (wsfixed's text
 // mode) that need the full state vector.
 func (s *FixedPointSpec) Solve() (FixedPointReport, core.FixedPoint, error) {
+	return s.SolveWith(meanfield.SolveOptions{})
+}
+
+// SolveWith is Solve with explicit solver options for callers that thread
+// serving-side concerns — a chaos Perturb hook, mainly — into the numeric
+// layer. The spec's own MaxIter (a request field) takes precedence over
+// opt.MaxIter so that CLI and HTTP callers of the same spec agree.
+func (s *FixedPointSpec) SolveWith(opt meanfield.SolveOptions) (FixedPointReport, core.FixedPoint, error) {
 	m, err := s.BuildModel()
 	if err != nil {
 		return FixedPointReport{}, core.FixedPoint{}, err
 	}
-	fp, err := meanfield.Solve(m, meanfield.SolveOptions{})
+	if s.MaxIter > 0 {
+		opt.MaxIter = s.MaxIter
+	}
+	fp, err := meanfield.Solve(m, opt)
 	if err != nil {
 		return FixedPointReport{}, core.FixedPoint{}, err
 	}

@@ -1,0 +1,101 @@
+package meanfield_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/experiments"
+	"repro/internal/meanfield"
+	"repro/internal/numeric"
+	"repro/internal/solver"
+)
+
+// TestHostileInputsNeverSilentlyWrong is the table pinned by ISSUE 4: for
+// every served model variant, hostile inputs (λ → 1⁻ with a starved
+// iteration budget, and a chaos-poisoned iterate) must yield a typed
+// ErrNotConverged/ErrDiverged — never a nil error wrapping a wrong or
+// non-finite fixed point. The invariant is directional, not prescriptive:
+// a model whose warm start is already the exact equilibrium (nosteal) may
+// legitimately converge, but then its reported state must actually be a
+// fixed point.
+func TestHostileInputsNeverSilentlyWrong(t *testing.T) {
+	const tol = 1e-11 // meanfield.Solve's default residual tolerance
+
+	// buildSpec returns a constructible spec for the variant: multisteal's
+	// default K = 2 needs the deeper threshold T >= 2K.
+	buildSpec := func(model string, lambda float64) experiments.FixedPointSpec {
+		spec := experiments.FixedPointSpec{Model: model, Lambda: lambda}
+		if model == "multisteal" {
+			spec.T = 4
+		}
+		return spec
+	}
+
+	for _, model := range experiments.FixedPointModels {
+		model := model
+
+		t.Run(model+"/lambda-near-1-tiny-budget", func(t *testing.T) {
+			spec := buildSpec(model, 0.999)
+			m, err := spec.BuildModel()
+			if err != nil {
+				t.Fatalf("BuildModel: %v", err)
+			}
+			fp, err := meanfield.Solve(m, meanfield.SolveOptions{MaxIter: 1})
+			if err == nil {
+				// Converging in one Anderson iteration at λ = 0.999 is only
+				// believable from an exact warm start; verify the claim.
+				if fp.Residual > tol {
+					t.Fatalf("nil error with residual %v > tol %v: silently wrong fixed point", fp.Residual, tol)
+				}
+				if !numeric.AllFinite(fp.State) {
+					t.Fatal("nil error with non-finite state")
+				}
+				return
+			}
+			if !errors.Is(err, solver.ErrNotConverged) && !errors.Is(err, numeric.ErrDiverged) {
+				t.Fatalf("err = %v, want typed ErrNotConverged or ErrDiverged", err)
+			}
+		})
+
+		t.Run(model+"/chaos-poisoned-iterate", func(t *testing.T) {
+			spec := buildSpec(model, 0.9)
+			m, err := spec.BuildModel()
+			if err != nil {
+				t.Fatalf("BuildModel: %v", err)
+			}
+			in := chaos.New(chaos.Config{Seed: 11, PPerturb: 1})
+			_, err = meanfield.Solve(m, meanfield.SolveOptions{
+				Perturb: in.PerturbFunc("numeric.fixedpoint"),
+			})
+			if !errors.Is(err, numeric.ErrDiverged) {
+				t.Fatalf("err = %v, want numeric.ErrDiverged", err)
+			}
+			if in.Count("numeric.fixedpoint", chaos.KindPerturb) == 0 {
+				t.Fatal("injector recorded no perturbation")
+			}
+		})
+	}
+}
+
+// TestSolveRejectsNaNWarmStartResidual guards the NormInf blind spot at the
+// meanfield layer: a state vector poisoned before the first residual
+// evaluation must not be reported as residual-zero converged.
+func TestSolveRejectsNaNWarmStartResidual(t *testing.T) {
+	m := meanfield.NewSimpleWS(0.9)
+	first := true
+	_, err := meanfield.Solve(m, meanfield.SolveOptions{
+		Perturb: func(x []float64) {
+			if first {
+				first = false
+				for i := range x {
+					x[i] = math.NaN()
+				}
+			}
+		},
+	})
+	if !errors.Is(err, numeric.ErrDiverged) {
+		t.Fatalf("err = %v, want numeric.ErrDiverged", err)
+	}
+}

@@ -72,6 +72,11 @@ type SolveOptions struct {
 	Tol float64
 	// MaxIter bounds outer Anderson iterations; 0 defaults to 800.
 	MaxIter int
+	// Perturb, when non-nil, is forwarded to the solver's fault-injection
+	// seam (solver.Options.Perturb): it may corrupt iterates to exercise
+	// the divergence guard. Production solves leave it nil; see
+	// internal/chaos.
+	Perturb func(x []float64)
 }
 
 // warmStarter is implemented by models that can supply a better starting
@@ -120,6 +125,7 @@ func Solve(m core.Model, opt SolveOptions) (core.FixedPoint, error) {
 		Memory:  6,
 		MaxIter: opt.MaxIter,
 		Project: m.Project,
+		Perturb: opt.Perturb,
 	})
 	fp := core.FixedPoint{Model: m, State: res.X, Residual: res.Residual}
 	if err != nil {

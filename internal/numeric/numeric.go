@@ -185,6 +185,24 @@ func RelErr(got, want float64) float64 {
 	return d / math.Abs(want)
 }
 
+// ErrDiverged is the shared sentinel for numeric blow-up: an iterate or
+// integration state that reached NaN or ±Inf. The ODE integrators and the
+// fixed-point solver wrap it so callers (the serving layer in particular)
+// can map "the numbers are garbage" to a typed outcome instead of emitting
+// a garbage table. Test with errors.Is.
+var ErrDiverged = errors.New("numeric: state diverged to NaN or Inf")
+
+// AllFinite reports whether every element of xs is a usable number
+// (neither NaN nor ±Inf).
+func AllFinite(xs []float64) bool {
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}
+
 // ErrNoBracket is returned by root finders when f(a) and f(b) do not have
 // opposite signs.
 var ErrNoBracket = errors.New("numeric: root is not bracketed")

@@ -9,7 +9,9 @@
 package ode
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"math"
 
 	"repro/internal/numeric"
@@ -24,6 +26,14 @@ type System func(x, dx []float64)
 // collapses below the representable minimum, indicating a pathological
 // right-hand side.
 var ErrStepUnderflow = errors.New("ode: adaptive step size underflow")
+
+// ErrDiverged is returned by the adaptive integrator when the state or the
+// error estimate reaches NaN/Inf. It wraps numeric.ErrDiverged, the shared
+// sentinel the serving layer maps to a typed 422 response. Before this
+// guard a NaN right-hand side did not merely mis-integrate: the step
+// controller's shrink factor itself went NaN and the loop never advanced
+// nor terminated.
+var ErrDiverged = fmt.Errorf("ode: %w", numeric.ErrDiverged)
 
 // Euler advances x in place by one forward-Euler step of size h using the
 // provided scratch slice (len >= len(x)).
@@ -151,6 +161,15 @@ var (
 // Cash–Karp embedded RK4(5) pair and standard PI-free step control. It
 // returns the number of accepted steps.
 func IntegrateAdaptive(f System, x []float64, span float64, opt AdaptiveOptions) (int, error) {
+	return IntegrateAdaptiveCtx(context.Background(), f, x, span, opt)
+}
+
+// IntegrateAdaptiveCtx is IntegrateAdaptive under a context: the loop polls
+// ctx between steps and abandons the integration with the context's error
+// once it is cancelled or past its deadline. This is how serving-side
+// callers stop paying for trajectories nobody is waiting for anymore; x is
+// left at the last accepted state.
+func IntegrateAdaptiveCtx(ctx context.Context, f System, x []float64, span float64, opt AdaptiveOptions) (int, error) {
 	if span <= 0 {
 		return 0, nil
 	}
@@ -182,7 +201,15 @@ func IntegrateAdaptive(f System, x []float64, span float64, opt AdaptiveOptions)
 	t := 0.0
 	accepted := 0
 	const safety, minShrink, maxGrow = 0.9, 0.2, 5.0
+	done := ctx.Done()
 	for t < span {
+		if done != nil {
+			select {
+			case <-done:
+				return accepted, ctx.Err()
+			default:
+			}
+		}
 		if t+h > span {
 			h = span - t
 		}
@@ -215,6 +242,13 @@ func IntegrateAdaptive(f System, x []float64, span float64, opt AdaptiveOptions)
 			if e := math.Abs(xErr[i]) / scale; e > errMax {
 				errMax = e
 			}
+		}
+		// Divergence guard: a NaN/Inf candidate state or error estimate can
+		// never be stepped out of — the shrink factor below would itself go
+		// NaN and the loop would spin forever at a frozen t. Surface the
+		// typed error instead.
+		if math.IsNaN(errMax) || math.IsInf(errMax, 0) || !numeric.AllFinite(xNew) {
+			return accepted, ErrDiverged
 		}
 		if errMax <= 1 {
 			// Accept.

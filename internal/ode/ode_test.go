@@ -1,6 +1,8 @@
 package ode
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 
@@ -213,3 +215,76 @@ func BenchmarkAdaptiveDim128(b *testing.B) {
 		}
 	}
 }
+
+// nanRHS poisons the derivative immediately; before the divergence guard
+// this hung IntegrateAdaptive forever (NaN error → NaN shrink → frozen t).
+func nanRHS(x, dx []float64) {
+	for i := range dx {
+		dx[i] = math.NaN()
+	}
+}
+
+// explode is x' = x², which blows up in finite time at t = 1/x0 and
+// overflows to +Inf shortly before.
+func explode(x, dx []float64) {
+	for i := range x {
+		dx[i] = x[i] * x[i]
+	}
+}
+
+func TestAdaptiveDivergesOnNaN(t *testing.T) {
+	x := []float64{1}
+	_, err := IntegrateAdaptive(nanRHS, x, 10, AdaptiveOptions{})
+	if !errors.Is(err, ErrDiverged) || !errors.Is(err, numeric.ErrDiverged) {
+		t.Fatalf("err = %v, want ErrDiverged wrapping numeric.ErrDiverged", err)
+	}
+}
+
+func TestAdaptiveDivergesOnBlowUp(t *testing.T) {
+	// x' = x² from x0 = 1e154: x² overflows on the first stage evaluation.
+	x := []float64{1e154}
+	_, err := IntegrateAdaptive(explode, x, 10, AdaptiveOptions{})
+	if !errors.Is(err, numeric.ErrDiverged) {
+		t.Fatalf("err = %v, want numeric.ErrDiverged", err)
+	}
+}
+
+func TestAdaptiveCtxCancelStops(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	x := []float64{1}
+	steps, err := IntegrateAdaptiveCtx(ctx, decay, x, 10, AdaptiveOptions{})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if steps != 0 {
+		t.Fatalf("took %d steps under a cancelled context, want 0", steps)
+	}
+	if x[0] != 1 {
+		t.Fatalf("state advanced to %v under a cancelled context", x[0])
+	}
+}
+
+func TestAdaptiveCtxDeadlineStopsMidway(t *testing.T) {
+	// A context that expires after the first poll: the RHS trips the cancel
+	// itself so the test does not depend on wall-clock timing.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	calls := 0
+	rhs := func(x, dx []float64) {
+		calls++
+		if calls > 60 { // a handful of steps in
+			cancel()
+		}
+		decay(x, dx)
+	}
+	steps, err := IntegrateAdaptiveCtx(ctx, rhs, x0(1), 1e9, AdaptiveOptions{MaxStep: 1e-3})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if steps == 0 {
+		t.Fatal("expected some accepted steps before cancellation")
+	}
+}
+
+func x0(v float64) []float64 { return []float64{v} }

@@ -1,0 +1,216 @@
+package sched_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// TestCancelIdempotent pins that Cancel can be called any number of times,
+// from any state, without changing an already-resolved cell: a completed
+// cell keeps its results, and repeated cancels of a pending cell are
+// indistinguishable from one.
+func TestCancelIdempotent(t *testing.T) {
+	p := sched.New(2)
+	defer p.Close()
+	const reps = 3
+
+	// Cancel after completion: results must be unaffected.
+	c, err := p.Sim(testOptions(23), reps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := fingerprint(c.Aggregate().Results)
+	c.Cancel()
+	c.Cancel()
+	if got := fingerprint(c.Aggregate().Results); got != before {
+		t.Fatal("Cancel after completion changed the cell's results")
+	}
+	if got := c.Ran(); got != reps {
+		t.Fatalf("completed cell reports Ran() = %d, want %d", got, reps)
+	}
+
+	// Double-cancel of a queued cell: same outcome as a single cancel.
+	release := make(chan struct{})
+	parked := make(chan struct{})
+	p.Go(func(r *sim.Runner) { close(parked) })
+	p.Go(func(r *sim.Runner) { <-release })
+	p.Go(func(r *sim.Runner) { <-release })
+	<-parked
+
+	c2, err := p.Sim(testOptions(23), reps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2.Cancel()
+	c2.Cancel()
+	close(release)
+	select {
+	case <-c2.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("double-cancelled cell never resolved")
+	}
+	if got := c2.Ran(); got != 0 {
+		t.Fatalf("cancelled cell ran %d replications, want 0", got)
+	}
+	if err := c2.Err(); err != nil {
+		t.Fatalf("cancelled cell reports error %v, want nil", err)
+	}
+}
+
+// TestConcurrentCancelVsPickup races many Cancel calls against workers
+// picking replications off the queue. Run under -race this pins that the
+// cancel flag, the pending counter, and the done channel tolerate the
+// race; functionally it pins that the cell always resolves exactly once,
+// whatever interleaving wins.
+func TestConcurrentCancelVsPickup(t *testing.T) {
+	for round := 0; round < 8; round++ {
+		p := sched.New(2)
+		const reps = 4
+		c, err := p.Sim(testOptions(uint64(29+round)), reps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				c.Cancel()
+			}()
+		}
+		wg.Wait()
+		select {
+		case <-c.Done():
+		case <-time.After(30 * time.Second):
+			t.Fatal("cell never resolved under concurrent cancel")
+		}
+		if got := c.Ran(); got < 0 || got > reps {
+			t.Fatalf("Ran() = %d, want within [0, %d]", got, reps)
+		}
+		p.Close()
+	}
+}
+
+// TestCancelStopsRunningReplication pins the Stop wiring end to end: the
+// cell's horizon is effectively infinite, so the only way Done can resolve
+// is the cancel flag reaching the running engine through sim.Options.Stop
+// and aborting its event loop mid-run.
+func TestCancelStopsRunningReplication(t *testing.T) {
+	p := sched.New(1)
+	defer p.Close()
+	o := testOptions(31)
+	o.Horizon = 1e12 // a full run at this horizon would take days
+	o.Warmup = 0
+	c, err := p.Sim(o, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Give the worker time to enter the event loop, then cancel. (If the
+	// cancel happens to land before pickup the replication is skipped
+	// instead — either path must resolve the cell.)
+	time.Sleep(100 * time.Millisecond)
+	c.Cancel()
+	select {
+	case <-c.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancel did not stop the running replication")
+	}
+}
+
+// TestReplicationPanicContained injects panics at the sched.replication
+// site and pins the containment contract: waiters get a typed
+// ErrReplicationPanic instead of an aggregate, the workers survive, and
+// the pool serves clean cells afterwards.
+func TestReplicationPanicContained(t *testing.T) {
+	p := sched.New(2)
+	defer p.Close()
+	inj := chaos.New(chaos.Config{Seed: 1, PPanic: 1})
+	p.SetChaos(inj)
+
+	const reps = 3
+	c, err := p.Sim(testOptions(37), reps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.AggregateCtx(context.Background())
+	if !errors.Is(err, sched.ErrReplicationPanic) {
+		t.Fatalf("AggregateCtx error = %v, want ErrReplicationPanic", err)
+	}
+	if err := c.Err(); !errors.Is(err, sched.ErrReplicationPanic) {
+		t.Fatalf("Err() = %v, want ErrReplicationPanic", err)
+	}
+	if got := c.Ran(); got != 0 {
+		t.Fatalf("panicked cell ran %d replications to completion, want 0", got)
+	}
+	if got := inj.Count(sched.SiteReplication, chaos.KindPanic); got != reps {
+		t.Fatalf("injector counted %d panics, want %d", got, reps)
+	}
+
+	// The pool must still be fully operational once the fault is removed.
+	p.SetChaos(nil)
+	clean, err := p.Sim(testOptions(37), reps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := clean.AggregateCtx(context.Background())
+	if err != nil {
+		t.Fatalf("clean cell after panic storm failed: %v", err)
+	}
+	if len(agg.Results) != reps {
+		t.Fatalf("clean cell produced %d results, want %d", len(agg.Results), reps)
+	}
+
+	// Determinism with faults removed: same fingerprint as an untouched pool.
+	ref := sched.New(1)
+	defer ref.Close()
+	rc, err := ref.Sim(testOptions(37), reps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fingerprint(agg.Results) != fingerprint(rc.Aggregate().Results) {
+		t.Fatal("results after recovery differ from a clean pool's results")
+	}
+}
+
+// TestChaosLatencyOnlyDelays pins that a latency-only injector perturbs
+// wall-clock time but nothing else: the cell completes with full results
+// and every replication records one injected delay.
+func TestChaosLatencyOnlyDelays(t *testing.T) {
+	p := sched.New(2)
+	defer p.Close()
+	inj := chaos.New(chaos.Config{Seed: 2, PLatency: 1, Latency: time.Millisecond})
+	p.SetChaos(inj)
+
+	const reps = 3
+	c, err := p.Sim(testOptions(41), reps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := c.AggregateCtx(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(agg.Results) != reps {
+		t.Fatalf("got %d results, want %d", len(agg.Results), reps)
+	}
+	if got := inj.Count(sched.SiteReplication, chaos.KindLatency); got != reps {
+		t.Fatalf("injector counted %d delays, want %d", got, reps)
+	}
+
+	ref := sched.New(1)
+	defer ref.Close()
+	rc, err := ref.Sim(testOptions(41), reps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fingerprint(agg.Results) != fingerprint(rc.Aggregate().Results) {
+		t.Fatal("latency injection changed simulation results")
+	}
+}

@@ -15,16 +15,37 @@
 // rng.Derive(Seed, i) and lands in slot i of the cell's result slice, so
 // aggregates are bit-identical for every worker count and any interleaving
 // of cells — the scheduler changes wall-clock time, never numbers.
+//
+// Failure containment: a panic inside a replication (an engine bug, or a
+// fault injected through SetChaos) is confined to its cell — the worker
+// survives, the cell resolves, and waiters receive a typed
+// ErrReplicationPanic from AggregateCtx instead of the process dying.
+// Cancellation reaches into running replications too: Pool.Sim wires the
+// cell's cancel flag into sim.Options.Stop, so a cell abandoned mid-run
+// stops its engines at the next poll rather than finishing work nobody
+// will read.
 package sched
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/chaos"
 	"repro/internal/sim"
 )
+
+// SiteReplication is the chaos injection site probed once per replication:
+// a latency fault stalls the replication before its engine run, a panic
+// fault kills it (and is contained as ErrReplicationPanic).
+const SiteReplication = "sched.replication"
+
+// ErrReplicationPanic is wrapped in the error a Cell reports when one of
+// its replications panicked instead of returning a result.
+var ErrReplicationPanic = errors.New("sched: replication panicked")
 
 // Pool is a bounded worker pool. Submitting is safe from any goroutine, so
 // independent table builders can share one Pool and keep every core busy.
@@ -34,6 +55,7 @@ type Pool struct {
 	queue  []job
 	closed bool
 	wg     sync.WaitGroup
+	chaos  atomic.Pointer[chaos.Injector]
 }
 
 // job is one unit of work: fn runs on a worker, with that worker's
@@ -55,6 +77,11 @@ func New(workers int) *Pool {
 	return p
 }
 
+// SetChaos installs (or, with nil, removes) a fault injector on the
+// replication path. Safe to call at any time; a nil or inert injector adds
+// one atomic load per replication and nothing else.
+func (p *Pool) SetChaos(in *chaos.Injector) { p.chaos.Store(in) }
+
 // worker drains the queue until the pool closes. The Runner persists across
 // jobs: this is where engine reuse pays off.
 func (p *Pool) worker() {
@@ -72,8 +99,17 @@ func (p *Pool) worker() {
 		j := p.queue[0]
 		p.queue = p.queue[1:]
 		p.mu.Unlock()
-		j(&r)
+		runJob(j, &r)
 	}
+}
+
+// runJob executes one job with a panic backstop, so a fault in any queued
+// work item costs at most that item — never the worker, and never the
+// process. Cell replications convert their own panics into a typed cell
+// error before this backstop is reached; it exists for raw Go() jobs.
+func runJob(j job, r *sim.Runner) {
+	defer func() { _ = recover() }()
+	j(r)
 }
 
 // Go submits one job. It never blocks: the queue is unbounded, so builders
@@ -103,8 +139,9 @@ func (p *Pool) Close() {
 // A Cell can be abandoned with Cancel (or, equivalently, by AggregateCtx
 // when its context expires): replications still sitting in the pool's queue
 // then resolve as no-ops instead of burning a worker on results nobody will
-// read. Cancellation is cooperative and queue-level — a replication that a
-// worker has already started runs to completion.
+// read, and replications already running observe the same flag through
+// sim.Options.Stop and abandon their event loop at the next poll.
+// Cancellation is cooperative; Cancel never blocks.
 type Cell struct {
 	opts      sim.Options
 	results   []sim.Result
@@ -112,6 +149,9 @@ type Cell struct {
 	done      chan struct{}
 	cancelled atomic.Bool
 	ran       atomic.Int64
+
+	errMu sync.Mutex
+	err   error
 }
 
 // Sim validates o and enqueues reps replications of it as independent work
@@ -126,37 +166,76 @@ func (p *Pool) Sim(o sim.Options, reps int) (*Cell, error) {
 		results: make([]sim.Result, reps),
 		done:    make(chan struct{}),
 	}
+	// Cancellation reaches running engines through the same flag that
+	// skips queued replications.
+	c.opts.Stop = &c.cancelled
 	c.pending.Store(int64(reps))
 	for i := 0; i < reps; i++ {
 		i := i
 		p.Go(func(r *sim.Runner) {
-			if !c.cancelled.Load() {
-				c.results[i] = r.RunRep(c.opts, i)
-				c.ran.Add(1)
+			defer func() {
+				if v := recover(); v != nil {
+					c.fail(fmt.Errorf("%w: replication %d: %v", ErrReplicationPanic, i, v))
+				}
+				if c.pending.Add(-1) == 0 {
+					close(c.done)
+				}
+			}()
+			if c.cancelled.Load() {
+				return
 			}
-			if c.pending.Add(-1) == 0 {
-				close(c.done)
+			if in := p.chaos.Load(); in != nil {
+				in.Sleep(SiteReplication)
+				in.MaybePanic(SiteReplication)
 			}
+			c.results[i] = r.RunRep(c.opts, i)
+			c.ran.Add(1)
 		})
 	}
 	return c, nil
 }
 
+// fail records the cell's first replication failure.
+func (c *Cell) fail(err error) {
+	c.errMu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	c.errMu.Unlock()
+}
+
+// Err returns the first replication failure of the cell, or nil. It is
+// meaningful once Done is closed; AggregateCtx checks it for callers.
+func (c *Cell) Err() error {
+	c.errMu.Lock()
+	defer c.errMu.Unlock()
+	return c.err
+}
+
 // Aggregate blocks until every replication of the cell has run and returns
 // the same aggregate sim.Replication.Run would produce. It must not be
-// called on a cancelled cell (skipped replications leave zero Results).
+// called on a cancelled or failed cell (skipped and panicked replications
+// leave zero Results); batch builders that never cancel and run without
+// fault injection use it directly, servers use AggregateCtx.
 func (c *Cell) Aggregate() sim.Aggregate {
 	<-c.done
 	return sim.AggregateResults(c.opts, c.results)
 }
 
-// AggregateCtx is Aggregate with an escape hatch: if ctx expires before the
-// cell resolves, the cell is cancelled so its queued replications never run,
-// and the context's error is returned. This is how a server abandons the
-// work of a disconnected or timed-out request without burning workers.
+// AggregateCtx is Aggregate with two escape hatches: if ctx expires before
+// the cell resolves, the cell is cancelled (queued replications never run,
+// running ones stop at their next poll) and the context's error is
+// returned; if a replication panicked, the wrapped ErrReplicationPanic is
+// returned instead of an aggregate built from incomplete results. This is
+// how a server abandons the work of a disconnected or timed-out request
+// without burning workers, and survives a poisoned replication without
+// serving garbage.
 func (c *Cell) AggregateCtx(ctx context.Context) (sim.Aggregate, error) {
 	select {
 	case <-c.done:
+		if err := c.Err(); err != nil {
+			return sim.Aggregate{}, err
+		}
 		return sim.AggregateResults(c.opts, c.results), nil
 	case <-ctx.Done():
 		c.Cancel()
@@ -165,8 +244,9 @@ func (c *Cell) AggregateCtx(ctx context.Context) (sim.Aggregate, error) {
 }
 
 // Cancel marks the cell abandoned: replications still queued resolve as
-// no-ops. Replications already running (or already run) are unaffected.
-// Cancel is idempotent and safe from any goroutine.
+// no-ops, and running replications stop at their next event-loop poll.
+// Cancel is idempotent and safe from any goroutine, including after the
+// cell has completed (where it has no effect).
 func (c *Cell) Cancel() { c.cancelled.Store(true) }
 
 // Done returns a channel closed once every replication has either run or

@@ -1,0 +1,217 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// The circuit breaker protects the expensive tier. /v1/simulate failures
+// (5xx outcomes: replication panics, injected faults, deadline expiries)
+// feed a sliding window of recent outcomes; when the window's failure rate
+// crosses a threshold the breaker opens and the route answers 503 +
+// Retry-After without touching the pool, so a failing backend is not also
+// a busy backend. After a cooldown the breaker admits a single probe
+// (half-open); one success closes it, one failure re-opens it. The cached
+// tier (/v1/fixedpoint, /v1/ode) and the control plane never pass through
+// the breaker — a broken simulator must not take down cheap reads.
+
+// breakerState enumerates the classic three states.
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerHalfOpen
+	breakerOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerHalfOpen:
+		return "half_open"
+	default:
+		return "open"
+	}
+}
+
+// breakerConfig tunes one breaker; zero fields take the defaults below.
+type breakerConfig struct {
+	// Window is the number of most-recent outcomes considered (default 20).
+	Window int
+	// Threshold is the failure rate in [0, 1] that opens the breaker
+	// (default 0.5).
+	Threshold float64
+	// MinSamples is the minimum number of outcomes in the window before the
+	// breaker may trip, so one early failure cannot open it (default 10,
+	// capped at Window).
+	MinSamples int
+	// Cooldown is how long the breaker stays open before admitting a
+	// half-open probe (default 5s).
+	Cooldown time.Duration
+}
+
+func (c breakerConfig) withDefaults() breakerConfig {
+	if c.Window <= 0 {
+		c.Window = 20
+	}
+	if c.Threshold <= 0 {
+		c.Threshold = 0.5
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 10
+	}
+	if c.MinSamples > c.Window {
+		c.MinSamples = c.Window
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 5 * time.Second
+	}
+	return c
+}
+
+// breaker is a sliding-window circuit breaker. All methods are safe for
+// concurrent use; now is injectable so tests never sleep through cooldowns.
+//
+// Admissions carry a generation token: every state transition bumps the
+// generation, and record drops outcomes from an older generation. Without
+// this, a slow request admitted while closed could finish during a
+// half-open probe and be misread as the probe's verdict.
+type breaker struct {
+	mu  sync.Mutex
+	cfg breakerConfig
+	now func() time.Time
+
+	state    breakerState
+	gen      uint64
+	outcomes []bool // ring buffer of failure flags
+	idx      int    // next write position
+	filled   int    // occupied slots, ≤ len(outcomes)
+	failures int    // failure flags currently in the ring
+	openedAt time.Time
+	probing  bool // a half-open probe is in flight
+
+	// onTransition, when set, observes every state change (metrics hook).
+	// Called without the lock held.
+	onTransition func(from, to breakerState)
+}
+
+func newBreaker(cfg breakerConfig) *breaker {
+	cfg = cfg.withDefaults()
+	return &breaker{
+		cfg:      cfg,
+		now:      time.Now,
+		outcomes: make([]bool, cfg.Window),
+	}
+}
+
+// allow reports whether a request may proceed, returning the generation
+// token to hand back to record. When the request may not proceed,
+// retryAfter is how long until the next half-open probe would be admitted
+// (rounded up to seconds for the Retry-After header by the caller).
+func (b *breaker) allow() (ok bool, gen uint64, retryAfter time.Duration) {
+	b.mu.Lock()
+	var fire func()
+	switch b.state {
+	case breakerClosed:
+		ok = true
+	case breakerOpen:
+		if wait := b.openedAt.Add(b.cfg.Cooldown).Sub(b.now()); wait > 0 {
+			retryAfter = wait
+		} else {
+			fire = b.transition(breakerHalfOpen)
+			b.probing = true
+			ok = true
+		}
+	case breakerHalfOpen:
+		// One probe at a time; everyone else waits out the probe.
+		if !b.probing {
+			b.probing = true
+			ok = true
+		} else {
+			retryAfter = b.cfg.Cooldown
+		}
+	}
+	gen = b.gen
+	b.mu.Unlock()
+	if fire != nil {
+		fire()
+	}
+	return ok, gen, retryAfter
+}
+
+// record feeds one admitted request's outcome back into the breaker. gen
+// must be the token allow returned for that request; outcomes from a
+// generation older than the current state are dropped as stale.
+func (b *breaker) record(gen uint64, failure bool) {
+	b.mu.Lock()
+	if gen != b.gen {
+		b.mu.Unlock()
+		return
+	}
+	var fire func()
+	switch b.state {
+	case breakerHalfOpen:
+		b.probing = false
+		if failure {
+			fire = b.transition(breakerOpen)
+			b.openedAt = b.now()
+		} else {
+			fire = b.transition(breakerClosed)
+			b.reset()
+		}
+	case breakerClosed:
+		if old := b.outcomes[b.idx]; b.filled == len(b.outcomes) && old {
+			b.failures--
+		}
+		b.outcomes[b.idx] = failure
+		b.idx = (b.idx + 1) % len(b.outcomes)
+		if b.filled < len(b.outcomes) {
+			b.filled++
+		}
+		if failure {
+			b.failures++
+		}
+		if b.filled >= b.cfg.MinSamples &&
+			float64(b.failures)/float64(b.filled) >= b.cfg.Threshold {
+			fire = b.transition(breakerOpen)
+			b.openedAt = b.now()
+			b.reset()
+		}
+	case breakerOpen:
+		// Unreachable for a matching generation (every entry into open bumps
+		// the generation), kept for symmetry.
+	}
+	b.mu.Unlock()
+	if fire != nil {
+		fire()
+	}
+}
+
+// reset clears the sliding window (on transitions the past must not haunt
+// the new state).
+func (b *breaker) reset() {
+	for i := range b.outcomes {
+		b.outcomes[i] = false
+	}
+	b.idx, b.filled, b.failures = 0, 0, 0
+}
+
+// transition flips the state, bumps the generation, and returns the
+// deferred notification (run it after unlocking).
+func (b *breaker) transition(to breakerState) func() {
+	from := b.state
+	b.state = to
+	b.gen++
+	if b.onTransition == nil || from == to {
+		return nil
+	}
+	return func() { b.onTransition(from, to) }
+}
+
+// current returns the state for the metrics gauge.
+func (b *breaker) current() breakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

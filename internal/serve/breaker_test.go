@@ -1,0 +1,202 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives a breaker through cooldowns without sleeping.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func testBreaker(cfg breakerConfig) (*breaker, *fakeClock, *[]string) {
+	b := newBreaker(cfg)
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b.now = clk.now
+	var transitions []string
+	b.onTransition = func(from, to breakerState) {
+		transitions = append(transitions, from.String()+"->"+to.String())
+	}
+	return b, clk, &transitions
+}
+
+// admit is a test helper: allow must admit, returning the generation.
+func admit(t *testing.T, b *breaker) uint64 {
+	t.Helper()
+	ok, gen, _ := b.allow()
+	if !ok {
+		t.Fatalf("allow() denied in state %v, want admitted", b.current())
+	}
+	return gen
+}
+
+// TestBreakerOpensAtThreshold pins the trip condition: the breaker stays
+// closed below MinSamples and below the failure-rate threshold, and opens
+// exactly when both are met.
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	b, _, transitions := testBreaker(breakerConfig{
+		Window: 10, MinSamples: 4, Threshold: 0.5, Cooldown: time.Second,
+	})
+
+	// Three straight failures: under MinSamples, must stay closed.
+	for i := 0; i < 3; i++ {
+		b.record(admit(t, b), true)
+	}
+	if got := b.current(); got != breakerClosed {
+		t.Fatalf("state after 3 failures = %v, want closed (MinSamples not reached)", got)
+	}
+
+	// Fourth failure: 4/4 ≥ 0.5 with MinSamples met — open.
+	b.record(admit(t, b), true)
+	if got := b.current(); got != breakerOpen {
+		t.Fatalf("state after 4 failures = %v, want open", got)
+	}
+	if ok, _, retry := b.allow(); ok || retry <= 0 {
+		t.Fatalf("open breaker: allow() = (%v, retry %v), want denied with positive retry", ok, retry)
+	}
+	if len(*transitions) != 1 || (*transitions)[0] != "closed->open" {
+		t.Fatalf("transitions = %v, want [closed->open]", *transitions)
+	}
+}
+
+// TestBreakerStaysClosedUnderThreshold pins that a failure rate below the
+// threshold never trips the breaker, however long traffic flows.
+func TestBreakerStaysClosedUnderThreshold(t *testing.T) {
+	b, _, _ := testBreaker(breakerConfig{
+		Window: 10, MinSamples: 4, Threshold: 0.5, Cooldown: time.Second,
+	})
+	for i := 0; i < 100; i++ {
+		b.record(admit(t, b), i%4 == 1) // 1/4 failure rate < 0.5
+	}
+	if got := b.current(); got != breakerClosed {
+		t.Fatalf("state at 25%% failures = %v, want closed", got)
+	}
+}
+
+// TestBreakerProbeRecovers pins the recovery path: after the cooldown one
+// probe is admitted (everyone else still rejected), and its success closes
+// the breaker for all traffic.
+func TestBreakerProbeRecovers(t *testing.T) {
+	b, clk, transitions := testBreaker(breakerConfig{
+		Window: 10, MinSamples: 2, Threshold: 0.5, Cooldown: time.Second,
+	})
+	b.record(admit(t, b), true)
+	b.record(admit(t, b), true)
+	if got := b.current(); got != breakerOpen {
+		t.Fatalf("state = %v, want open", got)
+	}
+
+	// Cooldown not yet elapsed: still rejecting.
+	clk.advance(500 * time.Millisecond)
+	if ok, _, _ := b.allow(); ok {
+		t.Fatal("allow() admitted before cooldown elapsed")
+	}
+
+	// Cooldown elapsed: exactly one probe goes through.
+	clk.advance(600 * time.Millisecond)
+	probeGen := admit(t, b)
+	if got := b.current(); got != breakerHalfOpen {
+		t.Fatalf("state = %v, want half_open", got)
+	}
+	if ok, _, _ := b.allow(); ok {
+		t.Fatal("second request admitted during the probe")
+	}
+
+	b.record(probeGen, false)
+	if got := b.current(); got != breakerClosed {
+		t.Fatalf("state after successful probe = %v, want closed", got)
+	}
+	// Closed again: traffic flows, and the old window is gone (a single
+	// failure must not re-trip instantly).
+	b.record(admit(t, b), true)
+	if got := b.current(); got != breakerClosed {
+		t.Fatalf("state = %v, want closed (window must reset on close)", got)
+	}
+	want := []string{"closed->open", "open->half_open", "half_open->closed"}
+	if len(*transitions) != len(want) {
+		t.Fatalf("transitions = %v, want %v", *transitions, want)
+	}
+	for i := range want {
+		if (*transitions)[i] != want[i] {
+			t.Fatalf("transitions = %v, want %v", *transitions, want)
+		}
+	}
+}
+
+// TestBreakerProbeFailureReopens pins that a failed probe restarts the
+// cooldown instead of closing the breaker.
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	b, clk, _ := testBreaker(breakerConfig{
+		Window: 10, MinSamples: 2, Threshold: 0.5, Cooldown: time.Second,
+	})
+	b.record(admit(t, b), true)
+	b.record(admit(t, b), true)
+	clk.advance(1100 * time.Millisecond)
+	b.record(admit(t, b), true) // failed probe
+	if got := b.current(); got != breakerOpen {
+		t.Fatalf("state after failed probe = %v, want open", got)
+	}
+	if ok, _, _ := b.allow(); ok {
+		t.Fatal("allow() admitted right after a failed probe")
+	}
+	clk.advance(1100 * time.Millisecond)
+	b.record(admit(t, b), false)
+	if got := b.current(); got != breakerClosed {
+		t.Fatalf("state after second probe = %v, want closed", got)
+	}
+}
+
+// TestBreakerStaleOutcomeIgnored pins the generation guard: a request
+// admitted while closed but finishing during a half-open probe must not be
+// misread as the probe's verdict.
+func TestBreakerStaleOutcomeIgnored(t *testing.T) {
+	b, clk, _ := testBreaker(breakerConfig{
+		Window: 10, MinSamples: 2, Threshold: 0.5, Cooldown: time.Second,
+	})
+	staleGen := admit(t, b) // slow request, outcome arrives much later
+	b.record(admit(t, b), true)
+	b.record(admit(t, b), true)
+	clk.advance(1100 * time.Millisecond)
+	probeGen := admit(t, b)
+	if got := b.current(); got != breakerHalfOpen {
+		t.Fatalf("state = %v, want half_open", got)
+	}
+
+	// The stale success lands mid-probe: must not close the breaker.
+	b.record(staleGen, false)
+	if got := b.current(); got != breakerHalfOpen {
+		t.Fatalf("stale outcome changed state to %v, want half_open", got)
+	}
+	// The probe's own verdict still decides.
+	b.record(probeGen, true)
+	if got := b.current(); got != breakerOpen {
+		t.Fatalf("state after failed probe = %v, want open", got)
+	}
+}
+
+// TestBreakerSlidingWindowEvicts pins that old outcomes age out: failures
+// pushed out of the window no longer count toward the rate.
+func TestBreakerSlidingWindowEvicts(t *testing.T) {
+	b, _, _ := testBreaker(breakerConfig{
+		Window: 4, MinSamples: 4, Threshold: 0.75, Cooldown: time.Second,
+	})
+	// Two failures, then a long run of successes evicting them.
+	b.record(admit(t, b), true)
+	b.record(admit(t, b), true)
+	for i := 0; i < 4; i++ {
+		b.record(admit(t, b), false)
+	}
+	// Window now holds 4 successes; two fresh failures give 2/4 < 0.75.
+	b.record(admit(t, b), true)
+	b.record(admit(t, b), true)
+	if got := b.current(); got != breakerClosed {
+		t.Fatalf("state = %v, want closed (evicted failures must not count)", got)
+	}
+	// A third fresh failure makes 3/4 ≥ 0.75 — now it opens.
+	b.record(admit(t, b), true)
+	if got := b.current(); got != breakerOpen {
+		t.Fatalf("state = %v, want open", got)
+	}
+}

@@ -3,6 +3,7 @@ package serve
 import (
 	"sync"
 
+	"repro/internal/chaos"
 	"repro/internal/metrics"
 )
 
@@ -53,13 +54,19 @@ type serverMetrics struct {
 
 	simCounters metrics.Counters // lifetime totals across served replications
 
+	servePanics        int64               // handler panics contained by the route barrier
+	replicationPanics  int64               // simulate requests failed by a replication panic
+	breakerShortCircs  int64               // 503s served by the open breaker
+	breakerTransitions map[[2]string]int64 // {from, to} → count
+
 	inFlight int64
 }
 
 func newServerMetrics() *serverMetrics {
 	return &serverMetrics{
-		requests:  make(map[[2]string]int64),
-		latencies: make(map[string]*latencyHist),
+		requests:           make(map[[2]string]int64),
+		latencies:          make(map[string]*latencyHist),
+		breakerTransitions: make(map[[2]string]int64),
 	}
 }
 
@@ -76,10 +83,26 @@ func (m *serverMetrics) observeRequest(route, code string, seconds float64) {
 	h.observe(seconds)
 }
 
-func (m *serverMetrics) addCacheHit()  { m.mu.Lock(); m.cacheHits++; m.mu.Unlock() }
-func (m *serverMetrics) addCacheMiss() { m.mu.Lock(); m.cacheMisses++; m.mu.Unlock() }
-func (m *serverMetrics) addCoalesced() { m.mu.Lock(); m.coalesced++; m.mu.Unlock() }
-func (m *serverMetrics) addRejected()  { m.mu.Lock(); m.simRejected++; m.mu.Unlock() }
+func (m *serverMetrics) addCacheHit()   { m.mu.Lock(); m.cacheHits++; m.mu.Unlock() }
+func (m *serverMetrics) addCacheMiss()  { m.mu.Lock(); m.cacheMisses++; m.mu.Unlock() }
+func (m *serverMetrics) addCoalesced()  { m.mu.Lock(); m.coalesced++; m.mu.Unlock() }
+func (m *serverMetrics) addRejected()   { m.mu.Lock(); m.simRejected++; m.mu.Unlock() }
+func (m *serverMetrics) addServePanic() { m.mu.Lock(); m.servePanics++; m.mu.Unlock() }
+func (m *serverMetrics) addReplicationPanic() {
+	m.mu.Lock()
+	m.replicationPanics++
+	m.mu.Unlock()
+}
+func (m *serverMetrics) addBreakerShortCircuit() {
+	m.mu.Lock()
+	m.breakerShortCircs++
+	m.mu.Unlock()
+}
+func (m *serverMetrics) addBreakerTransition(from, to string) {
+	m.mu.Lock()
+	m.breakerTransitions[[2]string{from, to}]++
+	m.mu.Unlock()
+}
 
 func (m *serverMetrics) queueDelta(d int64) {
 	m.mu.Lock()
@@ -113,8 +136,10 @@ func (m *serverMetrics) snapshotHits() (hits, misses int64) {
 	return m.cacheHits, m.cacheMisses
 }
 
-// emit renders the whole registry in Prometheus text format.
-func (m *serverMetrics) emit(p *metrics.PromWriter, cacheLen int) {
+// emit renders the whole registry in Prometheus text format. The breaker
+// state and the chaos injector are read-side extras owned by the Server,
+// passed in so this registry stays a dumb counter bag.
+func (m *serverMetrics) emit(p *metrics.PromWriter, cacheLen int, brkState breakerState, inj *chaos.Injector) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
@@ -141,5 +166,21 @@ func (m *serverMetrics) emit(p *metrics.PromWriter, cacheLen int) {
 		float64(m.simCancelled))
 	p.Gauge("wsserved_in_flight_requests", "HTTP requests currently being handled.",
 		float64(m.inFlight))
+	p.Counter("ws_serve_panics_total", "Handler panics contained by the route barrier (each served as a 500).",
+		float64(m.servePanics))
+	p.Counter("wsserved_sim_replication_panics_total", "Simulate requests failed by a panicked replication.",
+		float64(m.replicationPanics))
+	p.Gauge("wsserved_breaker_state", "Circuit breaker state of /v1/simulate: 0 closed, 1 half-open, 2 open.",
+		float64(brkState))
+	p.Counter("wsserved_breaker_short_circuits_total", "Requests answered 503 by the open breaker without running.",
+		float64(m.breakerShortCircs))
+	for key, n := range m.breakerTransitions {
+		p.Counter("wsserved_breaker_transitions_total", "Circuit breaker state transitions.",
+			float64(n), "from", key[0], "to", key[1])
+	}
+	inj.Each(func(site, kind string, n uint64) {
+		p.Counter("wsserved_chaos_injections_total", "Faults injected by the chaos layer, by site and kind.",
+			float64(n), "site", site, "kind", kind)
+	})
 	m.simCounters.EmitProm(p, "wsserved")
 }

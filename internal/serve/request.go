@@ -27,16 +27,24 @@ import (
 // under a kilobyte.
 const maxBodyBytes = 1 << 16
 
-// httpError is an error with an HTTP status attached.
+// httpError is an error with an HTTP status and a machine-readable error
+// code attached (the "code" field of the JSON error body — stable strings
+// like "bad_request", "breaker_open", "not_converged" that clients can
+// branch on without parsing messages).
 type httpError struct {
 	status int
+	code   string
 	msg    string
 }
 
 func (e *httpError) Error() string { return e.msg }
 
 func errBadRequest(format string, args ...any) error {
-	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+	return &httpError{
+		status: http.StatusBadRequest,
+		code:   "bad_request",
+		msg:    fmt.Sprintf(format, args...),
+	}
 }
 
 // decodeStrict decodes r into v, rejecting unknown fields, trailing

@@ -33,16 +33,31 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"math"
 	"net/http"
 	"strconv"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/cliutil"
 	"repro/internal/experiments"
+	"repro/internal/meanfield"
 	"repro/internal/metrics"
+	"repro/internal/numeric"
 	"repro/internal/sched"
 	"repro/internal/sim"
+	"repro/internal/solver"
+)
+
+// Chaos injection sites owned by this package. SiteSimulate is the HTTP
+// seam (delay, injected 500, or handler panic on /v1/simulate only — the
+// cached endpoints and the control plane are never injected, which is what
+// lets the chaos harness assert they stay 200 during a storm).
+// SiteFixedPoint is the numeric seam: the fixed-point solver's iterate hook.
+const (
+	SiteSimulate   = "serve.simulate"
+	SiteFixedPoint = "numeric.fixedpoint"
 )
 
 // Config tunes a Server. The zero value serves with sensible defaults.
@@ -62,6 +77,23 @@ type Config struct {
 	// SimDeadline caps the end-to-end compute time of one simulate request
 	// (default 60s). A request may shorten it with "deadline_sec".
 	SimDeadline time.Duration
+	// StreamWriteTimeout bounds each write of a streaming response (default
+	// 10s). Unlike http.Server.WriteTimeout it is re-armed per write, so a
+	// long stream to a live client survives while a stalled client is cut.
+	StreamWriteTimeout time.Duration
+	// Chaos, when non-nil, injects faults at the server's seams: the
+	// /v1/simulate handler chain (SiteSimulate), the fixed-point solver's
+	// iterate hook (SiteFixedPoint), and — via Pool.SetChaos — the
+	// scheduler's replication path. An inert injector (zero probabilities)
+	// costs one nil/probability check per seam. Leave nil in production.
+	Chaos *chaos.Injector
+	// Breaker tunes the /v1/simulate circuit breaker; zero fields take the
+	// defaults documented on breakerConfig (window 20, threshold 0.5, min
+	// samples 10, cooldown 5s).
+	BreakerWindow     int
+	BreakerThreshold  float64
+	BreakerMinSamples int
+	BreakerCooldown   time.Duration
 	// Logger receives one structured line per request; nil discards.
 	Logger *slog.Logger
 }
@@ -78,6 +110,8 @@ type Server struct {
 	met      *serverMetrics
 	mux      *http.ServeMux
 	log      *slog.Logger
+	chaos    *chaos.Injector
+	brk      *breaker
 	draining atomic.Bool
 }
 
@@ -92,6 +126,9 @@ func New(cfg Config) *Server {
 	if cfg.SimDeadline == 0 {
 		cfg.SimDeadline = 60 * time.Second
 	}
+	if cfg.StreamWriteTimeout == 0 {
+		cfg.StreamWriteTimeout = 10 * time.Second
+	}
 	logger := cfg.Logger
 	if logger == nil {
 		logger = slog.New(slog.DiscardHandler)
@@ -105,14 +142,30 @@ func New(cfg Config) *Server {
 		met:    newServerMetrics(),
 		mux:    http.NewServeMux(),
 		log:    logger,
+		chaos:  cfg.Chaos,
+	}
+	s.brk = newBreaker(breakerConfig{
+		Window:     cfg.BreakerWindow,
+		Threshold:  cfg.BreakerThreshold,
+		MinSamples: cfg.BreakerMinSamples,
+		Cooldown:   cfg.BreakerCooldown,
+	})
+	s.brk.onTransition = func(from, to breakerState) {
+		s.met.addBreakerTransition(from.String(), to.String())
+		s.log.Warn("breaker transition", "route", "/v1/simulate",
+			"from", from.String(), "to", to.String())
 	}
 	if s.pool == nil {
 		s.pool = sched.New(cfg.Workers)
 		s.ownPool = true
 	}
+	if s.chaos != nil {
+		s.pool.SetChaos(s.chaos)
+	}
 	s.mux.HandleFunc("POST /v1/fixedpoint", s.route("/v1/fixedpoint", s.handleFixedPoint))
 	s.mux.HandleFunc("POST /v1/ode", s.route("/v1/ode", s.handleODE))
-	s.mux.HandleFunc("POST /v1/simulate", s.route("/v1/simulate", s.handleSimulate))
+	s.mux.HandleFunc("POST /v1/simulate",
+		s.route("/v1/simulate", s.withBreaker(s.withChaos(SiteSimulate, s.handleSimulate))))
 	s.mux.HandleFunc("GET /v1/stream/ode", s.route("/v1/stream/ode", s.handleStreamODE))
 	s.mux.HandleFunc("GET /healthz", s.route("/healthz", s.handleHealthz))
 	s.mux.HandleFunc("GET /readyz", s.route("/readyz", s.handleReadyz))
@@ -171,54 +224,158 @@ func (w *statusWriter) Flush() {
 	}
 }
 
-// route wraps a handler with per-request accounting and structured logging.
+// Unwrap exposes the underlying writer to http.ResponseController, which is
+// how streaming handlers re-arm per-write deadlines through the wrapper.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// route wraps a handler with per-request accounting, structured logging,
+// and the panic barrier: a panicking handler (an engine bug, or a chaos
+// injection) is converted into a 500 instead of killing the daemon's
+// connection goroutine silently or crashing a test harness. The panic is
+// still counted (ws_serve_panics_total) and logged with its value. When the
+// handler had already written a partial body, no coherent 500 can be sent;
+// the request is aborted with http.ErrAbortHandler so the client sees a
+// truncated response rather than a silently complete-looking one.
 func (s *Server) route(name string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w}
 		s.met.inFlightDelta(1)
+		defer func() {
+			v := recover()
+			if v != nil {
+				s.met.addServePanic()
+				s.log.Error("handler panic", "route", name, "panic", fmt.Sprint(v))
+				if sw.status == 0 {
+					s.writeError(sw, &httpError{
+						status: http.StatusInternalServerError,
+						code:   "panic",
+						msg:    fmt.Sprintf("internal panic: %v", v),
+					})
+				}
+			}
+			if sw.status == 0 {
+				sw.status = http.StatusOK
+			}
+			s.met.inFlightDelta(-1)
+			elapsed := time.Since(start)
+			s.met.observeRequest(name, strconv.Itoa(sw.status), elapsed.Seconds())
+			s.log.Info("request",
+				"method", r.Method,
+				"route", name,
+				"status", sw.status,
+				"bytes", sw.bytes,
+				"duration_ms", float64(elapsed.Microseconds())/1000,
+				"remote", r.RemoteAddr,
+			)
+			if v != nil && sw.bytes > 0 && sw.status != http.StatusInternalServerError {
+				panic(http.ErrAbortHandler)
+			}
+		}()
 		h(sw, r)
-		s.met.inFlightDelta(-1)
-		if sw.status == 0 {
-			sw.status = http.StatusOK
+	}
+}
+
+// withBreaker gates a handler behind the simulate circuit breaker: an open
+// breaker answers 503 + Retry-After without running the handler, and every
+// admitted request reports its outcome (failure = 5xx or panic) back to the
+// breaker's sliding window.
+func (s *Server) withBreaker(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		ok, gen, retry := s.brk.allow()
+		if !ok {
+			s.met.addBreakerShortCircuit()
+			secs := int(math.Ceil(retry.Seconds()))
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			s.writeError(w, &httpError{
+				status: http.StatusServiceUnavailable,
+				code:   "breaker_open",
+				msg:    "simulate circuit breaker open; retry later",
+			})
+			return
 		}
-		elapsed := time.Since(start)
-		s.met.observeRequest(name, strconv.Itoa(sw.status), elapsed.Seconds())
-		s.log.Info("request",
-			"method", r.Method,
-			"route", name,
-			"status", sw.status,
-			"bytes", sw.bytes,
-			"duration_ms", float64(elapsed.Microseconds())/1000,
-			"remote", r.RemoteAddr,
-		)
+		defer func() {
+			status := 0
+			if sw, isSW := w.(*statusWriter); isSW {
+				status = sw.status
+			}
+			if v := recover(); v != nil {
+				s.brk.record(gen, true)
+				panic(v) // the route barrier renders the 500
+			}
+			s.brk.record(gen, status >= http.StatusInternalServerError)
+		}()
+		h(w, r)
+	}
+}
+
+// withChaos is the HTTP injection seam: before the real handler runs, the
+// site may draw a latency fault (sleep), an error fault (injected 500), or
+// a panic fault (contained by the route barrier). With a nil or inert
+// injector the middleware is three cheap no-op probes.
+func (s *Server) withChaos(site string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.chaos.Sleep(site)
+		if err := s.chaos.Err(site); err != nil {
+			s.writeError(w, err)
+			return
+		}
+		s.chaos.MaybePanic(site)
+		h(w, r)
 	}
 }
 
 // errOverloaded marks an admission-control rejection.
 var errOverloaded = errors.New("serve: admission queue full")
 
-// writeError renders an error response. httpError carries its own status;
-// overload maps to 429 with a Retry-After hint; context expirations map to
-// 504 (deadline) or 499-style client-closed (unloggable to the client).
+// writeError renders an error response as JSON with a human-readable
+// "error" message and a machine-readable "code". httpError carries its own
+// status and code; well-known sentinels are mapped here: overload → 429
+// with a Retry-After hint, numeric failures → 422 (a diverged or
+// unconverged solve is the request's fault, not the server's), replication
+// panics and injected faults → 500, context expirations → 504 (deadline)
+// or 499-style client-closed.
 func (s *Server) writeError(w http.ResponseWriter, err error) {
 	var he *httpError
 	status := http.StatusInternalServerError
+	code := "internal"
 	switch {
 	case errors.As(err, &he):
 		status = he.status
+		code = he.code
+		if code == "" {
+			code = "error"
+		}
 	case errors.Is(err, errOverloaded):
 		w.Header().Set("Retry-After", "1")
 		status = http.StatusTooManyRequests
+		code = "overloaded"
+	case errors.Is(err, numeric.ErrDiverged):
+		status = http.StatusUnprocessableEntity
+		code = "diverged"
+	case errors.Is(err, solver.ErrNotConverged):
+		status = http.StatusUnprocessableEntity
+		code = "not_converged"
+	case errors.Is(err, sched.ErrReplicationPanic):
+		status = http.StatusInternalServerError
+		code = "replication_panic"
+	case errors.Is(err, chaos.ErrInjected):
+		status = http.StatusInternalServerError
+		code = "injected"
 	case errors.Is(err, context.DeadlineExceeded):
 		status = http.StatusGatewayTimeout
+		code = "deadline"
 	case errors.Is(err, context.Canceled):
 		// Client went away; nothing useful to send.
 		status = 499
+		code = "client_closed"
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	fmt.Fprintf(w, "{\n  \"error\": %q\n}\n", err.Error())
+	fmt.Fprintf(w, "{\n  \"error\": %q,\n  \"code\": %q\n}\n", err.Error(), code)
 }
 
 // writeBody serves pre-rendered JSON bytes.
@@ -262,6 +419,16 @@ func (s *Server) serveCached(ctx context.Context, key string, timeout time.Durat
 	return body, nil
 }
 
+// solveError classifies a solve failure: typed numeric failures keep their
+// identity so writeError can map them to 422 with a machine-readable code;
+// anything else (a model the spec layer rejected) is a bad request.
+func solveError(err error) error {
+	if errors.Is(err, solver.ErrNotConverged) || errors.Is(err, numeric.ErrDiverged) {
+		return err
+	}
+	return errBadRequest("%v", err)
+}
+
 // handleFixedPoint serves POST /v1/fixedpoint.
 func (s *Server) handleFixedPoint(w http.ResponseWriter, r *http.Request) {
 	var spec experiments.FixedPointSpec
@@ -279,9 +446,14 @@ func (s *Server) handleFixedPoint(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	body, err := s.serveCached(r.Context(), key, 0, func(context.Context) ([]byte, error) {
-		rep, _, err := spec.Solve()
+		// The numeric chaos seam rides in through the solver's iterate
+		// hook; PerturbFunc is nil (no hook at all) unless perturbation
+		// injection is configured.
+		rep, _, err := spec.SolveWith(meanfield.SolveOptions{
+			Perturb: s.chaos.PerturbFunc(SiteFixedPoint),
+		})
 		if err != nil {
-			return nil, errBadRequest("%v", err)
+			return nil, solveError(err)
 		}
 		return renderJSON(rep)
 	})
@@ -311,7 +483,7 @@ func (s *Server) handleODE(w http.ResponseWriter, r *http.Request) {
 	body, err := s.serveCached(r.Context(), key, 0, func(context.Context) ([]byte, error) {
 		rep, err := spec.Integrate()
 		if err != nil {
-			return nil, errBadRequest("%v", err)
+			return nil, solveError(err)
 		}
 		return renderJSON(rep)
 	})
@@ -397,6 +569,9 @@ func (s *Server) computeSim(ctx context.Context, spec *experiments.SimSpec, opts
 	}
 	s.met.observeSim(ran, int64(spec.Reps)-ran, cs)
 	if aggErr != nil {
+		if errors.Is(aggErr, sched.ErrReplicationPanic) {
+			s.met.addReplicationPanic()
+		}
 		return nil, aggErr
 	}
 	return renderJSON(experiments.BuildSimReport(spec, agg))
@@ -423,7 +598,7 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 // handleMetrics serves GET /metrics in Prometheus text format.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p := metrics.NewPromWriter()
-	s.met.emit(p, s.cache.Len())
+	s.met.emit(p, s.cache.Len(), s.brk.current(), s.chaos)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	p.WriteTo(w)
 }

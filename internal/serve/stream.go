@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"strconv"
+	"time"
 
 	"repro/internal/experiments"
 )
@@ -53,6 +54,21 @@ func (s *Server) handleStreamODE(w http.ResponseWriter, r *http.Request) {
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
 	ctx := r.Context()
+
+	// A stream can legitimately outlive any whole-response WriteTimeout, so
+	// the daemon exempts this route from one and instead re-arms a per-write
+	// deadline: each write must make progress within StreamWriteTimeout or
+	// the connection is cut. A live client streaming a long horizon is fine;
+	// a stalled client cannot pin the handler forever. SetWriteDeadline
+	// reaches the net.Conn through statusWriter.Unwrap; not every
+	// ResponseWriter supports it (httptest recorders do not), so errors are
+	// ignored and those writers simply stream without deadlines.
+	rc := http.NewResponseController(w)
+	armWrite := func() {
+		_ = rc.SetWriteDeadline(time.Now().Add(s.cfg.StreamWriteTimeout))
+	}
+	armWrite()
+
 	const flushEvery = 64
 	n := 0
 	err = spec.Trajectory(func(p experiments.ODEPoint) bool {
@@ -64,6 +80,7 @@ func (s *Server) handleStreamODE(w http.ResponseWriter, r *http.Request) {
 		}
 		n++
 		if flusher != nil && n%flushEvery == 0 {
+			armWrite()
 			flusher.Flush()
 		}
 		return true

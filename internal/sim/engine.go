@@ -422,11 +422,20 @@ func Run(o Options) (Result, error) {
 	return e.res, nil
 }
 
+// stopCheckMask sets the cancellation polling cadence: the Stop flag is
+// loaded once every stopCheckMask+1 events. At ~150 ns/event that bounds
+// the reaction time to abandonment at well under a millisecond while
+// keeping the hot loop's per-event cost to one predictable nil test.
+const stopCheckMask = 4095
+
 // run is the main event loop.
 func (e *engine) run() {
 	o := &e.o
 	wallStart := time.Now()
 	for e.q.Len() > 0 {
+		if o.Stop != nil && e.met.Events&stopCheckMask == stopCheckMask && o.Stop.Load() {
+			break
+		}
 		ev := e.q.PopMin()
 		if ev.Time > o.Horizon {
 			break

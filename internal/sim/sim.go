@@ -23,6 +23,7 @@ package sim
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/dist"
 	"repro/internal/metrics"
@@ -130,6 +131,15 @@ type Options struct {
 	// Seed selects the random stream. Replication i derives stream
 	// (Seed, i).
 	Seed uint64
+
+	// Stop, when non-nil, is polled by the event loop every few thousand
+	// events; once it reads true the run abandons the remaining horizon and
+	// returns a partial Result that callers must discard. This is the
+	// serving layer's cooperative-cancellation plumbing (sched.Cell wires
+	// it to the cell's cancel flag so an abandoned HTTP request stops
+	// burning a worker mid-run). Batch runs leave it nil; a nil Stop costs
+	// one pointer test per event and never perturbs the event sequence.
+	Stop *atomic.Bool
 }
 
 // Class describes one heterogeneous processor class.

@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/dist"
+)
+
+// TestStopFlagAbortsRun pins the cooperative-cancellation contract: a run
+// whose Options.Stop flag is raised abandons the horizon at the next poll
+// (within one stopCheckMask window of events) instead of simulating to the
+// end. The partial result is discarded by real callers; here we only
+// inspect the event count.
+func TestStopFlagAbortsRun(t *testing.T) {
+	var stop atomic.Bool
+	stop.Store(true)
+	o := Options{
+		N:       16,
+		Lambda:  0.9,
+		Service: dist.NewExponential(1),
+		Policy:  PolicySteal,
+		T:       2,
+		Horizon: 100_000,
+		Seed:    1,
+		Stop:    &stop,
+	}
+	var r Runner
+	res, err := r.Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Counters.Events > 2*(stopCheckMask+1) {
+		t.Fatalf("stopped run executed %d events, want <= %d",
+			res.Metrics.Counters.Events, 2*(stopCheckMask+1))
+	}
+
+	// The same options without Stop run the full horizon — the poll is
+	// inert when the flag stays false.
+	o.Stop = nil
+	full, err := r.Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Metrics.Counters.Events <= 2*(stopCheckMask+1) {
+		t.Fatalf("full run executed only %d events; horizon too small for this test",
+			full.Metrics.Counters.Events)
+	}
+}
+
+// TestStopFlagDoesNotPerturbCleanRuns pins determinism: threading a Stop
+// flag that never fires must leave the event sequence and results
+// byte-identical to a run without one.
+func TestStopFlagDoesNotPerturbCleanRuns(t *testing.T) {
+	base := Options{
+		N:       8,
+		Lambda:  0.8,
+		Service: dist.NewExponential(1),
+		Policy:  PolicySteal,
+		T:       2,
+		Horizon: 2_000,
+		Seed:    7,
+	}
+	var r Runner
+	plain, err := r.Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stop atomic.Bool
+	withFlag := base
+	withFlag.Stop = &stop
+	flagged, err := r.Run(withFlag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Options differ only in the Stop pointer, which must not influence a
+	// single event; spot-check the strongest invariants.
+	if plain.Metrics.Counters != flagged.Metrics.Counters {
+		t.Fatalf("counters diverged: %+v vs %+v", plain.Metrics.Counters, flagged.Metrics.Counters)
+	}
+	if plain.MeanSojourn != flagged.MeanSojourn || plain.MeanLoad != flagged.MeanLoad {
+		t.Fatalf("results diverged: (%v, %v) vs (%v, %v)",
+			plain.MeanSojourn, plain.MeanLoad, flagged.MeanSojourn, flagged.MeanLoad)
+	}
+}

@@ -45,6 +45,11 @@ type Options struct {
 	Damping float64
 	// Project restores feasibility of an iterate in place (may be nil).
 	Project func(x []float64)
+	// Perturb, when non-nil, is invoked on the starting point and on every
+	// accepted iterate (after projection). It is the numeric fault-injection
+	// seam: internal/chaos supplies hooks that drive iterates toward NaN to
+	// prove the divergence guard below. Production solves leave it nil.
+	Perturb func(x []float64)
 }
 
 func (o *Options) setDefaults() {
@@ -80,6 +85,15 @@ type Result struct {
 // exhausted before the residual drops below tolerance.
 var ErrNotConverged = errors.New("solver: fixed point iteration did not converge")
 
+// ErrDiverged is wrapped in errors returned when the iteration has no
+// finite iterate to stand on — the state or its residual is NaN/Inf and no
+// earlier finite best exists to restart from. It wraps numeric.ErrDiverged
+// so callers can test one sentinel across the solver and ODE layers.
+var ErrDiverged = fmt.Errorf("solver: fixed point iteration diverged: %w", numeric.ErrDiverged)
+
+// finiteRes reports whether a residual is a usable (finite) number.
+func finiteRes(r float64) bool { return !math.IsNaN(r) && !math.IsInf(r, 0) }
+
 // FixedPoint solves f(x) = 0 starting from x0 using Anderson-accelerated
 // Picard iteration on the RK4 flow map. x0 is not modified.
 func FixedPoint(f ode.System, x0 []float64, opt Options) (Result, error) {
@@ -107,13 +121,31 @@ func FixedPoint(f ode.System, x0 []float64, opt Options) (Result, error) {
 		}
 	}
 
+	// residual treats a non-finite state or derivative as NaN rather than
+	// deferring to NormInf, which skips NaN components (Abs(NaN) > m is
+	// always false) and would otherwise report a poisoned state as a
+	// perfectly converged residual of zero.
 	residual := func(v []float64) float64 {
 		f(v, dx)
+		if !numeric.AllFinite(v) || !numeric.AllFinite(dx) {
+			return math.NaN()
+		}
 		return numeric.NormInf(dx)
 	}
 
+	if opt.Perturb != nil {
+		opt.Perturb(x)
+	}
 	best := append([]float64(nil), x...)
 	bestRes := residual(x)
+	// A non-finite starting residual means there is no finite iterate to
+	// fall back to: every restart below would land on the same poisoned
+	// state, so report divergence immediately rather than spinning the full
+	// iteration budget.
+	if !finiteRes(bestRes) {
+		return Result{X: best, Residual: bestRes, Iters: 0, Converged: false},
+			fmt.Errorf("%w: starting residual %v", ErrDiverged, bestRes)
+	}
 	for k := 0; k < opt.MaxIter; k++ {
 		if bestRes < opt.Tol {
 			return Result{X: best, Residual: bestRes, Iters: k, Converged: true}, nil
@@ -137,6 +169,9 @@ func FixedPoint(f ode.System, x0 []float64, opt Options) (Result, error) {
 			opt.Project(next)
 		}
 		x = next
+		if opt.Perturb != nil {
+			opt.Perturb(x)
+		}
 
 		if r := residual(x); r < bestRes {
 			bestRes = r

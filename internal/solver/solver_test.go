@@ -1,9 +1,11 @@
 package solver
 
 import (
+	"errors"
 	"math"
 	"testing"
 
+	"repro/internal/chaos"
 	"repro/internal/numeric"
 )
 
@@ -151,5 +153,76 @@ func TestSolveDensePivoting(t *testing.T) {
 	x, ok := solveDense(a, b)
 	if !ok || math.Abs(x[0]-3) > 1e-12 || math.Abs(x[1]-2) > 1e-12 {
 		t.Errorf("pivoting solve failed: %v ok=%v", x, ok)
+	}
+}
+
+// TestFixedPointDivergedOnPoisonedStart pins the divergence guard: a
+// perturbation that poisons the starting iterate yields a typed ErrDiverged
+// immediately, not a full MaxIter spin ending in ErrNotConverged.
+func TestFixedPointDivergedOnPoisonedStart(t *testing.T) {
+	f := func(x, dx []float64) {
+		for i := range x {
+			dx[i] = -x[i]
+		}
+	}
+	res, err := FixedPoint(f, []float64{1, 1}, Options{
+		MaxIter: 500,
+		Perturb: func(x []float64) { x[0] = math.NaN() },
+	})
+	if !errors.Is(err, ErrDiverged) || !errors.Is(err, numeric.ErrDiverged) {
+		t.Fatalf("err = %v, want ErrDiverged wrapping numeric.ErrDiverged", err)
+	}
+	if res.Converged {
+		t.Fatal("diverged solve reported Converged")
+	}
+	if res.Iters != 0 {
+		t.Fatalf("diverged solve burned %d iterations, want 0", res.Iters)
+	}
+}
+
+// TestFixedPointPerturbMidIterationRecovers pins the restart path: a
+// single mid-iteration NaN perturbation is absorbed by restarting from the
+// best finite iterate, and the solve still converges.
+func TestFixedPointPerturbMidIterationRecovers(t *testing.T) {
+	f := func(x, dx []float64) {
+		for i := range x {
+			dx[i] = 1 - x[i]
+		}
+	}
+	calls := 0
+	res, err := FixedPoint(f, []float64{0}, Options{
+		Tol:  1e-10,
+		Step: 0.1,
+		Perturb: func(x []float64) {
+			calls++
+			if calls == 3 { // poison exactly one accepted iterate
+				x[0] = math.NaN()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatalf("one transient NaN should be survivable, got %v", err)
+	}
+	if !res.Converged || math.Abs(res.X[0]-1) > 1e-8 {
+		t.Fatalf("res = %+v, want convergence to 1", res)
+	}
+}
+
+// TestFixedPointChaosPerturbSeam wires a real chaos.Injector into the
+// Perturb hook — the numeric seam the serving stack uses — and checks the
+// typed outcome plus the injector's own fault accounting.
+func TestFixedPointChaosPerturbSeam(t *testing.T) {
+	in := chaos.New(chaos.Config{Seed: 5, PPerturb: 1})
+	f := func(x, dx []float64) {
+		for i := range x {
+			dx[i] = -x[i]
+		}
+	}
+	_, err := FixedPoint(f, []float64{1}, Options{Perturb: in.PerturbFunc("solver.iterate")})
+	if !errors.Is(err, numeric.ErrDiverged) {
+		t.Fatalf("err = %v, want numeric.ErrDiverged", err)
+	}
+	if in.Count("solver.iterate", chaos.KindPerturb) == 0 {
+		t.Fatal("injector recorded no perturbation")
 	}
 }

@@ -1,0 +1,128 @@
+#!/usr/bin/env sh
+# Chaos harness for the wsserved daemon: boot the real binary with
+# deterministic fault injection enabled (panics, errors, latency on the
+# serving and scheduling seams), fire a storm of /v1/simulate requests,
+# and assert the robustness contract:
+#
+#   - the daemon survives every injected fault (no crash, no hang);
+#   - the circuit breaker on /v1/simulate opens under the fault load and
+#     recovers via half-open probes;
+#   - the cached endpoints (/v1/fixedpoint, /v1/ode) and the control
+#     plane keep serving 200s throughout the storm;
+#   - every injected fault is visible in /metrics
+#     (wsserved_chaos_injections_total, ws_serve_panics_total, ...).
+#
+#   scripts/chaos.sh [port] [metrics-snapshot-path]
+#
+# Exits non-zero on the first failed assertion. Needs curl.
+set -eu
+cd "$(dirname "$0")/.."
+
+PORT="${1:-18090}"
+SNAPSHOT="${2:-}"
+BASE="http://127.0.0.1:$PORT"
+BIN="$(mktemp -d)/wsserved"
+trap 'kill "$SRV_PID" 2>/dev/null || true; rm -rf "$(dirname "$BIN")"' EXIT
+
+echo "# build"
+go build -o "$BIN" ./cmd/wsserved
+
+echo "# start (chaos: panic 0.05, error 0.1, latency 0.2)"
+"$BIN" -addr "127.0.0.1:$PORT" -log off -queue 64 \
+    -chaos.seed 42 \
+    -chaos.p.panic 0.05 -chaos.p.error 0.1 -chaos.p.latency 0.2 \
+    -chaos.latency 2ms \
+    -breaker.threshold 0.10 -breaker.window 20 -breaker.min-samples 10 \
+    -breaker.cooldown 200ms &
+SRV_PID=$!
+
+i=0
+until curl -fsS "$BASE/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -lt 50 ] || { echo "FAIL: daemon never became healthy"; exit 1; }
+    sleep 0.1
+done
+echo "ok: /healthz"
+
+echo "# storm: 200 simulate requests with varied seeds"
+S200=0
+S422=0
+S500=0
+S503=0
+OTHER=0
+i=0
+while [ "$i" -lt 200 ]; do
+    CODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+        -d "{\"n\":4,\"lambda\":0.7,\"horizon\":60,\"warmup\":10,\"reps\":1,\"seed\":$i}" \
+        "$BASE/v1/simulate" || echo 000)
+    case "$CODE" in
+    200) S200=$((S200 + 1)) ;;
+    422) S422=$((S422 + 1)) ;;
+    500) S500=$((S500 + 1)) ;;
+    503)
+        S503=$((S503 + 1))
+        sleep 0.05 # polite backoff lets the breaker cool down and probe
+        ;;
+    *) OTHER=$((OTHER + 1)) ;;
+    esac
+    # The cached tier must stay healthy mid-storm.
+    if [ $((i % 20)) -eq 0 ]; then
+        FP=$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+            -d '{"model":"simple","lambda":0.9}' "$BASE/v1/fixedpoint")
+        [ "$FP" = "200" ] || { echo "FAIL: /v1/fixedpoint returned $FP mid-storm"; exit 1; }
+        ODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+            -d '{"model":"simple","lambda":0.8,"span":5}' "$BASE/v1/ode")
+        [ "$ODE" = "200" ] || { echo "FAIL: /v1/ode returned $ODE mid-storm"; exit 1; }
+    fi
+    i=$((i + 1))
+done
+echo "storm outcomes: 200=$S200 422=$S422 500=$S500 503=$S503 other=$OTHER"
+[ "$OTHER" = "0" ] || { echo "FAIL: $OTHER requests got no HTTP response (daemon crash?)"; exit 1; }
+[ "$S200" -gt 0 ] || { echo "FAIL: no simulate request ever succeeded"; exit 1; }
+[ "$S500" -gt 0 ] || { echo "FAIL: no injected fault surfaced as a 500"; exit 1; }
+
+# The daemon must still be alive and ready.
+kill -0 "$SRV_PID" 2>/dev/null || { echo "FAIL: daemon died during the storm"; exit 1; }
+curl -fsS "$BASE/readyz" >/dev/null || { echo "FAIL: daemon not ready after the storm"; exit 1; }
+echo "ok: daemon survived the storm"
+
+METRICS=$(curl -fsS "$BASE/metrics")
+if [ -n "$SNAPSHOT" ]; then
+    printf '%s\n' "$METRICS" >"$SNAPSHOT"
+    echo "ok: metrics snapshot written to $SNAPSHOT"
+fi
+
+assert_metric() {
+    printf '%s\n' "$METRICS" | grep -q "$1" || {
+        echo "FAIL: /metrics missing $2"
+        printf '%s\n' "$METRICS" | grep -E 'chaos|breaker|panic' || true
+        exit 1
+    }
+    echo "ok: $2"
+}
+
+assert_metric '^wsserved_chaos_injections_total{kind="panic",site="serve.simulate"} [1-9]' \
+    'panic injections counted'
+assert_metric '^wsserved_chaos_injections_total{kind="error",site="serve.simulate"} [1-9]' \
+    'error injections counted'
+assert_metric '^wsserved_chaos_injections_total{kind="latency",site="serve.simulate"} [1-9]' \
+    'latency injections counted'
+assert_metric '^ws_serve_panics_total [1-9]' 'contained handler panics counted'
+assert_metric '^wsserved_breaker_transitions_total{from="closed",to="open"} [1-9]' \
+    'breaker opened under fault load'
+assert_metric '^wsserved_breaker_transitions_total{from="open",to="half_open"} [1-9]' \
+    'breaker probed after cooldown'
+
+echo "# graceful shutdown"
+kill -TERM "$SRV_PID"
+i=0
+while kill -0 "$SRV_PID" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -lt 100 ] || { echo "FAIL: daemon ignored SIGTERM"; exit 1; }
+    sleep 0.1
+done
+wait "$SRV_PID" 2>/dev/null && RC=0 || RC=$?
+[ "$RC" = "0" ] || { echo "FAIL: daemon exited with $RC after SIGTERM"; exit 1; }
+echo "ok: clean exit on SIGTERM"
+
+echo "PASS"
