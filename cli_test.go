@@ -28,7 +28,7 @@ func TestMain(m *testing.M) {
 		fmt.Fprintln(os.Stderr, "cli_test:", err)
 		os.Exit(1)
 	}
-	for _, name := range []string{"wstables", "wssim", "wsfixed", "wsode", "wssweep", "wsbench", "wsserved"} {
+	for _, name := range []string{"wstables", "wssim", "wsfixed", "wsode", "wssweep", "wsbench", "wsserved", "wscheck"} {
 		out := filepath.Join(dir, name)
 		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+name)
 		if msg, err := cmd.CombinedOutput(); err != nil {
@@ -453,5 +453,48 @@ func TestServeMatchesWsfixed(t *testing.T) {
 	cli := run(t, "wsfixed", "-model", "threshold", "-lambda", "0.8", "-T", "3", "-tails", "5", "-json")
 	if string(served) != cli {
 		t.Errorf("served response differs from wsfixed -json\nserved: %s\ncli:    %s", served, cli)
+	}
+}
+
+func TestCLIWscheckList(t *testing.T) {
+	out := run(t, "wscheck", "-list")
+	for _, name := range []string{"nosteal", "simple", "threshold", "hetero"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("wscheck -list missing %q:\n%s", name, out)
+		}
+	}
+}
+
+func TestCLIWscheckSingleVariant(t *testing.T) {
+	out := run(t, "wscheck", "-model", "simple", "-quick", "-json")
+	var rep struct {
+		OK     bool `json:"ok"`
+		Checks int  `json:"checks"`
+		Failed int  `json:"failed"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("wscheck -json output not JSON: %v\n%s", err, out)
+	}
+	if !rep.OK || rep.Failed != 0 || rep.Checks == 0 {
+		t.Errorf("wscheck -model simple -quick: ok=%v checks=%d failed=%d\n%s",
+			rep.OK, rep.Checks, rep.Failed, out)
+	}
+}
+
+func TestCLIWscheckUsageErrors(t *testing.T) {
+	dir := buildCmds(t)
+	cases := [][]string{
+		{},                           // neither -all nor -model
+		{"-all", "-model", "simple"}, // both
+		{"-model", "nosuch"},         // unknown variant
+		{"-all", "-ns", "64,16"},     // unsorted grid
+	}
+	for _, args := range cases {
+		cmd := exec.Command(filepath.Join(dir, "wscheck"), args...)
+		err := cmd.Run()
+		ee, ok := err.(*exec.ExitError)
+		if !ok || ee.ExitCode() != 2 {
+			t.Errorf("wscheck %v: want exit 2, got %v", args, err)
+		}
 	}
 }

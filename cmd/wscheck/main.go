@@ -1,0 +1,162 @@
+// Command wscheck cross-validates the repository's three model substrates
+// — closed forms, the mean-field fixed-point/ODE solver, and the finite-n
+// simulator — over the experiments variant registry, using TOST
+// equivalence tests at documented tolerances (see README "Validation").
+//
+// Usage:
+//
+//	wscheck -all                 # full suite, default scale
+//	wscheck -all -quick          # CI smoke scale
+//	wscheck -model simple,hetero # a subset
+//	wscheck -all -json -out report.json
+//	wscheck -list                # print registered variant names
+//
+// Exit status: 0 when every check passes, 1 when any check fails,
+// 2 on usage or configuration errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/cliutil"
+	"repro/internal/experiments"
+	"repro/internal/validate"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+// run returns the process exit code instead of calling os.Exit so that
+// deferred cleanups always execute and tests can drive it directly.
+func run() int {
+	all := flag.Bool("all", false, "validate every registered variant")
+	model := flag.String("model", "", "comma-separated variant names to validate")
+	list := flag.Bool("list", false, "print the registered variant names and exit")
+	quick := flag.Bool("quick", false, "CI smoke scale (smaller n-grid, shorter horizon, wider margins)")
+	jsonFlag := flag.Bool("json", false, "emit the report as JSON")
+	out := flag.String("out", "", "also write the JSON report to this file")
+	seed := flag.Uint64("seed", 0, "base random seed (0 = default)")
+	reps := flag.Int("reps", 0, "replications per cell (0 = default)")
+	ns := flag.String("ns", "", "comma-separated ascending system sizes (empty = default)")
+	horizon := flag.Float64("horizon", 0, "simulated time span per replication (0 = default)")
+	warmup := flag.Float64("warmup", 0, "discarded prefix of each replication (0 = default)")
+	margin := flag.Float64("margin", 0, "relative TOST margin for E[T] (0 = default)")
+	rateMargin := flag.Float64("rate-margin", 0, "absolute TOST margin for throughput/utilization (0 = default)")
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	if *list {
+		for _, name := range experiments.VariantNames() {
+			fmt.Println(name)
+		}
+		return 0
+	}
+
+	variants, err := selectVariants(*all, *model)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wscheck:", err)
+		return 2
+	}
+
+	cfg := validate.Config{}
+	if *quick {
+		cfg = validate.Quick()
+	}
+	cfg.Workers = *workers
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *reps != 0 {
+		cfg.Reps = *reps
+	}
+	if *horizon != 0 {
+		cfg.Horizon = *horizon
+	}
+	if *warmup != 0 {
+		cfg.Warmup = *warmup
+	}
+	if *margin != 0 {
+		cfg.RelMargin = *margin
+	}
+	if *rateMargin != 0 {
+		cfg.RateMargin = *rateMargin
+	}
+	if *ns != "" {
+		if cfg.Ns, err = parseInts(*ns); err != nil {
+			fmt.Fprintln(os.Stderr, "wscheck: -ns:", err)
+			return 2
+		}
+	}
+
+	start := time.Now()
+	rep, err := validate.Run(cfg, variants)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wscheck:", err)
+		return 2
+	}
+	rep.WallSeconds = time.Since(start).Seconds()
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err == nil {
+			err = cliutil.WriteJSON(f, rep)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wscheck: writing report:", err)
+			return 2
+		}
+	}
+	if *jsonFlag {
+		if err := cliutil.WriteJSON(os.Stdout, rep); err != nil {
+			fmt.Fprintln(os.Stderr, "wscheck:", err)
+			return 2
+		}
+	} else {
+		rep.Render(os.Stdout)
+	}
+	if !rep.OK {
+		return 1
+	}
+	return 0
+}
+
+// selectVariants resolves the -all/-model flags against the registry.
+func selectVariants(all bool, models string) ([]experiments.Variant, error) {
+	if all == (models != "") {
+		return nil, fmt.Errorf("pass exactly one of -all or -model (see -list for names)")
+	}
+	if all {
+		return experiments.Variants(), nil
+	}
+	var vs []experiments.Variant
+	for _, name := range strings.Split(models, ",") {
+		v, ok := experiments.VariantByName(strings.TrimSpace(name))
+		if !ok {
+			return nil, fmt.Errorf("unknown variant %q (see -list)", strings.TrimSpace(name))
+		}
+		vs = append(vs, v)
+	}
+	return vs, nil
+}
+
+// parseInts parses a comma-separated integer list.
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestVariantsCoverEveryFixedPointModel(t *testing.T) {
+	// The registry must enumerate at least every model the request layer can
+	// build — a new FixedPointSpec model without a registry entry would
+	// silently escape cross-validation.
+	have := make(map[string]bool)
+	for _, v := range Variants() {
+		if have[v.Name] {
+			t.Errorf("duplicate variant %q", v.Name)
+		}
+		have[v.Name] = true
+	}
+	for _, name := range FixedPointModels {
+		if !have[name] {
+			t.Errorf("FixedPointSpec model %q has no registry variant", name)
+		}
+	}
+	if !have["hetero"] {
+		t.Error("hetero (spec-less model) missing from the registry")
+	}
+}
+
+func TestVariantsBuildAndValidate(t *testing.T) {
+	for _, v := range Variants() {
+		v := v
+		t.Run(v.Name, func(t *testing.T) {
+			if v.Lambda <= 0 || v.Lambda >= 1 {
+				t.Fatalf("canonical lambda %v outside (0,1)", v.Lambda)
+			}
+			m, err := v.Build(v.Lambda)
+			if err != nil {
+				t.Fatalf("Build: %v", err)
+			}
+			if got := m.ArrivalRate(); math.Abs(got-v.Lambda) > 1e-12 {
+				t.Errorf("model arrival rate %v, registry Lambda %v", got, v.Lambda)
+			}
+			// The simulation counterpart must be runnable as-is once the
+			// caller fills the time span.
+			o := v.Sim(16)
+			o.Horizon, o.Warmup = 10, 1
+			if err := (sim.Replication{Reps: 1}).Validate(&o); err != nil {
+				t.Errorf("sim options invalid: %v", err)
+			}
+			// Ladder rates must build too (the monotonicity check uses them).
+			for _, lam := range []float64{0.6, 0.75, 0.9} {
+				if _, err := v.Build(lam); err != nil {
+					t.Errorf("Build(%v): %v", lam, err)
+				}
+			}
+		})
+	}
+}
+
+func TestVariantByName(t *testing.T) {
+	v, ok := VariantByName("simple")
+	if !ok || v.Name != "simple" {
+		t.Fatalf("lookup failed: %+v %v", v, ok)
+	}
+	if _, ok := VariantByName("nosuch"); ok {
+		t.Error("unknown name should not resolve")
+	}
+	names := VariantNames()
+	if len(names) != len(Variants()) || names[0] != "nosteal" {
+		t.Errorf("VariantNames = %v", names)
+	}
+}

@@ -1,0 +1,152 @@
+package meanfield
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// This file holds the λ-ladder table tests for the model variants that
+// previously had no cross-rate coverage: the fixed point must stay sane at
+// every load level, and the expected time in system must grow strictly
+// with load for every variant, not just at one calibration point.
+
+// ladderModels enumerates (name, constructor-at-λ) pairs; the tails flag
+// says whether the solved state is a single task-indexed tail vector.
+var ladderModels = []struct {
+	name  string
+	tails bool
+	build func(lambda float64) core.Model
+}{
+	{"threshold-T2", true, func(l float64) core.Model { return NewThreshold(l, 2) }},
+	{"threshold-T4", true, func(l float64) core.Model { return NewThreshold(l, 4) }},
+	{"preemptive-B0-T3", true, func(l float64) core.Model { return NewPreemptive(l, 0, 3) }},
+	{"preemptive-B1-T3", true, func(l float64) core.Model { return NewPreemptive(l, 1, 3) }},
+	{"rebalance-r1", true, func(l float64) core.Model { return NewRebalance(l, ConstRate(1), 1) }},
+	{"rebalance-loaddep", true, func(l float64) core.Model {
+		return NewRebalance(l, func(i int) float64 { return 0.5 * float64(i) }, 5)
+	}},
+	{"hetero-scaled", false, func(l float64) core.Model {
+		// Both class rates scale together; at scale 1 the slow class alone
+		// sits exactly at its capacity and depends on stealing headroom.
+		scale := l / 0.75
+		return NewHetero(0.5, 0.5*scale, 1.0*scale, 1.5, 1.0, 2)
+	}},
+}
+
+func TestVariantFixedPointSanityAcrossLambda(t *testing.T) {
+	for _, tc := range ladderModels {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			for _, lam := range []float64{0.5, 0.7, 0.9} {
+				fp, err := Solve(tc.build(lam), SolveOptions{})
+				if err != nil {
+					t.Fatalf("λ=%g: %v", lam, err)
+				}
+				if fp.Residual > 1e-9 {
+					t.Errorf("λ=%g: residual %g", lam, fp.Residual)
+				}
+				if tc.tails {
+					if err := core.ValidateTails(fp.State, 1e-8, 1e-6); err != nil {
+						t.Errorf("λ=%g: %v", lam, err)
+					}
+				}
+				busy := fp.BusyFraction()
+				if busy <= 0 || busy >= 1 {
+					t.Errorf("λ=%g: busy fraction %g outside (0,1)", lam, busy)
+				}
+				if et := fp.SojournTime(); !(et > 0) || math.IsInf(et, 0) {
+					t.Errorf("λ=%g: E[T] = %g", lam, et)
+				}
+			}
+		})
+	}
+}
+
+func TestVariantSojournMonotoneInLambda(t *testing.T) {
+	ladder := []float64{0.5, 0.6, 0.7, 0.8, 0.9}
+	for _, tc := range ladderModels {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			prev := 0.0
+			for _, lam := range ladder {
+				fp, err := Solve(tc.build(lam), SolveOptions{})
+				if err != nil {
+					t.Fatalf("λ=%g: %v", lam, err)
+				}
+				et := fp.SojournTime()
+				if et <= prev {
+					t.Errorf("E[T](λ=%g) = %g not above E[T] at the previous rung %g",
+						lam, et, prev)
+				}
+				prev = et
+			}
+		})
+	}
+}
+
+func TestThresholdSojournMonotoneInLambdaClosedForm(t *testing.T) {
+	// The closed form must agree with the numeric ladder ordering.
+	prev := 0.0
+	for _, lam := range []float64{0.5, 0.6, 0.7, 0.8, 0.9} {
+		et := SolveThreshold(lam, 3).SojournTime()
+		if et <= prev {
+			t.Errorf("closed-form E[T](λ=%g) = %g not increasing", lam, et)
+		}
+		prev = et
+	}
+}
+
+func TestHeteroClassLoadsOrdered(t *testing.T) {
+	// The slow class (service rate 1.0) must carry a larger mean backlog
+	// per processor than the fast class (rate 1.5) at equal arrival rates,
+	// at every load level.
+	for _, lam := range []float64{0.5, 0.7, 0.9} {
+		scale := lam / 0.75
+		m := NewHetero(0.5, 0.75*scale, 0.75*scale, 1.5, 1.0, 2)
+		fp, err := Solve(m, SolveOptions{})
+		if err != nil {
+			t.Fatalf("λ=%g: %v", lam, err)
+		}
+		fast, slow := m.ClassMeanTasks(fp.State)
+		if !(slow > fast) {
+			t.Errorf("λ=%g: slow class mean %g not above fast class mean %g",
+				lam, slow, fast)
+		}
+	}
+}
+
+func TestStaticDrainMonotoneInInitialLoad(t *testing.T) {
+	// More initial work per processor can only take longer to drain.
+	prev := 0.0
+	for _, k := range []int{1, 2, 4, 8} {
+		m := NewStatic(UniformInitial(k), 0, 2)
+		res := m.DrainTime(1e-3, 0.05, 500)
+		if !res.Reached {
+			t.Fatalf("k=%d: drain did not finish", k)
+		}
+		if res.Time <= prev {
+			t.Errorf("drain time %g for k=%d not above %g for the lighter start",
+				res.Time, k, prev)
+		}
+		prev = res.Time
+	}
+}
+
+func TestStaticDrainMonotoneInSpawnRate(t *testing.T) {
+	// A higher internal spawn rate during the drain keeps processors busy
+	// longer at every sampled instant, so the drain time grows with it.
+	prev := 0.0
+	for _, lint := range []float64{0, 0.2, 0.4, 0.6} {
+		m := NewStatic(UniformInitial(3), lint, 2)
+		res := m.DrainTime(1e-3, 0.05, 500)
+		if !res.Reached {
+			t.Fatalf("λint=%g: drain did not finish", lint)
+		}
+		if res.Time <= prev {
+			t.Errorf("λint=%g: drain time %g not above %g", lint, res.Time, prev)
+		}
+		prev = res.Time
+	}
+}

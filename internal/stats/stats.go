@@ -138,6 +138,84 @@ func (s Summary) String() string {
 	return fmt.Sprintf("%.4f ± %.4f (n=%d)", s.Mean, s.Half, s.N)
 }
 
+// Contains reports whether v lies inside the summary's 95% confidence
+// interval [Mean − Half, Mean + Half]. With fewer than 2 replications no
+// interval exists and Contains returns false.
+func (s Summary) Contains(v float64) bool {
+	if s.N < 2 {
+		return false
+	}
+	return math.Abs(v-s.Mean) <= s.Half
+}
+
+// StdErr returns the standard error of the summarized mean.
+func (s Summary) StdErr() float64 {
+	if s.N == 0 {
+		return 0
+	}
+	return s.Std / math.Sqrt(float64(s.N))
+}
+
+// TOSTResult reports one two-one-sided-tests equivalence check.
+type TOSTResult struct {
+	// Diff is the point estimate Mean − Target.
+	Diff float64 `json:"diff"`
+	// Low and High bound the 90% confidence interval of Diff (the interval
+	// the 5%-level TOST procedure compares against the margin).
+	Low  float64 `json:"low"`
+	High float64 `json:"high"`
+	// Margin is the equivalence margin δ the check was run with.
+	Margin float64 `json:"margin"`
+	// Equivalent is true when the whole interval lies inside (−δ, +δ),
+	// i.e. both one-sided 5% tests reject their non-equivalence hypothesis.
+	Equivalent bool `json:"equivalent"`
+}
+
+// TOST runs the two-one-sided-tests equivalence procedure at level 5%:
+// given replication means summarized in s, a target value, and an
+// equivalence margin δ > 0, it rejects the non-equivalence hypothesis
+// |true mean − target| ≥ δ exactly when the 90% confidence interval of
+// (mean − target) falls strictly inside (−δ, +δ). Unlike a plain difference
+// test, failing to gather enough data can never produce a spurious pass:
+// with N < 2 replications (no interval) the result is not equivalent.
+func TOST(s Summary, target, margin float64) TOSTResult {
+	r := TOSTResult{Diff: s.Mean - target, Margin: margin}
+	if s.N < 2 || margin <= 0 {
+		r.Low, r.High = math.Inf(-1), math.Inf(1)
+		return r
+	}
+	half := tQuantile95(s.N-1) * s.StdErr()
+	r.Low = r.Diff - half
+	r.High = r.Diff + half
+	r.Equivalent = r.Low > -margin && r.High < margin
+	return r
+}
+
+// tQuantile95 returns the 0.95 quantile of Student's t distribution with df
+// degrees of freedom (the one-sided 5% critical value used by TOST), from a
+// table for small df and the normal approximation beyond it.
+func tQuantile95(df int) float64 {
+	table := []float64{
+		0, // df=0 unused
+		6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895, 1.860, 1.833, 1.812,
+		1.796, 1.782, 1.771, 1.761, 1.753, 1.746, 1.740, 1.734, 1.729, 1.725,
+		1.721, 1.717, 1.714, 1.711, 1.708, 1.706, 1.703, 1.701, 1.699, 1.697,
+	}
+	if df <= 0 {
+		return math.NaN()
+	}
+	if df < len(table) {
+		return table[df]
+	}
+	return 1.645
+}
+
+// TQuantile975 returns the 0.975 quantile of Student's t distribution with
+// df degrees of freedom (NaN for df ≤ 0) — the two-sided 95% critical
+// value behind Summarize's intervals, exported for callers that design
+// fixed-width intervals (Stein's procedure in internal/validate).
+func TQuantile975(df int) float64 { return tQuantile975(df) }
+
 // tQuantile975 returns the 0.975 quantile of Student's t distribution with
 // df degrees of freedom, from a table for small df and the normal
 // approximation beyond it. Accuracy is ample for reporting 95% CIs.
@@ -155,6 +233,28 @@ func tQuantile975(df int) float64 {
 		return table[df]
 	}
 	return 1.96
+}
+
+// FQuantile95 returns the 0.95 quantile of the F distribution with (df,
+// df) degrees of freedom — the one-sided 5% critical value for comparing
+// two sample variances estimated from equally many replications. Callers
+// reject the hypothesis "variance did not decrease" only when the observed
+// variance ratio exceeds this bound, so the comparison stays non-flaky at
+// small replication counts. Returns NaN for df ≤ 0; beyond the table the
+// bound approaches 1 slowly and 2.0 is a conservative stand-in.
+func FQuantile95(df int) float64 {
+	table := []float64{
+		0, // df=0 unused
+		161.45, 19.00, 9.277, 6.388, 5.050, 4.284, 3.787, 3.438, 3.179, 2.978,
+		2.818, 2.687, 2.577, 2.484, 2.403, 2.333, 2.272, 2.217, 2.168, 2.124,
+	}
+	if df <= 0 {
+		return math.NaN()
+	}
+	if df < len(table) {
+		return table[df]
+	}
+	return 2.0
 }
 
 // Histogram is a fixed-width histogram over [Lo, Hi) with overflow and

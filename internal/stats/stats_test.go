@@ -306,3 +306,107 @@ func TestBatchMeansEdges(t *testing.T) {
 	}()
 	BatchMeans(make([]float64, 100), 1)
 }
+
+func TestSummaryContains(t *testing.T) {
+	s := Summarize([]float64{1.0, 1.2, 0.8, 1.1})
+	if !s.Contains(s.Mean) {
+		t.Error("CI must contain its own mean")
+	}
+	if !s.Contains(s.Mean + s.Half) {
+		t.Error("CI endpoints are inside (closed interval)")
+	}
+	if s.Contains(s.Mean + 1.01*s.Half) {
+		t.Error("value beyond the half-width must be outside")
+	}
+	if (Summary{N: 1, Mean: 3}).Contains(3) {
+		t.Error("no interval exists for a single replication")
+	}
+}
+
+func TestTQuantile95(t *testing.T) {
+	if got := tQuantile95(1); math.Abs(got-6.314) > 1e-9 {
+		t.Errorf("df=1: %v", got)
+	}
+	if got := tQuantile95(100); got != 1.645 {
+		t.Errorf("df=100: %v", got)
+	}
+	// One-sided 5% critical values are below the two-sided ones everywhere.
+	for df := 1; df < 40; df++ {
+		if tQuantile95(df) >= tQuantile975(df) {
+			t.Errorf("df=%d: t_.95 %v >= t_.975 %v", df, tQuantile95(df), tQuantile975(df))
+		}
+	}
+	if !math.IsNaN(tQuantile95(0)) {
+		t.Error("df=0 should be NaN")
+	}
+}
+
+func TestTOSTEquivalence(t *testing.T) {
+	// Tight replications around 2.0 are equivalent to 2.0 under a 5%
+	// margin but not under an implausibly small one.
+	s := Summarize([]float64{2.01, 1.99, 2.00, 2.02, 1.98})
+	if r := TOST(s, 2.0, 0.1); !r.Equivalent {
+		t.Errorf("expected equivalence, got %+v", r)
+	}
+	if r := TOST(s, 2.0, 1e-6); r.Equivalent {
+		t.Errorf("margin below the CI width cannot prove equivalence: %+v", r)
+	}
+	// A systematic offset beyond the margin must fail even with tiny noise.
+	off := Summarize([]float64{2.50, 2.51, 2.49, 2.50})
+	if r := TOST(off, 2.0, 0.1); r.Equivalent {
+		t.Errorf("offset 0.5 cannot be equivalent under margin 0.1: %+v", r)
+	}
+	// The interval is centered on Diff and ordered.
+	r := TOST(s, 2.0, 0.1)
+	if !(r.Low <= r.Diff && r.Diff <= r.High) {
+		t.Errorf("interval not ordered: %+v", r)
+	}
+}
+
+func TestTOSTDegenerate(t *testing.T) {
+	// Too little data or a non-positive margin can never certify
+	// equivalence (TOST's burden-of-proof property).
+	if r := TOST(Summary{N: 1, Mean: 2}, 2, 0.5); r.Equivalent {
+		t.Errorf("N=1 passed: %+v", r)
+	}
+	if r := TOST(Summarize([]float64{2, 2, 2}), 2, 0); r.Equivalent {
+		t.Errorf("margin 0 passed: %+v", r)
+	}
+	// Zero variance with N >= 2 and an exact match is equivalent.
+	if r := TOST(Summarize([]float64{2, 2, 2}), 2, 1e-9); !r.Equivalent {
+		t.Errorf("exact deterministic match failed: %+v", r)
+	}
+}
+
+func TestFQuantile95(t *testing.T) {
+	if got := FQuantile95(3); math.Abs(got-9.277) > 1e-9 {
+		t.Errorf("df=3: %v", got)
+	}
+	if got := FQuantile95(5); math.Abs(got-5.050) > 1e-9 {
+		t.Errorf("df=5: %v", got)
+	}
+	if !math.IsNaN(FQuantile95(0)) {
+		t.Error("df=0 should be NaN")
+	}
+	// The critical value decreases toward 1 within the table, and the
+	// conservative fallback beyond it stays above 1.
+	for df := 1; df < 20; df++ {
+		if FQuantile95(df+1) >= FQuantile95(df) {
+			t.Errorf("df=%d: bound not decreasing", df)
+		}
+	}
+	for _, df := range []int{1, 10, 20, 21, 100} {
+		if FQuantile95(df) <= 1 {
+			t.Errorf("df=%d: bound %v must stay above 1", df, FQuantile95(df))
+		}
+	}
+}
+
+func TestTQuantile975Exported(t *testing.T) {
+	if TQuantile975(5) != tQuantile975(5) {
+		t.Error("exported quantile disagrees with the internal table")
+	}
+	if !math.IsNaN(TQuantile975(0)) {
+		t.Error("df=0 should be NaN")
+	}
+}

@@ -1,0 +1,161 @@
+package validate
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// Status classifies the outcome of one check.
+type Status string
+
+const (
+	// Pass means the check's assertion held at its documented tolerance.
+	Pass Status = "pass"
+	// Fail means it did not; the Check records what was compared.
+	Fail Status = "fail"
+	// Skip means the check does not apply to the variant (e.g. tail
+	// monotonicity on a model whose state is not a tail vector). Skips
+	// never affect the exit status.
+	Skip Status = "skip"
+)
+
+// Check is one executed assertion. Got, Want and Tol describe scalar
+// comparisons; TOST is attached instead when the check is a statistical
+// equivalence test over simulation replications.
+type Check struct {
+	Name   string `json:"name"`
+	Status Status `json:"status"`
+	// Detail says what was compared (and, on skips, why not).
+	Detail string  `json:"detail,omitempty"`
+	Got    float64 `json:"got,omitempty"`
+	Want   float64 `json:"want,omitempty"`
+	Tol    float64 `json:"tol,omitempty"`
+	// TOST carries the equivalence interval for statistical checks.
+	TOST *stats.TOSTResult `json:"tost,omitempty"`
+}
+
+// VariantReport collects the checks of one registry variant.
+type VariantReport struct {
+	Variant string  `json:"variant"`
+	Lambda  float64 `json:"lambda"`
+	Checks  []Check `json:"checks"`
+	Failed  int     `json:"failed"`
+}
+
+// Report is the result of one validation run. It is deterministic for a
+// fixed Config (WallSeconds excepted) and marshals to JSON as-is.
+type Report struct {
+	Seed    uint64    `json:"seed"`
+	Ns      []int     `json:"ns"`
+	Reps    int       `json:"reps"`
+	Horizon float64   `json:"horizon"`
+	Warmup  float64   `json:"warmup"`
+	Lambdas []float64 `json:"lambdas"`
+
+	Variants []VariantReport `json:"variants"`
+
+	Checks  int  `json:"checks"`
+	Passed  int  `json:"passed"`
+	Failed  int  `json:"failed"`
+	Skipped int  `json:"skipped"`
+	OK      bool `json:"ok"`
+	// WallSeconds is the wall-clock duration of the run; it is the one
+	// non-deterministic field and is zero unless the caller stamps it.
+	WallSeconds float64 `json:"wall_seconds"`
+}
+
+// add appends a check to the variant report, replacing non-finite numeric
+// fields (a failed solve can leave NaNs) so the report always marshals.
+func (vr *VariantReport) add(c Check) {
+	c.Got = finite(c.Got)
+	c.Want = finite(c.Want)
+	c.Tol = finite(c.Tol)
+	if c.TOST != nil {
+		t := *c.TOST
+		t.Diff = finite(t.Diff)
+		t.Low = finite(t.Low)
+		t.High = finite(t.High)
+		t.Margin = finite(t.Margin)
+		c.TOST = &t
+	}
+	if c.Status == Fail {
+		vr.Failed++
+	}
+	vr.Checks = append(vr.Checks, c)
+}
+
+// finite clamps NaN and ±Inf to large sentinels so encoding/json (which
+// rejects non-finite floats) never fails on a report.
+func finite(v float64) float64 {
+	switch {
+	case math.IsNaN(v):
+		return -1e308
+	case math.IsInf(v, 1):
+		return 1e308
+	case math.IsInf(v, -1):
+		return -1e308
+	}
+	return v
+}
+
+// tally computes the report totals from its variant reports.
+func (r *Report) tally() {
+	r.Checks, r.Passed, r.Failed, r.Skipped = 0, 0, 0, 0
+	for _, vr := range r.Variants {
+		for _, c := range vr.Checks {
+			r.Checks++
+			switch c.Status {
+			case Pass:
+				r.Passed++
+			case Fail:
+				r.Failed++
+			case Skip:
+				r.Skipped++
+			}
+		}
+	}
+	r.OK = r.Failed == 0
+}
+
+// Render writes the human-readable form of the report.
+func (r Report) Render(w io.Writer) {
+	fmt.Fprintf(w, "wscheck: seed=%d ns=%v reps=%d horizon=%g warmup=%g\n",
+		r.Seed, r.Ns, r.Reps, r.Horizon, r.Warmup)
+	for _, vr := range r.Variants {
+		fmt.Fprintf(w, "\n%s (λ=%g)\n", vr.Variant, vr.Lambda)
+		for _, c := range vr.Checks {
+			fmt.Fprintf(w, "  %-4s %-22s %s\n", c.Status, c.Name, c.describe())
+		}
+	}
+	fmt.Fprintf(w, "\n%d variants: %d checks, %d passed, %d failed, %d skipped",
+		len(r.Variants), r.Checks, r.Passed, r.Failed, r.Skipped)
+	if r.WallSeconds > 0 {
+		fmt.Fprintf(w, "  (%.1fs)", r.WallSeconds)
+	}
+	fmt.Fprintln(w)
+}
+
+// describe renders the comparison behind a check on one line.
+func (c Check) describe() string {
+	switch {
+	case c.Status == Skip:
+		return c.Detail
+	case c.TOST != nil:
+		s := fmt.Sprintf("diff=%.4g 90%%CI=[%.4g, %.4g] δ=%.4g",
+			c.TOST.Diff, c.TOST.Low, c.TOST.High, c.TOST.Margin)
+		if c.Detail != "" {
+			s = c.Detail + ": " + s
+		}
+		return s
+	case c.Tol > 0 || c.Want != 0 || c.Got != 0:
+		s := fmt.Sprintf("got=%.6g want=%.6g tol=%.2g", c.Got, c.Want, c.Tol)
+		if c.Detail != "" {
+			s = c.Detail + ": " + s
+		}
+		return s
+	}
+	return c.Detail
+}

@@ -1,0 +1,202 @@
+package validate
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// testConfig is a scaled-down configuration that still passes for the
+// well-matched registry variants: margins are wide because the tiny cells
+// carry large finite-n bias and noise.
+func testConfig() Config {
+	return Config{
+		Seed:         1998,
+		Ns:           []int{8, 32},
+		Reps:         4,
+		Horizon:      300,
+		Warmup:       50,
+		RelMargin:    0.3,
+		RateMargin:   0.1,
+		ContainReps:  3,
+		ContainWidth: 0.2,
+		Lambdas:      []float64{0.6, 0.85},
+	}
+}
+
+func variantsByName(t *testing.T, names ...string) []experiments.Variant {
+	t.Helper()
+	var vs []experiments.Variant
+	for _, n := range names {
+		v, ok := experiments.VariantByName(n)
+		if !ok {
+			t.Fatalf("registry lost variant %q", n)
+		}
+		vs = append(vs, v)
+	}
+	return vs
+}
+
+func TestRunPassesForMatchedVariants(t *testing.T) {
+	rep, err := Run(testConfig(), variantsByName(t, "nosteal", "simple"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK {
+		var buf bytes.Buffer
+		rep.Render(&buf)
+		t.Fatalf("expected all checks to pass:\n%s", buf.String())
+	}
+	if rep.Checks != rep.Passed+rep.Failed+rep.Skipped {
+		t.Errorf("totals disagree: %+v", rep)
+	}
+	// The closed-form checks must actually have run for these variants.
+	want := map[string]bool{
+		"closedform-mm1-tails": false, "closedform-pi2": false,
+		"ode-limit": false, "sim-ci-contains": false, "sim-sojourn-tost": false,
+	}
+	for _, vr := range rep.Variants {
+		for _, c := range vr.Checks {
+			if _, ok := want[c.Name]; ok {
+				want[c.Name] = true
+			}
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("check %q never ran", name)
+		}
+	}
+}
+
+func TestRunIsDeterministic(t *testing.T) {
+	vs := variantsByName(t, "simple")
+	a, err := Run(testConfig(), vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(testConfig(), vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if !bytes.Equal(ja, jb) {
+		t.Errorf("same config produced different reports:\n%s\n%s", ja, jb)
+	}
+}
+
+// TestRunDetectsMismatch proves the suite has statistical power: a variant
+// whose simulation realizes a different system than its mean-field model
+// must fail, not slip through the equivalence margins.
+func TestRunDetectsMismatch(t *testing.T) {
+	v, ok := experiments.VariantByName("simple")
+	if !ok {
+		t.Fatal("registry lost simple")
+	}
+	broken := v
+	broken.Sim = func(n int) sim.Options {
+		o := v.Sim(n)
+		o.Lambda = 0.6 // model solves λ=0.85; the sim runs a lighter load
+		return o
+	}
+	rep, err := Run(testConfig(), []experiments.Variant{broken})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK {
+		t.Fatal("mismatched sim passed validation")
+	}
+	failed := map[string]bool{}
+	for _, c := range rep.Variants[0].Checks {
+		if c.Status == Fail {
+			failed[c.Name] = true
+		}
+	}
+	for _, name := range []string{"sim-sojourn-tost", "sim-throughput", "sim-ci-contains"} {
+		if !failed[name] {
+			t.Errorf("expected %s to fail for the mismatched sim", name)
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	cases := []func(*Config){
+		func(c *Config) { c.Ns = []int{16} },
+		func(c *Config) { c.Ns = []int{64, 16} },
+		func(c *Config) { c.Ns = []int{1, 16} },
+		func(c *Config) { c.Reps = 1 },
+		func(c *Config) { c.ContainReps = 1 },
+		func(c *Config) { c.ContainWidth = 1.5 },
+		func(c *Config) { c.Warmup = 400 },
+		func(c *Config) { c.Lambdas = []float64{0.9, 0.6} },
+		func(c *Config) { c.Lambdas = []float64{0.5, 1.5} },
+	}
+	for i, mut := range cases {
+		cfg := testConfig()
+		mut(&cfg)
+		if _, err := Run(cfg, experiments.Variants()); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+	if _, err := Run(testConfig(), nil); err == nil {
+		t.Error("empty variant list accepted")
+	}
+}
+
+func TestPlanContainment(t *testing.T) {
+	cfg := Default()
+	pilot := stats.Summary{N: 6, Mean: 2.5, Std: 0.04}
+	pilotSpan := cfg.Horizon - cfg.Warmup
+
+	plan := planContainment(cfg, 2.5, pilot, pilotSpan, 30)
+	if plan.span < 500 || plan.span > 2500 {
+		t.Errorf("span %v outside clamp range", plan.span)
+	}
+	if plan.half < cfg.ContainWidth*2.5-1e-12 {
+		t.Errorf("half %v below the design width %v", plan.half, cfg.ContainWidth*2.5)
+	}
+	// A slow-mixing variant must get a long warmup.
+	slow := planContainment(cfg, 6.67, stats.Summary{N: 6, Mean: 6.6, Std: 0.3}, pilotSpan, 1100)
+	if slow.warmup < 600 {
+		t.Errorf("slow-mixing warmup %v not scaled to relaxation time", slow.warmup)
+	}
+	// A high-variance pilot pushes the span to the cap and the interval
+	// must widen beyond the design width to keep coverage.
+	noisy := planContainment(cfg, 2.5, stats.Summary{N: 6, Mean: 2.5, Std: 2.0}, pilotSpan, 30)
+	if noisy.span != 2500 {
+		t.Errorf("noisy span %v, want cap 2500", noisy.span)
+	}
+	if noisy.half <= cfg.ContainWidth*2.5 {
+		t.Errorf("capped span must widen the interval, half %v", noisy.half)
+	}
+}
+
+func TestReportRenderAndJSON(t *testing.T) {
+	vr := VariantReport{Variant: "x", Lambda: 0.85}
+	vr.add(Check{Name: "nan-guard", Status: Fail, Got: math.NaN(), Want: math.Inf(1)})
+	vr.add(Check{Name: "ok", Status: Pass, Got: 1, Want: 1, Tol: 0.1})
+	vr.add(Check{Name: "skipped", Status: Skip, Detail: "not applicable"})
+	rep := Report{Variants: []VariantReport{vr}}
+	rep.tally()
+	if rep.OK || rep.Failed != 1 || rep.Passed != 1 || rep.Skipped != 1 {
+		t.Fatalf("tally wrong: %+v", rep)
+	}
+	if _, err := json.Marshal(rep); err != nil {
+		t.Fatalf("report with non-finite inputs must still marshal: %v", err)
+	}
+	var buf bytes.Buffer
+	rep.Render(&buf)
+	out := buf.String()
+	for _, frag := range []string{"nan-guard", "not applicable", "1 failed"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("rendered report missing %q:\n%s", frag, out)
+		}
+	}
+}

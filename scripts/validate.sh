@@ -1,0 +1,26 @@
+#!/usr/bin/env sh
+# Statistical cross-validation smoke: build wscheck and run the full
+# sim ↔ mean-field ↔ closed-form agreement suite over every registered
+# variant, writing the machine-readable report for the CI artifact.
+#
+#   scripts/validate.sh [out.json] [extra wscheck flags...]
+#
+# The default scale is -quick: the same checks as the full suite at
+# reduced n / horizon / replication counts with proportionally wider
+# equivalence margins, sized to finish in well under a minute on one
+# core. Pass extra flags (e.g. -seed 7) after the output path; run
+# `wscheck -all` directly for the full-scale suite.
+set -eu
+cd "$(dirname "$0")/.."
+
+OUT="${1:-validate.json}"
+[ "$#" -gt 0 ] && shift
+
+BIN="$(mktemp -d)/wscheck"
+trap 'rm -rf "$(dirname "$BIN")"' EXIT
+
+echo "# build"
+go build -o "$BIN" ./cmd/wscheck
+
+echo "# validate (quick scale, report -> $OUT)"
+"$BIN" -all -quick -out "$OUT" "$@"
