@@ -97,6 +97,79 @@ func TestCLIWssim(t *testing.T) {
 	}
 }
 
+// wssimEngineArgs returns a fast wssim invocation of one engine; the shared
+// flag set keeps the engine subtests comparable.
+func wssimEngineArgs(engine string, extra ...string) []string {
+	args := []string{"-engine", engine, "-n", "64", "-lambda", "0.85", "-policy", "steal", "-T", "2",
+		"-horizon", "2000", "-warmup", "500", "-reps", "2", "-seed", "7"}
+	return append(args, extra...)
+}
+
+// TestCLIWssimEngines runs each backend through the binary and checks the
+// text report names the engine it ran.
+func TestCLIWssimEngines(t *testing.T) {
+	for _, engine := range []string{"des", "fluid", "hybrid"} {
+		t.Run(engine, func(t *testing.T) {
+			out := run(t, "wssim", wssimEngineArgs(engine, "-tracked", map[string]string{
+				"des": "0", "fluid": "0", "hybrid": "32"}[engine])...)
+			if !strings.Contains(out, "time in system") {
+				t.Errorf("wssim -engine %s output malformed:\n%s", engine, out)
+			}
+			if engine != "des" && !strings.Contains(out, "engine:           "+engine) {
+				t.Errorf("wssim -engine %s does not report its engine:\n%s", engine, out)
+			}
+			if engine == "hybrid" && !strings.Contains(out, "tracked sample: 32 of 64") {
+				t.Errorf("hybrid report missing tracked sample line:\n%s", out)
+			}
+		})
+	}
+}
+
+// TestCLIWssimEngineJSON pins the engine/tracked echo in -json output and
+// the default-substitution path (no explicit lambda/horizon for hybrid).
+func TestCLIWssimEngineJSON(t *testing.T) {
+	out := run(t, "wssim", "-engine", "hybrid", "-n", "10000", "-horizon", "800", "-warmup", "200",
+		"-reps", "1", "-json")
+	// The combined output starts with the stderr default note; the JSON
+	// object begins at the first brace.
+	if i := strings.Index(out, "{"); i >= 0 {
+		out = out[i:]
+	}
+	var rep struct {
+		Engine  string  `json:"engine"`
+		Tracked int     `json:"tracked"`
+		N       int     `json:"n"`
+		Lambda  float64 `json:"lambda"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("wssim hybrid -json is not valid JSON: %v\n%s", err, out)
+	}
+	if rep.Engine != "hybrid" || rep.Tracked != 256 || rep.N != 10000 {
+		t.Errorf("hybrid -json echo wrong: %+v", rep)
+	}
+	if rep.Lambda != 0.9 {
+		t.Errorf("hybrid lambda default %v, want 0.9", rep.Lambda)
+	}
+}
+
+// TestCLIWssimEngineErrors: unknown engines and impossible combinations are
+// usage errors, not crashes.
+func TestCLIWssimEngineErrors(t *testing.T) {
+	dir := buildCmds(t)
+	cases := [][]string{
+		{"-engine", "warp", "-n", "16", "-lambda", "0.5"},
+		{"-engine", "fluid", "-n", "16", "-lambda", "0.5", "-tracked", "8"},
+		{"-engine", "hybrid", "-n", "16", "-lambda", "0.5", "-tracked", "32"},
+		{"-engine", "hybrid", "-n", "64", "-lambda", "0.5", "-d", "2"},
+	}
+	for _, args := range cases {
+		out, err := exec.Command(filepath.Join(dir, "wssim"), args...).CombinedOutput()
+		if err == nil {
+			t.Errorf("wssim %v succeeded, want usage error:\n%s", args, out)
+		}
+	}
+}
+
 func TestCLIWssimStatic(t *testing.T) {
 	out := run(t, "wssim", "-n", "16", "-policy", "steal", "-T", "2", "-retry", "5",
 		"-initial", "4", "-horizon", "1000", "-reps", "2")

@@ -9,6 +9,8 @@
 //	wssim -n 64 -policy steal -T 2 -retry 10 -initial 8    (static drain)
 //	wssim -n 64 -lambda 0.9 -policy rebalance -rebalance 2
 //	wssim -n 64 -lambda 0.9 -policy steal -T 2 -service const
+//	wssim -engine hybrid -n 1000000 -lambda 0.9 -T 2    (fluid bulk + tracked sample)
+//	wssim -engine fluid -n 1000000 -lambda 0.9 -T 2     (pure mean-field integration)
 package main
 
 import (
@@ -31,6 +33,8 @@ func main() {
 // the profile flushes — execute on every exit path; main's os.Exit would
 // skip them.
 func run() (code int) {
+	engine := flag.String("engine", "des", "simulation engine: des, fluid, hybrid")
+	tracked := flag.Int("tracked", 0, "hybrid tracked sample size (0 = min(256, n))")
 	n := flag.Int("n", 128, "number of processors")
 	lambda := flag.Float64("lambda", 0, "external per-processor arrival rate")
 	lambdaInt := flag.Float64("lambda-int", 0, "internal spawn rate while busy")
@@ -70,12 +74,51 @@ func run() (code int) {
 		return 2
 	}
 
+	kind, err := sim.ParseEngine(*engine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wssim:", err)
+		return 2
+	}
+	if kind != sim.EngineDES {
+		// The DES batch defaults (λ = 0 static, 10⁵-second horizon, 10
+		// replications) either reject outright or waste work under the
+		// scaled engines; swap in serving-sized defaults for any flag the
+		// user did not set. Explicit flags always win.
+		set := make(map[string]bool)
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		if !set["lambda"] {
+			*lambda = 0.9
+			fmt.Fprintf(os.Stderr, "wssim: -engine %s defaulting to -lambda 0.9\n", kind)
+		}
+		if !set["horizon"] {
+			*horizon = 8000
+		}
+		if !set["warmup"] {
+			*warmup = 1000
+		}
+		if !set["reps"] {
+			*reps = 4
+			if kind == sim.EngineFluid {
+				*reps = 1 // the fluid trajectory is deterministic
+			}
+		}
+	}
+	if kind == sim.EngineHybrid && *tracked == 0 {
+		// Mirror sim's normalize so the report can echo the effective value.
+		*tracked = 256
+		if *tracked > *n {
+			*tracked = *n
+		}
+	}
+
 	// Static runs drop the warmup by default.
 	w := *warmup
 	if *lambda == 0 && *initial > 0 {
 		w = 0
 	}
 	opts := sim.Options{
+		Engine:        kind,
+		Tracked:       *tracked,
 		N:             *n,
 		Lambda:        *lambda,
 		LambdaInt:     *lambdaInt,
@@ -120,6 +163,8 @@ func run() (code int) {
 
 	if *jsonFlag {
 		out := struct {
+			Engine  string          `json:"engine"`
+			Tracked int             `json:"tracked,omitempty"`
 			N       int             `json:"n"`
 			Lambda  float64         `json:"lambda"`
 			Policy  string          `json:"policy"`
@@ -132,7 +177,7 @@ func run() (code int) {
 			Drain   stats.Summary   `json:"drain"`
 			Tails   []float64       `json:"tails,omitempty"`
 			Metrics metrics.Summary `json:"metrics"`
-		}{*n, *lambda, *policy, svc.String(), *reps, *horizon, w,
+		}{kind.String(), *tracked, *n, *lambda, *policy, svc.String(), *reps, *horizon, w,
 			agg.Sojourn, agg.Load, agg.Drain, agg.Tails, agg.Metrics}
 		if err := cliutil.WriteJSON(os.Stdout, out); err != nil {
 			fmt.Fprintln(os.Stderr, "wssim:", err)
@@ -143,6 +188,13 @@ func run() (code int) {
 
 	first := agg.Results[0]
 	fmt.Printf("processors:       %d    service: %s    policy: %s\n", *n, svc, *policy)
+	if kind != sim.EngineDES {
+		fmt.Printf("engine:           %s", kind)
+		if kind == sim.EngineHybrid {
+			fmt.Printf("    tracked sample: %d of %d", *tracked, *n)
+		}
+		fmt.Println()
+	}
 	fmt.Printf("replications:     %d × horizon %.0f (warmup %.0f)\n", *reps, *horizon, w)
 	if agg.Sojourn.N > 0 {
 		fmt.Printf("time in system:   %s\n", agg.Sojourn)

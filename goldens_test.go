@@ -14,6 +14,7 @@ package repro
 //	go test -run TestGoldenTables -update
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -58,6 +59,77 @@ func TestGoldenTables(t *testing.T) {
 	}
 }
 
+// wssimGoldenArgs is the engine-parameterized sibling of goldenArgs: the
+// same tiny fixed-seed configuration run through each simulation backend.
+func wssimGoldenArgs(engine string) []string {
+	args := []string{"-engine", engine, "-n", "32", "-lambda", "0.85", "-policy", "steal", "-T", "2",
+		"-horizon", "1500", "-warmup", "200", "-reps", "2", "-seed", "1998", "-metrics", "-json"}
+	if engine == "hybrid" {
+		args = append(args, "-tracked", "16")
+	}
+	return args
+}
+
+// scrubWallClock recursively removes the wall-clock-dependent keys from a
+// decoded JSON value, so the goldens pin the sampling sequence and the
+// report structure without pinning machine speed.
+func scrubWallClock(v any) any {
+	switch x := v.(type) {
+	case map[string]any:
+		delete(x, "wall_seconds")
+		delete(x, "events_per_sec")
+		for k, e := range x {
+			x[k] = scrubWallClock(e)
+		}
+	case []any:
+		for i, e := range x {
+			x[i] = scrubWallClock(e)
+		}
+	}
+	return v
+}
+
+// TestGoldenWssimEngines regenerates one wssim -json report per engine and
+// compares the wall-clock-scrubbed structure byte-for-byte against a
+// committed golden. Any diff means an engine's sampling sequence (des,
+// hybrid) or integration (fluid) changed behavior.
+func TestGoldenWssimEngines(t *testing.T) {
+	for _, engine := range []string{"des", "fluid", "hybrid"} {
+		t.Run(engine, func(t *testing.T) {
+			t.Parallel()
+			out := run(t, "wssim", wssimGoldenArgs(engine)...)
+			var v any
+			if err := json.Unmarshal([]byte(out), &v); err != nil {
+				t.Fatalf("wssim -engine %s -json invalid: %v\n%s", engine, err, out)
+			}
+			canon, err := json.MarshalIndent(scrubWallClock(v), "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			canon = append(canon, '\n')
+			golden := filepath.Join("testdata", "wssim", engine+".golden.json")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, canon, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("updated %s", golden)
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (run `go test -run TestGoldenWssimEngines -update`): %v", err)
+			}
+			if string(canon) != string(want) {
+				t.Errorf("wssim -engine %s drifted from %s.\nGot:\n%s\nWant:\n%s\n(regenerate with -update if the change is intentional)",
+					engine, golden, canon, want)
+			}
+		})
+	}
+}
+
 // TestGoldenRunDeterminism guards the premise of the golden files: two
 // fresh processes with the same seed must produce identical bytes.
 func TestGoldenRunDeterminism(t *testing.T) {
@@ -73,6 +145,12 @@ func TestGoldenRunDeterminism(t *testing.T) {
 func TestGoldenFilesCommitted(t *testing.T) {
 	for _, tbl := range []string{"1", "2", "3", "4"} {
 		p := filepath.Join("testdata", "wstables", fmt.Sprintf("table%s.golden.csv", tbl))
+		if _, err := os.Stat(p); err != nil && !*update {
+			t.Errorf("golden file %s missing: %v", p, err)
+		}
+	}
+	for _, engine := range []string{"des", "fluid", "hybrid"} {
+		p := filepath.Join("testdata", "wssim", engine+".golden.json")
 		if _, err := os.Stat(p); err != nil && !*update {
 			t.Errorf("golden file %s missing: %v", p, err)
 		}

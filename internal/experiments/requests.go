@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -462,19 +463,41 @@ func ParsePolicy(name string) (sim.PolicyKind, error) {
 // Serving-side resource caps for SimSpec. A batch CLI may simulate anything
 // it likes, but a network request gets bounded work.
 const (
-	// MaxSimN caps the processor count of one request.
+	// MaxSimN caps the processor count of one DES request, whose cost is
+	// linear in n.
 	MaxSimN = 4096
+	// MaxSimScaledN caps n for the fluid and hybrid engines, whose cost
+	// is independent of n (fluid) or linear in tracked only (hybrid).
+	MaxSimScaledN = 10_000_000
+	// MaxSimTracked caps the hybrid tracked sample — the event-by-event
+	// part of a hybrid request — at the DES processor cap.
+	MaxSimTracked = MaxSimN
 	// MaxSimReps caps the replications of one request.
 	MaxSimReps = 64
 	// MaxSimHorizon caps the simulated time span of one request.
 	MaxSimHorizon = 1_000_000
 )
 
+// ErrEngineSpec tags engine-selection problems in a SimSpec: an unknown
+// engine name, a tracked count the engine cannot honor, or an option
+// combination outside the selected engine's supported set. The serving
+// layer maps it to 422 Unprocessable Entity — the request is well-formed,
+// but no backend can run it.
+var ErrEngineSpec = errors.New("experiments: unprocessable engine spec")
+
 // SimSpec describes one finite-n simulation cell, mirroring the wssim
 // flags. Defaults are sized for interactive serving (QuickScale-like),
 // not the paper's 100,000-second batch runs.
 type SimSpec struct {
-	// N is the processor count (default 64, max MaxSimN).
+	// Engine selects the simulation backend: des (default), fluid, or
+	// hybrid. See sim.EngineKind.
+	Engine string `json:"engine,omitempty"`
+	// Tracked is the hybrid engine's event-simulated sample size
+	// (default min(256, n), max MaxSimTracked; must be 0 for the other
+	// engines).
+	Tracked int `json:"tracked,omitempty"`
+	// N is the processor count (default 64; max MaxSimN for the DES
+	// engine, MaxSimScaledN for fluid and hybrid).
 	N int `json:"n,omitempty"`
 	// Lambda is the external per-processor arrival rate (0 for static runs).
 	Lambda float64 `json:"lambda,omitempty"`
@@ -517,6 +540,17 @@ type SimSpec struct {
 func (s *SimSpec) Normalize() {
 	if s.N == 0 {
 		s.N = 64
+	}
+	if s.Engine == "" {
+		s.Engine = "des"
+	}
+	if s.Engine == "hybrid" && s.Tracked == 0 {
+		// Mirror sim.Options.normalize so explicit and implied defaults
+		// canonicalize to the same cache key.
+		s.Tracked = 256
+		if s.Tracked > s.N {
+			s.Tracked = s.N
+		}
 	}
 	if s.Policy == "" {
 		s.Policy = "steal"
@@ -569,8 +603,19 @@ func (s *SimSpec) Options() (sim.Options, error) {
 	if s.Lambda < 0 {
 		return sim.Options{}, fmt.Errorf("experiments: negative arrival rate lambda = %v", s.Lambda)
 	}
-	if s.N > MaxSimN {
-		return sim.Options{}, fmt.Errorf("experiments: n = %d exceeds the serving cap %d", s.N, MaxSimN)
+	kind, err := sim.ParseEngine(s.Engine)
+	if err != nil {
+		return sim.Options{}, fmt.Errorf("%w: %v", ErrEngineSpec, err)
+	}
+	if s.Tracked < 0 || s.Tracked > MaxSimTracked {
+		return sim.Options{}, fmt.Errorf("%w: tracked = %d outside [0, %d]", ErrEngineSpec, s.Tracked, MaxSimTracked)
+	}
+	nCap := MaxSimN
+	if kind != sim.EngineDES {
+		nCap = MaxSimScaledN
+	}
+	if s.N > nCap {
+		return sim.Options{}, fmt.Errorf("experiments: n = %d exceeds the %s-engine serving cap %d", s.N, kind, nCap)
 	}
 	if s.Reps < 1 || s.Reps > MaxSimReps {
 		return sim.Options{}, fmt.Errorf("experiments: reps = %d outside [1, %d]", s.Reps, MaxSimReps)
@@ -587,6 +632,8 @@ func (s *SimSpec) Options() (sim.Options, error) {
 		return sim.Options{}, err
 	}
 	o := sim.Options{
+		Engine:         kind,
+		Tracked:        s.Tracked,
 		N:              s.N,
 		Lambda:         s.Lambda,
 		LambdaInt:      s.LambdaInt,
@@ -607,6 +654,12 @@ func (s *SimSpec) Options() (sim.Options, error) {
 		QueueHistDepth: s.QHist,
 	}
 	if err := (sim.Replication{Reps: s.Reps}).Validate(&o); err != nil {
+		if kind != sim.EngineDES {
+			// Option combinations the fluid/hybrid engines cannot
+			// represent are engine-capability problems (422), not
+			// malformed requests.
+			return sim.Options{}, fmt.Errorf("%w: %v", ErrEngineSpec, err)
+		}
 		return sim.Options{}, err
 	}
 	return o, nil
@@ -615,6 +668,8 @@ func (s *SimSpec) Options() (sim.Options, error) {
 // SimReport is the JSON shape of one aggregated simulation cell — the same
 // layout wssim -json emits.
 type SimReport struct {
+	Engine  string          `json:"engine"`
+	Tracked int             `json:"tracked,omitempty"`
 	N       int             `json:"n"`
 	Lambda  float64         `json:"lambda"`
 	Policy  string          `json:"policy"`
@@ -633,6 +688,8 @@ type SimReport struct {
 // spec must be normalized (Options does this).
 func BuildSimReport(s *SimSpec, agg sim.Aggregate) SimReport {
 	return SimReport{
+		Engine:  s.Engine,
+		Tracked: s.Tracked,
 		N:       s.N,
 		Lambda:  s.Lambda,
 		Policy:  s.Policy,

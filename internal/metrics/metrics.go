@@ -56,6 +56,13 @@ type Counters struct {
 	Rebalances     int64 `json:"rebalances"`
 	RebalanceMoves int64 `json:"rebalance_moves"`
 
+	// BulkSteals counts successful steals by fluid-bulk thieves against
+	// tracked processors under the hybrid engine, and BulkStolenTasks the
+	// tasks they removed. Always zero for the pure engines (omitted from
+	// JSON so their serialized results are unchanged).
+	BulkSteals      int64 `json:"bulk_steals,omitempty"`
+	BulkStolenTasks int64 `json:"bulk_stolen_tasks,omitempty"`
+
 	// Events counts every event processed by the loop, of any kind.
 	Events int64 `json:"events"`
 }

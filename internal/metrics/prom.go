@@ -122,7 +122,8 @@ var CounterNames = []string{
 	"steal_attempts", "steal_successes", "steal_fail_empty", "steal_fail_threshold",
 	"retries", "retries_stale",
 	"transfers_started", "transfers_completed",
-	"rebalances", "rebalance_moves", "events",
+	"rebalances", "rebalance_moves",
+	"bulk_steals", "bulk_stolen_tasks", "events",
 }
 
 // Each invokes fn for every counter field in CounterNames order. This is
@@ -143,6 +144,8 @@ func (c *Counters) Each(fn func(name string, v int64)) {
 	fn("transfers_completed", c.TransfersCompleted)
 	fn("rebalances", c.Rebalances)
 	fn("rebalance_moves", c.RebalanceMoves)
+	fn("bulk_steals", c.BulkSteals)
+	fn("bulk_stolen_tasks", c.BulkStolenTasks)
 	fn("events", c.Events)
 }
 
@@ -162,6 +165,8 @@ func (c *Counters) Add(o Counters) {
 	c.TransfersCompleted += o.TransfersCompleted
 	c.Rebalances += o.Rebalances
 	c.RebalanceMoves += o.RebalanceMoves
+	c.BulkSteals += o.BulkSteals
+	c.BulkStolenTasks += o.BulkStolenTasks
 	c.Events += o.Events
 }
 

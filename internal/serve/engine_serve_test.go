@@ -1,0 +1,122 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/sim"
+)
+
+// Engine selection through /v1/simulate: the fluid and hybrid backends must
+// ride the same cache/coalesce/admission path as DES, and engine-capability
+// failures must surface as 422s with a machine-readable code rather than
+// generic 400s.
+
+// TestSimulateFluidEngine runs a fluid request end to end and checks the
+// response against a direct replication of the same spec.
+func TestSimulateFluidEngine(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	resp, body := post(t, ts, "/v1/simulate",
+		`{"engine":"fluid","n":64,"lambda":0.85,"t":2,"horizon":2000,"warmup":1000,"reps":1}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var got experiments.SimReport
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if got.Engine != "fluid" {
+		t.Errorf("report engine %q, want fluid", got.Engine)
+	}
+	spec := experiments.SimSpec{Engine: "fluid", N: 64, Lambda: 0.85, T: 2,
+		Horizon: 2000, Warmup: 1000, Reps: 1}
+	opts, err := spec.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := sim.Replication{Reps: 1}.Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Sojourn.Mean != agg.Sojourn.Mean {
+		t.Errorf("served fluid sojourn %v, direct %v", got.Sojourn.Mean, agg.Sojourn.Mean)
+	}
+}
+
+// TestSimulateHybridEngine is the acceptance criterion that engine=hybrid
+// flows through the existing serving stack unchanged: a large-n hybrid
+// request (beyond the DES cap) succeeds, the report echoes engine and
+// tracked, and the counters include the bulk-coupling pair.
+func TestSimulateHybridEngine(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	resp, body := post(t, ts, "/v1/simulate",
+		`{"engine":"hybrid","n":100000,"lambda":0.9,"t":2,"horizon":400,"warmup":100,"reps":2,"seed":7}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var got experiments.SimReport
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if got.Engine != "hybrid" || got.Tracked != 256 {
+		t.Errorf("report engine %q tracked %d, want hybrid/256 (the default)", got.Engine, got.Tracked)
+	}
+	if !(got.Sojourn.Mean > 0) {
+		t.Errorf("degenerate hybrid sojourn %v", got.Sojourn.Mean)
+	}
+	if !strings.Contains(string(body), `"bulk_steals"`) {
+		t.Errorf("hybrid response has no bulk_steals counter:\n%s", body)
+	}
+
+	// The cache must treat an explicit tracked=256 as the same request.
+	resp2, body2 := post(t, ts, "/v1/simulate",
+		`{"engine":"hybrid","n":100000,"lambda":0.9,"t":2,"horizon":400,"warmup":100,"reps":2,"seed":7,"tracked":256}`)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("explicit-tracked status %d: %s", resp2.StatusCode, body2)
+	}
+	if string(body) != string(body2) {
+		t.Errorf("implied and explicit tracked defaults did not share a cache entry")
+	}
+}
+
+// TestSimulateEngineErrors pins the 422 mapping for engine-capability
+// failures and the 400 fallback for plain parameter errors.
+func TestSimulateEngineErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	unprocessable := []string{
+		`{"engine":"warp","n":16,"lambda":0.8}`,                                  // unknown engine name
+		`{"engine":"hybrid","n":16,"lambda":0.8,"tracked":32}`,                   // tracked > n
+		`{"engine":"hybrid","n":16,"lambda":0.8,"tracked":-1}`,                   // negative tracked
+		`{"engine":"hybrid","n":16,"lambda":0.8,"tracked":100000}`,               // tracked over the cap
+		`{"engine":"fluid","n":16,"lambda":0.8,"tracked":4}`,                     // tracked outside hybrid
+		`{"engine":"hybrid","n":64,"lambda":0.8,"d":2}`,                          // hybrid cannot do d-choices
+		`{"engine":"fluid","n":64,"lambda":0.8,"service":"erlang","stages":4}`,   // non-exponential service
+		`{"engine":"fluid","n":64,"lambda":0.8,"policy":"rebalance","rebalance":0.5}`, // no mean-field counterpart
+	}
+	for _, body := range unprocessable {
+		resp, rb := post(t, ts, "/v1/simulate", body)
+		if resp.StatusCode != http.StatusUnprocessableEntity {
+			t.Errorf("%s: status %d, want 422: %s", body, resp.StatusCode, rb)
+			continue
+		}
+		var e struct{ Code string }
+		if err := json.Unmarshal(rb, &e); err != nil || e.Code != "bad_engine" {
+			t.Errorf("%s: error code %q (err %v), want bad_engine", body, e.Code, err)
+		}
+	}
+	// Parameter errors on a valid engine stay 400s, and the DES n cap is
+	// still enforced when the engine is spelled out.
+	badRequests := []string{
+		`{"engine":"hybrid","n":100000,"lambda":-0.9}`,
+		`{"engine":"des","n":100000,"lambda":0.8}`,
+	}
+	for _, body := range badRequests {
+		resp, rb := post(t, ts, "/v1/simulate", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400: %s", body, resp.StatusCode, rb)
+		}
+	}
+}

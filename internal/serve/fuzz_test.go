@@ -157,6 +157,14 @@ var simSeeds = []string{
 	`{"n":16,"lambda":0.8,"reps":1000}`,
 	`{"n":16,"lambda":0.8,"horizon":1e300}`,
 	`{"n":16,"lambda":0.8,"seed":9223372036854775807}`,
+	`{"engine":"hybrid","n":100000,"lambda":0.9,"t":2,"horizon":400,"reps":1,"seed":7}`,
+	`{"tracked":64,"engine":"hybrid","seed":7,"reps":1,"horizon":400,"t":2,"lambda":0.9,"n":100000}`,
+	`{"engine":"fluid","n":64,"lambda":0.85,"t":2,"horizon":2000,"warmup":1000}`,
+	`{"engine":"des","n":16,"lambda":0.8}`,
+	`{"engine":"warp","n":16,"lambda":0.8}`,
+	`{"engine":"hybrid","n":16,"lambda":0.8,"tracked":32}`,
+	`{"engine":"fluid","n":16,"lambda":0.8,"tracked":4}`,
+	`{"n":16,"lambda":0.8,"tracked":-1,"engine":"hybrid"}`,
 }
 
 func FuzzSimulateRequest(f *testing.F) {
@@ -195,6 +203,14 @@ func TestCanonicalKeyFieldOrder(t *testing.T) {
 			`{"n":16,"lambda":0.8,"horizon":1200,"warmup":100,"reps":2,"seed":7,"policy":"steal","service":"exp"}`,
 			// deadline_sec is a serving knob, not part of the cache key.
 			`{"n":16,"lambda":0.8,"horizon":1200,"warmup":100,"reps":2,"seed":7,"deadline_sec":2.5}`,
+			// engine "des" is the implied default.
+			`{"n":16,"lambda":0.8,"horizon":1200,"warmup":100,"reps":2,"seed":7,"engine":"des"}`,
+		}},
+		{"simulate-hybrid", simKey, []string{
+			`{"engine":"hybrid","n":100000,"lambda":0.9,"t":2,"horizon":400,"reps":1,"seed":7}`,
+			`{"seed":7,"reps":1,"horizon":400,"t":2,"lambda":0.9,"n":100000,"engine":"hybrid"}`,
+			// tracked=256 is hybrid's implied default at this n.
+			`{"engine":"hybrid","n":100000,"lambda":0.9,"t":2,"horizon":400,"reps":1,"seed":7,"tracked":256}`,
 		}},
 	}
 	for _, tc := range cases {

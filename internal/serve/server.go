@@ -429,6 +429,22 @@ func solveError(err error) error {
 	return errBadRequest("%v", err)
 }
 
+// simSpecError classifies a simulate-spec failure: engine-capability
+// problems (an unknown engine name, Tracked out of range, or a variant the
+// selected engine cannot run) are unprocessable — the request is
+// well-formed but names a computation no engine provides — while plain
+// parameter errors stay bad requests.
+func simSpecError(err error) error {
+	if errors.Is(err, experiments.ErrEngineSpec) {
+		return &httpError{
+			status: http.StatusUnprocessableEntity,
+			code:   "bad_engine",
+			msg:    err.Error(),
+		}
+	}
+	return errBadRequest("%v", err)
+}
+
 // handleFixedPoint serves POST /v1/fixedpoint.
 func (s *Server) handleFixedPoint(w http.ResponseWriter, r *http.Request) {
 	var spec experiments.FixedPointSpec
@@ -512,7 +528,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	}
 	opts, err := req.SimSpec.Options()
 	if err != nil {
-		s.writeError(w, errBadRequest("%v", err))
+		s.writeError(w, simSpecError(err))
 		return
 	}
 	key, err := canonicalKey("sim", &req.SimSpec)
@@ -556,7 +572,7 @@ func (s *Server) computeSim(ctx context.Context, spec *experiments.SimSpec, opts
 
 	cell, err := s.pool.Sim(opts, spec.Reps)
 	if err != nil {
-		return nil, errBadRequest("%v", err)
+		return nil, simSpecError(err)
 	}
 	agg, aggErr := cell.AggregateCtx(ctx)
 	ran := cell.Ran()

@@ -20,6 +20,8 @@ const (
 	evRebalance                    // pairwise rebalancing event
 	evSample                       // periodic empirical-tail snapshot
 	evSeries                       // periodic mean-load time-series snapshot
+	evFluid                        // hybrid engine: advance the fluid bulk one step
+	evProbe                        // hybrid engine: bulk thief probes a tracked victim
 )
 
 // proc is the per-processor state.
@@ -74,22 +76,11 @@ type engine struct {
 	allIDs   []int32   // cached identity permutation for the one-class case
 }
 
-// newEngine builds the initial state and schedules the priming events.
-func newEngine(o Options, stream *rng.Source) *engine {
-	e := &engine{}
-	e.init(o, stream)
-	return e
-}
-
-// reset re-initializes e for a fresh run of o on the given stream, recycling
-// the processor slice, task deques, event queue, and sampling buffers of the
-// previous run. A reset engine is indistinguishable from a new one: the
-// event sequence, random draws, and results are byte-identical.
-func (e *engine) reset(o Options, stream *rng.Source) {
-	e.init(o, stream)
-}
-
-// init is the shared construction path of newEngine and reset.
+// init prepares e for a fresh run of o on the given stream (backend
+// interface), recycling the processor slice, task deques, event queue, and
+// sampling buffers of any previous run. A recycled engine is
+// indistinguishable from a new one: the event sequence, random draws, and
+// results are byte-identical.
 func (e *engine) init(o Options, stream *rng.Source) {
 	e.o = o
 	e.r = stream
@@ -411,16 +402,8 @@ func (e *engine) rebalance(p int32) {
 	}
 }
 
-// Run executes the simulation and returns its measurements.
-func Run(o Options) (Result, error) {
-	o.normalize()
-	if err := o.Validate(); err != nil {
-		return Result{}, err
-	}
-	e := newEngine(o, rng.New(o.Seed))
-	e.run()
-	return e.res, nil
-}
+// result returns the measurements of the last run (backend interface).
+func (e *engine) result() Result { return e.res }
 
 // stopCheckMask sets the cancellation polling cadence: the Stop flag is
 // loaded once every stopCheckMask+1 events. At ~150 ns/event that bounds

@@ -1,0 +1,224 @@
+package sim
+
+// The fluid backend replaces event-by-event simulation with the paper's
+// mean-field differential equations: it integrates ds/dt = f(s) from the
+// empty state over [0, Horizon] and reads the Result off the trajectory.
+// By Kurtz's theorem this is the n → ∞ limit of the DES engine, so the
+// backend is deterministic (Seed is ignored), costs O(Horizon · dim)
+// regardless of N, and reports means — MeanLoad and Tails as time averages
+// over [Warmup, Horizon], MeanSojourn through Little's law, and no
+// per-processor or quantile measurements (those need the hybrid engine's
+// tracked sample).
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/meanfield"
+	"repro/internal/metrics"
+	"repro/internal/ode"
+	"repro/internal/rng"
+)
+
+// fluidStep is the fixed RK4 step of the fluid integration. The model
+// right-hand sides are Lipschitz with rates of order MaxRate ≤ 4 + r, so a
+// step of 0.02 keeps the RK4 error orders of magnitude below the
+// statistical margins anything downstream compares against.
+const fluidStep = 0.02
+
+// fluidModel maps Options onto the mean-field model it is the finite-n
+// version of. tailsFirst reports whether the model state is a single
+// task-indexed tail vector (s₀, s₁, ...), which is what Result.Tails and
+// the hybrid engine's coupling read. Unsupported combinations — anything
+// without a mean-field counterpart in internal/meanfield — get a
+// descriptive error naming the engine.
+func fluidModel(o *Options) (m core.Model, tailsFirst bool, err error) {
+	bad := func(format string, args ...any) (core.Model, bool, error) {
+		return nil, false, fmt.Errorf("sim: %s engine: %s", o.Engine, fmt.Sprintf(format, args...))
+	}
+	if o.Classes != nil {
+		return bad("heterogeneous classes are not supported")
+	}
+	if o.LambdaInt != 0 {
+		return bad("internal spawning is not supported")
+	}
+	if o.InitialLoad != 0 {
+		return bad("static (initial-load) runs are not supported")
+	}
+	if o.Lambda <= 0 || o.Lambda >= 1 {
+		return bad("need arrival rate in (0, 1), got %g", o.Lambda)
+	}
+	if e, ok := o.Service.(dist.Exponential); !ok || e.Rate != 1 {
+		return bad("need exponential service with rate 1, got %v", o.Service)
+	}
+	lam := o.Lambda
+	switch o.Policy {
+	case PolicyNone:
+		return meanfield.NewNoSteal(lam), true, nil
+	case PolicyRebalance:
+		return bad("pairwise rebalancing is not supported")
+	case PolicySteal:
+	}
+	if o.TransferRate > 0 {
+		// Validate already pins K = 1 and !Half here.
+		if o.B != 0 || o.D != 1 {
+			return bad("transfer delays combine only with B = 0, D = 1")
+		}
+		if o.RetryRate > 0 {
+			return meanfield.NewRepeatedTransfer(lam, o.T, o.RetryRate, o.TransferRate), false, nil
+		}
+		return meanfield.NewTransfer(lam, o.T, o.TransferRate), false, nil
+	}
+	if o.B > 0 {
+		if o.D != 1 || o.K != 1 || o.Half || o.RetryRate > 0 {
+			return bad("preemptive stealing (B > 0) combines only with D = 1, K = 1 single steals")
+		}
+		return meanfield.NewPreemptive(lam, o.B, o.T), true, nil
+	}
+	if o.D > 1 {
+		if o.K != 1 || o.Half || o.RetryRate > 0 {
+			return bad("victim choices (D > 1) combine only with K = 1 single steals")
+		}
+		return meanfield.NewChoices(lam, o.T, o.D), true, nil
+	}
+	if o.K > 1 {
+		if o.RetryRate > 0 {
+			return bad("multi-steal (K > 1) does not combine with retries")
+		}
+		return meanfield.NewMultiSteal(lam, o.T, o.K), true, nil
+	}
+	if o.Half {
+		if o.RetryRate > 0 {
+			return bad("steal-half does not combine with retries")
+		}
+		return meanfield.NewStealHalf(lam, o.T), true, nil
+	}
+	if o.RetryRate > 0 {
+		return meanfield.NewRepeated(lam, o.T, o.RetryRate), true, nil
+	}
+	return meanfield.NewThreshold(lam, o.T), true, nil
+}
+
+// busyFraction reads the fraction of busy processors off a model state.
+func busyFraction(m core.Model, tailsFirst bool, x []float64) float64 {
+	if obs, ok := m.(core.Observer); ok {
+		return obs.BusyFraction(x)
+	}
+	if tailsFirst && len(x) > 1 {
+		return x[1]
+	}
+	return 0
+}
+
+// fluidEngine integrates the mean-field ODEs (backend interface).
+type fluidEngine struct {
+	o   Options
+	res Result
+}
+
+// init prepares a fresh fluid run. The stream is ignored: the fluid limit
+// is deterministic.
+func (f *fluidEngine) init(o Options, _ *rng.Source) {
+	f.o = o
+	f.res = Result{DrainTime: -1}
+	f.res.P50, f.res.P95, f.res.P99 = math.NaN(), math.NaN(), math.NaN()
+}
+
+func (f *fluidEngine) result() Result { return f.res }
+
+// run integrates the trajectory and accumulates the windowed averages.
+func (f *fluidEngine) run() {
+	o := &f.o
+	m, tailsFirst, err := fluidModel(o)
+	if err != nil {
+		// Options.Validate runs fluidModel before a backend is built, so
+		// an error here means a caller bypassed validation.
+		panic(err)
+	}
+	x := m.Initial()
+	scratch := ode.NewRK4Scratch(m.Dim())
+	sys := ode.System(m.Derivs)
+
+	tailDepth := o.TailDepth
+	if !tailsFirst {
+		tailDepth = 0 // state is not a task-indexed tail vector
+	}
+	var (
+		loadInt, busyInt, span float64
+		tailInt                []float64
+		seriesT, seriesL       []float64
+		nextSeries             float64
+	)
+	if tailDepth > 0 {
+		tailInt = make([]float64, tailDepth)
+	}
+
+	steps := int(math.Ceil(o.Horizon / fluidStep))
+	t := 0.0
+	for step := 0; step <= steps; step++ {
+		if o.SeriesEvery > 0 && t >= nextSeries-1e-12 {
+			seriesT = append(seriesT, nextSeries)
+			seriesL = append(seriesL, m.MeanTasks(x))
+			nextSeries += o.SeriesEvery
+		}
+		if step == steps {
+			break
+		}
+		h := fluidStep
+		if t+h > o.Horizon {
+			h = o.Horizon - t
+		}
+		// Left-endpoint accumulation of the post-warmup window; the O(h)
+		// quadrature error is far below fluid-vs-sample noise.
+		if w := math.Min(t+h, o.Horizon) - math.Max(t, o.Warmup); w > 0 {
+			span += w
+			loadInt += m.MeanTasks(x) * w
+			busyInt += busyFraction(m, tailsFirst, x) * w
+			for i := range tailInt {
+				if i < len(x) {
+					tailInt[i] += x[i] * w
+				}
+			}
+		}
+		ode.RK4(sys, x, h, scratch)
+		m.Project(x)
+		t += h
+	}
+
+	f.res.End = o.Horizon
+	if span > 0 {
+		f.res.MeanLoad = loadInt / span
+		if tailInt != nil {
+			f.res.Tails = tailInt
+			for i := range f.res.Tails {
+				f.res.Tails[i] /= span
+			}
+		}
+	}
+	lam := m.ArrivalRate()
+	// Little's law over the measurement window: E[T] = E[L] / λ. In the
+	// fluid limit the measured-task count is the deterministic flow
+	// λ · N · span.
+	f.res.MeanSojourn = f.res.MeanLoad / lam
+	f.res.Measured = int64(math.Round(lam * float64(o.N) * span))
+	f.res.SeriesTimes = seriesT
+	f.res.SeriesLoads = seriesL
+
+	// Flow-balance counters: arrivals over [0, End] minus the fluid mass
+	// still in the system at the end equals departures.
+	met := metrics.Metrics{Duration: o.Horizon, Span: span}
+	met.Arrivals = int64(math.Round(lam * float64(o.N) * o.Horizon))
+	inSystem := m.MeanTasks(x) * float64(o.N)
+	met.Departures = met.Arrivals - int64(math.Round(inSystem))
+	if met.Departures < 0 {
+		met.Departures = 0
+	}
+	if span > 0 {
+		met.Utilization = busyInt / span
+	}
+	f.res.Arrived = met.Arrivals
+	f.res.Completed = met.Departures
+	f.res.Metrics = met
+}

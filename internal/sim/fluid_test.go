@@ -1,0 +1,186 @@
+package sim
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/meanfield"
+)
+
+// fluidBase returns a basic-threshold configuration for the fluid engine.
+func fluidBase() Options {
+	return Options{
+		Engine: EngineFluid,
+		N:      64, Lambda: 0.85, Service: dist.NewExponential(1),
+		Policy: PolicySteal, T: 2,
+		Horizon: 4000, Warmup: 2000, TailDepth: 6,
+	}
+}
+
+// TestFluidMatchesFixedPoint checks that the integrated trajectory's
+// long-run window agrees with the independently computed mean-field fixed
+// point: sojourn, utilization (= λ), and the tail vector.
+func TestFluidMatchesFixedPoint(t *testing.T) {
+	res, err := Run(fluidBase())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := meanfield.Solve(meanfield.NewThreshold(0.85, 2), meanfield.SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := fp.SojournTime(); math.Abs(res.MeanSojourn-want)/want > 0.01 {
+		t.Errorf("fluid sojourn %v, fixed point %v", res.MeanSojourn, want)
+	}
+	if math.Abs(res.Metrics.Utilization-0.85) > 0.005 {
+		t.Errorf("fluid utilization %v, want ≈ 0.85", res.Metrics.Utilization)
+	}
+	if len(res.Tails) != 6 || res.Tails[0] != 1 {
+		t.Fatalf("fluid tails %v, want 6 entries starting at 1", res.Tails)
+	}
+	for i := 1; i < 6; i++ {
+		if i < len(fp.State) && math.Abs(res.Tails[i]-fp.State[i]) > 0.01 {
+			t.Errorf("fluid tail s_%d = %v, fixed point %v", i, res.Tails[i], fp.State[i])
+		}
+	}
+	if res.Measured <= 0 {
+		t.Errorf("fluid Measured = %d, want the deterministic flow count", res.Measured)
+	}
+}
+
+// TestFluidDeterministic pins the engine's independence from Seed.
+func TestFluidDeterministic(t *testing.T) {
+	a := fluidBase()
+	b := fluidBase()
+	a.Seed, b.Seed = 7, 99
+	ra, err := Run(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := Run(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.MeanSojourn != rb.MeanSojourn || ra.MeanLoad != rb.MeanLoad {
+		t.Errorf("fluid results differ across seeds: %v vs %v", ra.MeanSojourn, rb.MeanSojourn)
+	}
+}
+
+// TestFluidVariants exercises every supported option → model mapping.
+func TestFluidVariants(t *testing.T) {
+	cases := map[string]func(o *Options){
+		"nosteal":    func(o *Options) { o.Policy = PolicyNone; o.T = 0 },
+		"threshold":  func(o *Options) {},
+		"choices":    func(o *Options) { o.D = 2 },
+		"multisteal": func(o *Options) { o.T = 4; o.K = 2 },
+		"stealhalf":  func(o *Options) { o.T = 4; o.Half = true },
+		"repeated":   func(o *Options) { o.RetryRate = 1 },
+		"preemptive": func(o *Options) { o.B = 1; o.T = 3 },
+		"transfer":   func(o *Options) { o.T = 4; o.TransferRate = 0.25 },
+		"reptrans":   func(o *Options) { o.T = 4; o.TransferRate = 0.25; o.RetryRate = 1 },
+	}
+	for name, mutate := range cases {
+		t.Run(name, func(t *testing.T) {
+			o := fluidBase()
+			o.Horizon, o.Warmup = 600, 300
+			mutate(&o)
+			res, err := Run(o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !(res.MeanLoad > 0) || !(res.MeanSojourn > 0) {
+				t.Errorf("degenerate fluid result: load %v sojourn %v", res.MeanLoad, res.MeanSojourn)
+			}
+			// The transfer models track split populations, not plain tails.
+			if (name == "transfer" || name == "reptrans") != (res.Tails == nil) {
+				t.Errorf("tails presence wrong for %s: %v", name, res.Tails)
+			}
+		})
+	}
+}
+
+// TestFluidSeries checks the ODE trajectory surfaces on the series grid.
+func TestFluidSeries(t *testing.T) {
+	o := fluidBase()
+	o.SeriesEvery = 100
+	res, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.SeriesTimes) != len(res.SeriesLoads) || len(res.SeriesTimes) < 40 {
+		t.Fatalf("series: %d times, %d loads", len(res.SeriesTimes), len(res.SeriesLoads))
+	}
+	if res.SeriesLoads[0] != 0 {
+		t.Errorf("series starts at load %v, want 0 (empty initial state)", res.SeriesLoads[0])
+	}
+	last := res.SeriesLoads[len(res.SeriesLoads)-1]
+	if math.Abs(last-res.MeanLoad)/res.MeanLoad > 0.02 {
+		t.Errorf("series tail %v far from windowed mean %v", last, res.MeanLoad)
+	}
+}
+
+// TestFluidRejectsUnsupported pins the typed rejection of configurations
+// without a mean-field counterpart, and of Tracked outside hybrid.
+func TestFluidRejectsUnsupported(t *testing.T) {
+	cases := map[string]struct {
+		mutate func(o *Options)
+		want   string
+	}{
+		"rebalance": {func(o *Options) { o.Policy = PolicyRebalance; o.T = 0; o.RebalanceRate = 1 }, "rebalancing"},
+		"classes": {func(o *Options) {
+			o.Classes = []Class{{Frac: 0.5, Lambda: 0.5, Rate: 1.5}, {Frac: 0.5, Lambda: 1, Rate: 1}}
+		}, "classes"},
+		"spawning":  {func(o *Options) { o.LambdaInt = 0.3 }, "spawning"},
+		"static":    {func(o *Options) { o.InitialLoad = 4 }, "static"},
+		"erlang":    {func(o *Options) { o.Service = dist.NewErlang(4, 4) }, "exponential"},
+		"unstable":  {func(o *Options) { o.Lambda = 1.5 }, "(0, 1)"},
+		"tracked":   {func(o *Options) { o.Tracked = 16 }, "Tracked"},
+		"preemhalf": {func(o *Options) { o.B = 1; o.T = 4; o.Half = true }, "preemptive"},
+	}
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			o := fluidBase()
+			tc.mutate(&o)
+			_, err := Run(o)
+			if err == nil {
+				t.Fatal("expected a validation error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestParseEngine pins the name ↔ kind mapping and its round trip.
+func TestParseEngine(t *testing.T) {
+	for i, name := range EngineNames {
+		k, err := ParseEngine(name)
+		if err != nil || int(k) != i {
+			t.Errorf("ParseEngine(%q) = %v, %v", name, k, err)
+		}
+		if k.String() != name {
+			t.Errorf("EngineKind(%d).String() = %q, want %q", i, k.String(), name)
+		}
+	}
+	if k, err := ParseEngine(""); err != nil || k != EngineDES {
+		t.Errorf("empty engine name should select DES, got %v, %v", k, err)
+	}
+	if _, err := ParseEngine("warp"); err == nil || !strings.Contains(err.Error(), "warp") {
+		t.Errorf("unknown engine error %v should name the input", err)
+	}
+	if got := EngineKind(99).String(); !strings.Contains(got, "99") {
+		t.Errorf("out-of-range String() = %q", got)
+	}
+}
+
+// TestUnknownEngineRejected pins Validate's gate on out-of-range kinds.
+func TestUnknownEngineRejected(t *testing.T) {
+	o := fluidBase()
+	o.Engine = EngineKind(7)
+	if _, err := Run(o); err == nil || !strings.Contains(err.Error(), "unknown engine") {
+		t.Fatalf("want unknown-engine error, got %v", err)
+	}
+}

@@ -1,0 +1,623 @@
+package sim
+
+// The hybrid backend couples a small tracked sample of processors,
+// simulated event-by-event exactly like the DES engine, to the mean-field
+// fluid limit standing in for the other N − Tracked processors (the bulk).
+// The coupling follows the structure of Kurtz's density-dependent chains:
+// every interaction of a tracked processor with "the rest of the system"
+// is drawn against the current fluid tail vector s(t).
+//
+//   - Tracked processors receive their own Poisson arrivals and serve
+//     tasks exactly as in the DES engine.
+//   - When a tracked thief steals, its victim is another tracked processor
+//     with probability Tracked/N (a real within-sample steal, including
+//     the self-draw that the DES victim sampler allows); otherwise the
+//     victim is in the bulk and the attempt succeeds with probability
+//     s_T(t), the fluid fraction of processors at or above the threshold.
+//     Stolen bulk tasks materialize in the thief's queue.
+//   - Bulk thieves victimize the sample through a thinned Poisson probe
+//     process: each tracked processor is probed at rate α(t)·(N−Tracked)/N,
+//     where α(t) = (s₁−s₂) + r·(1−s₁) is the fluid per-processor
+//     steal-attempt rate (completions that empty a queue, plus retries).
+//     A probed processor at or above the threshold loses K tasks (⌈j/2⌉
+//     under steal-half) from the tail of its queue into the bulk.
+//
+// The fluid state itself evolves by the autonomous mean-field ODE,
+// advanced with RK4 on a fixed tick. Feedback from the sample onto the
+// fluid is ignored — an O(Tracked/N) bias, see DESIGN.md §13 — and tasks
+// stolen from the bulk carry no arrival stamp, so they contribute to load
+// and utilization but never to sojourn measurements.
+//
+// Supported options are the intersection of the DES engine and the
+// tails-first mean-field models with on-empty stealing: PolicyNone or
+// PolicySteal with B = 0, D = 1, no transfer delays, and K ≥ 1, steal-half
+// or retries; exponential rate-1 service; homogeneous processors.
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/eventq"
+	"repro/internal/metrics"
+	"repro/internal/ode"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// hybridFluidStep is the fluid tick: the bulk state advances by one RK4
+// step of this size, and tracked-processor interactions in between read
+// the piecewise-constant fluid tails.
+const hybridFluidStep = 0.05
+
+// bulkArrival is the arrival stamp of tasks stolen from the fluid bulk.
+// It precedes every warmup, so bulk tasks are never sojourn-measured: the
+// fluid limit does not know how long they have already been queued.
+var bulkArrival = math.Inf(-1)
+
+// validateHybrid rejects option combinations the hybrid coupling cannot
+// represent: it needs a tails-first mean-field model (for s_T and the
+// probe rate) and on-empty single-victim stealing.
+func (o *Options) validateHybrid() error {
+	bad := func(format string, args ...any) error {
+		return fmt.Errorf("sim: hybrid engine: %s", fmt.Sprintf(format, args...))
+	}
+	if o.Policy == PolicySteal {
+		if o.B != 0 {
+			return bad("preemptive stealing (B > 0) is not supported")
+		}
+		if o.D != 1 {
+			return bad("victim choices (D > 1) are not supported")
+		}
+		if o.TransferRate != 0 {
+			return bad("transfer delays are not supported")
+		}
+	}
+	m, tailsFirst, err := fluidModel(o)
+	if err != nil {
+		return err
+	}
+	if !tailsFirst {
+		return bad("model %s does not expose task-indexed tails", m.Name())
+	}
+	return nil
+}
+
+// hybridEngine is the tracked-sample-plus-fluid backend.
+type hybridEngine struct {
+	o     Options
+	r     *rng.Source
+	q     *eventq.Queue
+	procs []proc // the tracked sample
+
+	// Fluid bulk.
+	model   core.Model
+	x       []float64
+	scratch *ode.RK4Scratch
+
+	// Coupling rates, fixed per run.
+	trackedFrac float64 // Tracked / N: chance a tracked thief picks a tracked victim
+	probeBound  float64 // merged thinning bound on the bulk probe process
+	alphaBar    float64 // per-processor bound on the fluid attempt rate α(t)
+
+	now          float64
+	totalTasks   int64
+	loadIntegral float64
+	loadSince    float64
+
+	res        Result
+	sojournSum float64
+	tails      *tailSampler
+	sojournH   *stats.Histogram
+	seriesT    []float64
+	seriesL    []float64
+
+	met          metrics.Metrics
+	sampleEvery  float64
+	qhist        []int64
+	qhistSamples int64
+
+	stealBuf []float64
+}
+
+// init prepares a fresh hybrid run of o on the given stream, recycling the
+// tracked-processor slice, event queue, and buffers of any previous run.
+func (h *hybridEngine) init(o Options, stream *rng.Source) {
+	h.o = o
+	h.r = stream
+	h.now = 0
+	h.totalTasks = 0
+	h.loadIntegral = 0
+	h.loadSince = 0
+	h.res = Result{DrainTime: -1}
+	h.res.P50, h.res.P95, h.res.P99 = math.NaN(), math.NaN(), math.NaN()
+	h.sojournSum = 0
+	h.tails = nil
+	h.sojournH = nil
+	h.seriesT = nil
+	h.seriesL = nil
+	h.met = metrics.Metrics{}
+	h.sampleEvery = 0
+	h.qhist = nil
+	h.qhistSamples = 0
+
+	m, _, err := fluidModel(&o)
+	if err != nil {
+		panic(err) // Options.Validate gates every caller
+	}
+	h.model = m
+	h.x = m.Initial()
+	h.scratch = ode.NewRK4Scratch(m.Dim())
+
+	if h.q == nil {
+		h.q = eventq.New(4 * o.Tracked)
+	} else {
+		h.q.Reset()
+	}
+	if cap(h.procs) >= o.Tracked {
+		h.procs = h.procs[:o.Tracked]
+		for i := range h.procs {
+			pr := &h.procs[i]
+			pr.q.Reset()
+			*pr = proc{q: pr.q}
+		}
+	} else {
+		h.procs = make([]proc, o.Tracked)
+	}
+	for i := range h.procs {
+		h.procs[i].rate = 1
+	}
+
+	h.trackedFrac = float64(o.Tracked) / float64(o.N)
+	h.alphaBar = 0
+	h.probeBound = 0
+	if o.Policy == PolicySteal {
+		// α(t) ≤ (s₁−s₂) + r·(1−s₁) ≤ 1 + r, the thinning bound of the
+		// bulk probe process; scaled by the bulk fraction and merged over
+		// the sample.
+		h.alphaBar = 1 + o.RetryRate
+		h.probeBound = h.alphaBar * (1 - h.trackedFrac) * float64(o.Tracked)
+	}
+
+	// Priming events: the merged arrival stream of the sample, the fluid
+	// tick chain, the probe chain, and the samplers.
+	h.q.Push(eventq.Event{Time: h.r.Exp(o.Lambda * float64(o.Tracked)), Kind: evArrival})
+	h.q.Push(eventq.Event{Time: hybridFluidStep, Kind: evFluid})
+	if h.probeBound > 0 {
+		h.q.Push(eventq.Event{Time: h.r.Exp(h.probeBound), Kind: evProbe})
+	}
+	h.scheduleHybridSample()
+	if o.SeriesEvery > 0 {
+		h.q.Push(eventq.Event{Time: 0, Kind: evSeries})
+	}
+	if o.SojournHistMax > 0 {
+		h.sojournH = stats.NewHistogram(0, o.SojournHistMax, 1000)
+	}
+}
+
+func (h *hybridEngine) result() Result { return h.res }
+
+// tail returns s_i of the fluid state (0 beyond the truncation).
+func (h *hybridEngine) tail(i int) float64 {
+	if i < 0 {
+		return 1
+	}
+	if i >= len(h.x) {
+		return 0
+	}
+	return h.x[i]
+}
+
+// alpha is the fluid per-processor steal-attempt rate: processors
+// completing the task that empties their queue, plus idle retries.
+func (h *hybridEngine) alpha() float64 {
+	a := h.tail(1) - h.tail(2) + h.o.RetryRate*(1-h.tail(1))
+	if a < 0 {
+		return 0
+	}
+	if a > h.alphaBar {
+		return h.alphaBar
+	}
+	return a
+}
+
+// accountLoad integrates the tracked total-load process up to time t.
+func (h *hybridEngine) accountLoad(t float64) {
+	if t <= h.o.Warmup {
+		return
+	}
+	from := h.loadSince
+	if from < h.o.Warmup {
+		from = h.o.Warmup
+	}
+	if t > from {
+		h.loadIntegral += float64(h.totalTasks) * (t - from)
+	}
+	h.loadSince = t
+}
+
+func (h *hybridEngine) markBusy(pr *proc) { pr.busySince = h.now }
+
+func (h *hybridEngine) markIdle(pr *proc) {
+	from := pr.busySince
+	if from < h.o.Warmup {
+		from = h.o.Warmup
+	}
+	if h.now > from {
+		pr.busyTime += h.now - from
+	}
+}
+
+// addTask enqueues a task at tracked processor p.
+func (h *hybridEngine) addTask(p int32, arrival float64) {
+	pr := &h.procs[p]
+	pr.q.PushBack(arrival)
+	pr.emptyEpoch++
+	h.totalTasks++
+	if pr.q.Len() == 1 {
+		h.markBusy(pr)
+		h.scheduleDeparture(p)
+	}
+}
+
+func (h *hybridEngine) scheduleDeparture(p int32) {
+	pr := &h.procs[p]
+	if pr.q.Len() == 0 {
+		return
+	}
+	s := h.o.Service.Sample(h.r) / pr.rate
+	h.q.Push(eventq.Event{Time: h.now + s, Kind: evDeparture, Proc: p})
+}
+
+func (h *hybridEngine) completeTask(p int32) {
+	pr := &h.procs[p]
+	arrival := pr.q.PopFront()
+	h.totalTasks--
+	h.met.Departures++
+	if arrival >= h.o.Warmup {
+		sj := h.now - arrival
+		h.sojournSum += sj
+		h.res.Measured++
+		if h.sojournH != nil {
+			h.sojournH.Add(sj)
+		}
+	}
+	if pr.q.Len() > 0 {
+		h.scheduleDeparture(p)
+	} else {
+		h.markIdle(pr)
+	}
+}
+
+// stealCount returns how many tasks a successful steal takes from a
+// load-j victim.
+func (h *hybridEngine) stealCount(load int) int {
+	if h.o.Half {
+		return (load + 1) / 2
+	}
+	return h.o.K
+}
+
+// sampleBulkLoad draws a bulk victim's queue length conditional on being
+// at or above the threshold: P(j ≥ l | j ≥ T) = s_l / s_T.
+func (h *hybridEngine) sampleBulkLoad() int {
+	t := h.o.T
+	sT := h.tail(t)
+	if sT <= 0 {
+		return t
+	}
+	u := h.r.Float64() * sT
+	j := t
+	for j+1 < len(h.x) && h.x[j+1] > u {
+		j++
+	}
+	return j
+}
+
+// trySteal performs one steal attempt by an empty tracked thief. The
+// victim is tracked with probability Tracked/N (exact within-sample steal,
+// self-draws included, mirroring the DES victim sampler); otherwise the
+// attempt is resolved against the fluid tails.
+func (h *hybridEngine) trySteal(thief int32) bool {
+	h.met.StealAttempts++
+	h.procs[thief].stealAttempts++
+	if h.r.Float64() < h.trackedFrac {
+		v := int32(h.r.Intn(h.o.Tracked))
+		load := h.procs[v].q.Len()
+		if load < h.o.T || load < 2 {
+			if load < 2 {
+				h.met.StealFailEmpty++
+			} else {
+				h.met.StealFailThreshold++
+			}
+			return false
+		}
+		h.met.StealSuccesses++
+		h.procs[thief].stealSuccesses++
+		vic := &h.procs[v]
+		k := h.stealCount(load)
+		tmp := h.stealBuf[:0]
+		for j := 0; j < k; j++ {
+			tmp = append(tmp, vic.q.PopBack())
+		}
+		h.stealBuf = tmp
+		for j := len(tmp) - 1; j >= 0; j-- {
+			pr := &h.procs[thief]
+			pr.q.PushBack(tmp[j])
+			pr.emptyEpoch++
+			if pr.q.Len() == 1 {
+				h.markBusy(pr)
+				h.scheduleDeparture(thief)
+			}
+		}
+		return true
+	}
+	// Bulk victim: one uniform draw against the fluid tail resolves the
+	// outcome — success below s_T, a below-threshold victim between s_T
+	// and s₂, an (almost) empty victim above s₂.
+	u := h.r.Float64()
+	if u >= h.tail(h.o.T) {
+		if u >= h.tail(2) {
+			h.met.StealFailEmpty++
+		} else {
+			h.met.StealFailThreshold++
+		}
+		return false
+	}
+	h.met.StealSuccesses++
+	h.procs[thief].stealSuccesses++
+	k := h.o.K
+	if h.o.Half {
+		k = (h.sampleBulkLoad() + 1) / 2
+	}
+	for j := 0; j < k; j++ {
+		h.addTask(thief, bulkArrival)
+	}
+	return true
+}
+
+// afterCompletion mirrors the DES policy hook: an emptied tracked
+// processor attempts a steal, and arms a retry on failure.
+func (h *hybridEngine) afterCompletion(p int32) {
+	if h.o.Policy != PolicySteal {
+		return
+	}
+	pr := &h.procs[p]
+	if pr.q.Len() > 0 {
+		return // B = 0: only emptied processors steal
+	}
+	if h.trySteal(p) {
+		return
+	}
+	if h.o.RetryRate > 0 && pr.q.Len() == 0 {
+		h.q.Push(eventq.Event{
+			Time:  h.now + h.r.Exp(h.o.RetryRate),
+			Kind:  evRetry,
+			Proc:  p,
+			Epoch: pr.emptyEpoch,
+		})
+	}
+}
+
+// probe resolves one bulk-thief probe: thinned to the current α(t), it
+// picks a uniform tracked victim and, if the victim is at or above the
+// threshold, removes a steal's worth of tasks into the bulk. The victim
+// keeps its head task (T ≥ 2K and steal-half leave at least one), so no
+// departure needs rescheduling.
+func (h *hybridEngine) probe() {
+	if h.r.Float64()*h.alphaBar >= h.alpha() {
+		return // thinned: the bulk attempt rate is below the bound
+	}
+	v := int32(h.r.Intn(h.o.Tracked))
+	vic := &h.procs[v]
+	load := vic.q.Len()
+	if load < h.o.T || load < 2 {
+		return
+	}
+	k := h.stealCount(load)
+	for j := 0; j < k; j++ {
+		vic.q.PopBack()
+		h.totalTasks--
+	}
+	h.met.BulkSteals++
+	h.met.BulkStolenTasks += int64(k)
+}
+
+// scheduleHybridSample arms the shared tail/queue-histogram chain.
+func (h *hybridEngine) scheduleHybridSample() {
+	o := &h.o
+	if o.TailDepth <= 0 && o.QueueHistDepth <= 0 {
+		return
+	}
+	every := o.TailEvery
+	if every <= 0 {
+		every = (o.Horizon - o.Warmup) / 1000
+		if every <= 0 {
+			every = 1
+		}
+	}
+	h.sampleEvery = every
+	if o.TailDepth > 0 {
+		h.tails = newTailSampler(o.TailDepth)
+	}
+	if o.QueueHistDepth > 0 {
+		h.qhist = make([]int64, o.QueueHistDepth)
+	}
+	h.q.Push(eventq.Event{Time: o.Warmup + every, Kind: evSample})
+}
+
+func (h *hybridEngine) handleSample() {
+	if h.tails != nil {
+		h.tails.sample(h.procs)
+		h.tails.nSamples++
+	}
+	if h.qhist != nil {
+		top := len(h.qhist) - 1
+		for i := range h.procs {
+			l := h.procs[i].q.Len()
+			if l > top {
+				l = top
+			}
+			h.qhist[l]++
+		}
+		h.qhistSamples++
+	}
+	next := h.now + h.sampleEvery
+	if next <= h.o.Horizon {
+		h.q.Push(eventq.Event{Time: next, Kind: evSample})
+	}
+}
+
+func (h *hybridEngine) handleSeries() {
+	h.seriesT = append(h.seriesT, h.now)
+	h.seriesL = append(h.seriesL, float64(h.totalTasks)/float64(h.o.Tracked))
+	next := h.now + h.o.SeriesEvery
+	if next <= h.o.Horizon {
+		h.q.Push(eventq.Event{Time: next, Kind: evSeries})
+	}
+}
+
+// run is the hybrid main loop.
+func (h *hybridEngine) run() {
+	o := &h.o
+	wallStart := time.Now()
+	for h.q.Len() > 0 {
+		if o.Stop != nil && h.met.Events&stopCheckMask == stopCheckMask && o.Stop.Load() {
+			break
+		}
+		ev := h.q.PopMin()
+		if ev.Time > o.Horizon {
+			break
+		}
+		h.accountLoad(ev.Time)
+		h.now = ev.Time
+		h.met.Events++
+
+		switch ev.Kind {
+		case evArrival:
+			p := int32(h.r.Intn(o.Tracked))
+			h.addTask(p, h.now)
+			h.met.Arrivals++
+			h.q.Push(eventq.Event{Time: h.now + h.r.Exp(o.Lambda*float64(o.Tracked)), Kind: evArrival})
+
+		case evDeparture:
+			h.completeTask(ev.Proc)
+			h.afterCompletion(ev.Proc)
+
+		case evRetry:
+			pr := &h.procs[ev.Proc]
+			if pr.emptyEpoch != ev.Epoch || pr.q.Len() > 0 {
+				h.met.RetriesStale++
+				break
+			}
+			h.met.Retries++
+			if !h.trySteal(ev.Proc) {
+				h.q.Push(eventq.Event{
+					Time:  h.now + h.r.Exp(o.RetryRate),
+					Kind:  evRetry,
+					Proc:  ev.Proc,
+					Epoch: pr.emptyEpoch,
+				})
+			}
+
+		case evFluid:
+			ode.RK4(ode.System(h.model.Derivs), h.x, hybridFluidStep, h.scratch)
+			h.model.Project(h.x)
+			next := h.now + hybridFluidStep
+			if next <= o.Horizon {
+				h.q.Push(eventq.Event{Time: next, Kind: evFluid})
+			}
+
+		case evProbe:
+			h.probe()
+			h.q.Push(eventq.Event{Time: h.now + h.r.Exp(h.probeBound), Kind: evProbe})
+
+		case evSample:
+			h.handleSample()
+
+		case evSeries:
+			h.handleSeries()
+		}
+	}
+	end := o.Horizon
+	h.accountLoad(end)
+	h.res.End = end
+
+	if h.res.Measured > 0 {
+		h.res.MeanSojourn = h.sojournSum / float64(h.res.Measured)
+	}
+	if span := end - o.Warmup; span > 0 {
+		h.res.MeanLoad = h.loadIntegral / span / float64(o.Tracked)
+	}
+	if h.tails != nil {
+		h.res.Tails = h.tails.tails()
+	}
+	h.res.SeriesTimes = h.seriesT
+	h.res.SeriesLoads = h.seriesL
+	if h.sojournH != nil && h.sojournH.Count() > 0 {
+		h.res.P50 = h.sojournH.Quantile(0.50)
+		h.res.P95 = h.sojournH.Quantile(0.95)
+		h.res.P99 = h.sojournH.Quantile(0.99)
+	}
+	h.finishMetrics(end, time.Since(wallStart))
+}
+
+// finishMetrics closes the observability layer over the tracked sample:
+// per-processor entries, utilization, and the queue histogram are all
+// normalized by Tracked, the number of processors actually measured.
+func (h *hybridEngine) finishMetrics(end float64, wall time.Duration) {
+	o := &h.o
+	h.met.Duration = end
+	span := end - o.Warmup
+	h.met.Span = 0
+	if span > 0 {
+		h.met.Span = span
+	}
+
+	var busySum float64
+	h.met.PerProc = make([]metrics.ProcMetrics, o.Tracked)
+	for i := range h.procs {
+		pr := &h.procs[i]
+		if pr.q.Len() > 0 {
+			from := pr.busySince
+			if from < o.Warmup {
+				from = o.Warmup
+			}
+			if end > from {
+				pr.busyTime += end - from
+			}
+		}
+		pm := &h.met.PerProc[i]
+		pm.StealAttempts = pr.stealAttempts
+		pm.StealSuccesses = pr.stealSuccesses
+		pm.BusyTime = pr.busyTime
+		if span > 0 {
+			pm.Utilization = pr.busyTime / span
+		}
+		busySum += pr.busyTime
+	}
+	if span > 0 {
+		h.met.Utilization = busySum / span / float64(o.Tracked)
+	}
+
+	if h.qhistSamples > 0 {
+		h.met.QueueHist = make([]float64, len(h.qhist))
+		denom := float64(h.qhistSamples) * float64(o.Tracked)
+		for i, c := range h.qhist {
+			h.met.QueueHist[i] = float64(c) / denom
+		}
+		h.met.QueueHistSamples = h.qhistSamples
+	}
+
+	h.met.WallSeconds = wall.Seconds()
+	if h.met.WallSeconds > 0 {
+		h.met.EventsPerSec = float64(h.met.Events) / h.met.WallSeconds
+	}
+
+	h.res.Arrived = h.met.Arrivals
+	h.res.Completed = h.met.Departures
+	h.res.StealAttempts = h.met.StealAttempts
+	h.res.StealSuccesses = h.met.StealSuccesses
+	h.res.Metrics = h.met
+}

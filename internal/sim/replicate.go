@@ -14,15 +14,15 @@ import (
 // Runner executes simulation runs while recycling engine state — the
 // processor slice, per-processor task deques, the future event list, and
 // the sampling buffers — between runs. A worker goroutine that owns a
-// Runner performs roughly one engine allocation for its whole lifetime
-// instead of one per replication, and the steady-state event loop settles
-// at zero allocations per event.
+// Runner performs roughly one engine allocation per backend kind for its
+// whole lifetime instead of one per replication, and the steady-state
+// event loop settles at zero allocations per event.
 //
 // A Runner is not safe for concurrent use; give each worker its own. The
 // zero value is ready to use.
 type Runner struct {
-	e   *engine
-	src rng.Source
+	backends [numEngines]backend
+	src      rng.Source
 }
 
 // RunRep executes replication rep of o on the stream rng.Derive(o.Seed, rep),
@@ -44,15 +44,17 @@ func (r *Runner) Run(o Options) (Result, error) {
 	return r.runStream(o), nil
 }
 
-// runStream runs o on the Runner's current stream, reusing the engine.
+// runStream runs o on the Runner's current stream, reusing the backend of
+// the selected engine kind across runs.
 func (r *Runner) runStream(o Options) Result {
-	if r.e == nil {
-		r.e = newEngine(o, &r.src)
-	} else {
-		r.e.reset(o, &r.src)
+	b := r.backends[o.Engine]
+	if b == nil {
+		b = newBackend(o.Engine)
+		r.backends[o.Engine] = b
 	}
-	r.e.run()
-	return r.e.res
+	b.init(o, &r.src)
+	b.run()
+	return b.result()
 }
 
 // Replication runs R independent replications of a configuration in
@@ -163,6 +165,9 @@ func AggregateResults(o Options, results []Result) Aggregate {
 	for i, r := range results {
 		ms[i] = r.Metrics
 	}
-	agg.Metrics = metrics.Summarize(ms, o.N)
+	// Per-processor rates are normalized by the processors the counters
+	// actually cover: the tracked sample under the hybrid engine, all N
+	// otherwise.
+	agg.Metrics = metrics.Summarize(ms, o.measuredProcs())
 	return agg
 }

@@ -50,6 +50,19 @@ const (
 // the fields documented below (N, Lambda or InitialLoad, Service, Horizon
 // are required).
 type Options struct {
+	// Engine selects the simulation backend: EngineDES (the default,
+	// exact event-by-event simulation of all N processors), EngineFluid
+	// (mean-field ODE integration, the n → ∞ limit), or EngineHybrid
+	// (a tracked DES sample coupled to the fluid bulk). The fluid and
+	// hybrid engines support the subset of option combinations that has a
+	// mean-field counterpart; Validate rejects the rest.
+	Engine EngineKind
+	// Tracked is the number of processors simulated event-by-event under
+	// EngineHybrid (1 ≤ Tracked ≤ N; 0 picks min(256, N)). Sojourn, tail,
+	// utilization, and steal measurements come from the tracked sample;
+	// the remaining N−Tracked processors are represented by the fluid
+	// state. Must be 0 for the other engines.
+	Tracked int
 	// N is the number of processors (≥ 2 when stealing is enabled).
 	N int
 	// Lambda is the external per-processor Poisson task arrival rate.
@@ -154,7 +167,8 @@ type Class struct {
 	Rate float64
 }
 
-// normalize fills defaulted fields (D and K under PolicySteal).
+// normalize fills defaulted fields (D and K under PolicySteal, Tracked
+// under EngineHybrid).
 func (o *Options) normalize() {
 	if o.Policy == PolicySteal {
 		if o.D == 0 {
@@ -164,6 +178,28 @@ func (o *Options) normalize() {
 			o.K = 1
 		}
 	}
+	if o.Engine == EngineHybrid && o.Tracked == 0 {
+		o.Tracked = defaultTracked
+		if o.Tracked > o.N {
+			o.Tracked = o.N
+		}
+	}
+}
+
+// defaultTracked is the hybrid engine's default sample size: large enough
+// that tracked-sample noise (∝ 1/√Tracked) is a few percent, small enough
+// that a million-processor run costs no more than a 256-processor DES.
+const defaultTracked = 256
+
+// measuredProcs returns the number of processors the Result's counters and
+// per-processor metrics cover: the tracked sample under EngineHybrid, all
+// N otherwise. Rate normalizations (throughput, utilization) must divide
+// by this, not by N.
+func (o *Options) measuredProcs() int {
+	if o.Engine == EngineHybrid && o.Tracked > 0 {
+		return o.Tracked
+	}
+	return o.N
 }
 
 // hasArrivals reports whether any task source exists.
@@ -254,6 +290,36 @@ func (o *Options) Validate() error {
 		if sum < 0.999 || sum > 1.001 {
 			return fmt.Errorf("sim: class fractions sum to %v, want 1", sum)
 		}
+	}
+	return o.validateEngine()
+}
+
+// validateEngine checks the backend selection and its engine-specific
+// constraints: the fluid and hybrid engines cover only the option
+// combinations with a mean-field counterpart, and Tracked is meaningful
+// only under the hybrid engine.
+func (o *Options) validateEngine() error {
+	switch o.Engine {
+	case EngineDES:
+		if o.Tracked != 0 {
+			return fmt.Errorf("sim: Tracked applies only to the hybrid engine (engine %q, tracked %d)", o.Engine, o.Tracked)
+		}
+	case EngineFluid:
+		if o.Tracked != 0 {
+			return fmt.Errorf("sim: Tracked applies only to the hybrid engine (engine %q, tracked %d)", o.Engine, o.Tracked)
+		}
+		if _, _, err := fluidModel(o); err != nil {
+			return err
+		}
+	case EngineHybrid:
+		if o.Tracked < 1 || o.Tracked > o.N {
+			return fmt.Errorf("sim: hybrid needs 1 <= Tracked <= N, got tracked %d with N %d", o.Tracked, o.N)
+		}
+		if err := o.validateHybrid(); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("sim: unknown engine %d", int(o.Engine))
 	}
 	return nil
 }

@@ -1,0 +1,185 @@
+package validate
+
+import (
+	"fmt"
+
+	"repro/internal/experiments"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// The hybrid check family cross-validates the fluid/DES hybrid engine
+// against the pure DES engine where both can run: at the top two system
+// sizes of the grid the hybrid tracked sample's sojourn, throughput, and
+// busy-fraction means must be statistically equivalent to the full DES
+// measurement, and the tracked-sample fluctuations must shrink like
+// 1/√Tracked (the sample-level restatement of the Kurtz CI-shrinkage check).
+//
+// Variants the hybrid engine cannot represent (d-choices, preemptive and
+// transfer coupling, rebalancing, non-exponential service, multi-class and
+// spawning loads) record Skip checks naming the reason, so a report always
+// shows the family was considered.
+
+const (
+	// hybridShrinkN is the bulk size of the tracked-shrink cells: large
+	// enough that the bulk dominates at either tracked size, small enough
+	// that the cells cost no more than one DES cell of the main grid.
+	hybridShrinkN = 4096
+	// hybridShrinkSmall and hybridShrinkLarge are the two tracked-sample
+	// sizes whose replication variances the one-sided F test compares.
+	hybridShrinkSmall = 64
+	hybridShrinkLarge = 256
+)
+
+// hybridSojournFactor widens the sojourn TOST margin relative to the DES
+// comparison margin: on top of replication noise the hybrid mean carries the
+// one-way-coupling bias of order Tracked/N (documented in DESIGN.md §13).
+const hybridSojournFactor = 1.5
+
+// hybridMinN is the smallest system the TOST comparisons run at: below it
+// the tracked sample (n/2 processors) is so small that its sampling noise
+// swamps the coupling bias the checks are after.
+const hybridMinN = 32
+
+// hybridNs returns the sub-grid the hybrid twin cells run at: the top two
+// system sizes (Config.validate guarantees at least two), dropping any
+// below hybridMinN. Degenerate grids keep the largest n so the family
+// always runs somewhere.
+func hybridNs(ns []int) []int {
+	top := ns[len(ns)-2:]
+	out := top[:0:0]
+	for _, n := range top {
+		if n >= hybridMinN {
+			out = append(out, n)
+		}
+	}
+	if len(out) == 0 {
+		out = top[len(top)-1:]
+	}
+	return out
+}
+
+// hybridTwin builds the hybrid counterpart of a variant cell: the same
+// physical system with half the processors event-simulated. The seed is
+// offset so the comparison streams are independent of the DES cells (base
+// seed) and the containment cells (base seed + 1).
+func hybridTwin(v experiments.Variant, n int, cfg Config) sim.Options {
+	o := v.Sim(n)
+	o.Engine, o.Tracked = sim.EngineHybrid, n/2
+	o.Horizon, o.Warmup, o.Seed = cfg.Horizon, cfg.Warmup, cfg.Seed+2
+	return o
+}
+
+// hybridCells holds the in-flight hybrid simulations of one validation run.
+type hybridCells struct {
+	ns []int
+	// reasons[vi] is empty for hybrid-capable variants and the validation
+	// error text otherwise.
+	reasons []string
+	// cells[vi][ni] is the hybrid twin of variant vi at ns[ni].
+	cells [][]*sched.Cell
+	// shrinkSmall/shrinkLarge are the tracked-shrink pair (attached to the
+	// first hybrid-capable variant; nil when every variant is skipped).
+	shrinkSmall, shrinkLarge *sched.Cell
+	shrinkVariant            int
+}
+
+// enqueueHybrid plans the family: one hybrid twin per capable variant per
+// top-two n, plus one tracked-shrink pair. Enqueue errors surface later as
+// check failures, never as run errors.
+func enqueueHybrid(cfg Config, variants []experiments.Variant, pool *sched.Pool) *hybridCells {
+	h := &hybridCells{
+		ns:            hybridNs(cfg.Ns),
+		reasons:       make([]string, len(variants)),
+		cells:         make([][]*sched.Cell, len(variants)),
+		shrinkVariant: -1,
+	}
+	for vi, v := range variants {
+		probe := hybridTwin(v, h.ns[len(h.ns)-1], cfg)
+		if err := (sim.Replication{Reps: cfg.Reps}).Validate(&probe); err != nil {
+			h.reasons[vi] = err.Error()
+			continue
+		}
+		h.cells[vi] = make([]*sched.Cell, len(h.ns))
+		for ni, n := range h.ns {
+			c, err := pool.Sim(hybridTwin(v, n, cfg), cfg.Reps)
+			if err != nil {
+				// Surfaced by check() as a failing cell.
+				h.reasons[vi] = err.Error()
+				h.cells[vi] = nil
+				break
+			}
+			h.cells[vi][ni] = c
+		}
+		if h.shrinkVariant < 0 && h.cells[vi] != nil {
+			o := hybridTwin(v, hybridShrinkN, cfg)
+			o.Tracked = hybridShrinkSmall
+			small, err1 := pool.Sim(o, cfg.Reps)
+			o.Tracked = hybridShrinkLarge
+			large, err2 := pool.Sim(o, cfg.Reps)
+			if err1 == nil && err2 == nil {
+				h.shrinkSmall, h.shrinkLarge, h.shrinkVariant = small, large, vi
+			}
+		}
+	}
+	return h
+}
+
+// check collects variant vi's hybrid cells and appends the family's checks.
+// desAggs is the variant's DES aggregate slice, indexed like cfg.Ns.
+func (h *hybridCells) check(vr *VariantReport, vi int, cfg Config, desAggs []sim.Aggregate) {
+	names := []string{"hybrid-sojourn-tost", "hybrid-throughput-tost", "hybrid-utilization-tost"}
+	if h.cells[vi] == nil {
+		status, detail := Skip, h.reasons[vi]
+		if detail == "" {
+			detail = "no hybrid cells planned"
+		}
+		for _, name := range names {
+			vr.add(Check{Name: name, Status: status, Detail: detail})
+		}
+		return
+	}
+	// desAggs is indexed by the full grid; the hybrid sub-grid is its tail.
+	offset := len(desAggs) - len(h.ns)
+	for ni, n := range h.ns {
+		des := desAggs[offset+ni]
+		hyb := h.cells[vi][ni].Aggregate()
+		margin := hybridSojournFactor * cfg.RelMargin * des.Sojourn.Mean
+		vr.add(tost(names[0],
+			fmt.Sprintf("hybrid E[T] (tracked=%d of n=%d) vs DES", n/2, n),
+			hyb.Sojourn, des.Sojourn.Mean, margin))
+		vr.add(tost(names[1],
+			fmt.Sprintf("hybrid departures/proc/time at n=%d vs DES", n),
+			hyb.Metrics.Throughput, des.Metrics.Throughput.Mean, cfg.RateMargin))
+		vr.add(tost(names[2],
+			fmt.Sprintf("hybrid busy fraction at n=%d vs DES", n),
+			hyb.Metrics.Utilization, des.Metrics.Utilization.Mean, cfg.RateMargin))
+	}
+	if vi == h.shrinkVariant {
+		h.shrinkCheck(vr)
+	}
+}
+
+// shrinkCheck runs the tracked-sample fluctuation check: at a fixed bulk
+// size, quadrupling the tracked sample must not increase the replication
+// variance of the mean sojourn time (fluctuations scale like 1/√Tracked).
+// Both variances are estimated from Reps replications, so — exactly like the
+// sim-ci-shrinks check — the comparison is a one-sided F test that fails
+// only when shrinkage is refuted at the 5% level.
+func (h *hybridCells) shrinkCheck(vr *VariantReport) {
+	small := h.shrinkSmall.Aggregate().Sojourn
+	large := h.shrinkLarge.Aggregate().Sojourn
+	c := Check{Name: "hybrid-tracked-shrink",
+		Detail: fmt.Sprintf("rep variance at tracked=%d vs tracked=%d, n=%d (one-sided F test)",
+			hybridShrinkLarge, hybridShrinkSmall, hybridShrinkN),
+		Got:  large.Std * large.Std,
+		Want: small.Std * small.Std,
+		Tol:  stats.FQuantile95(large.N-1) * small.Std * small.Std,
+	}
+	c.Status = Fail
+	if small.Std > 0 && c.Got <= c.Tol {
+		c.Status = Pass
+	}
+	vr.add(c)
+}

@@ -205,6 +205,9 @@ func Run(cfg Config, variants []experiments.Variant) (Report, error) {
 			cells[vi][ni] = pending{cell: c, err: err}
 		}
 	}
+	// The hybrid twins (and the tracked-shrink pair) join the same queue so
+	// the pool drains DES and hybrid cells together.
+	hyb := enqueueHybrid(cfg, variants, pool)
 
 	rep := Report{
 		Seed: cfg.Seed, Ns: cfg.Ns, Reps: cfg.Reps,
@@ -253,6 +256,9 @@ func Run(cfg Config, variants []experiments.Variant) (Report, error) {
 			}
 		} else if !bad {
 			simulation(&vr, v, fp, cfg, aggs)
+		}
+		if !bad {
+			hyb.check(&vr, vi, cfg, aggs)
 		}
 		rep.Variants = append(rep.Variants, vr)
 	}

@@ -126,6 +126,52 @@ func TestRunDetectsMismatch(t *testing.T) {
 	}
 }
 
+// TestHybridFamily pins the hybrid cross-validation checks: a
+// hybrid-capable variant runs (and passes) the three TOST comparisons
+// against its DES cells plus the tracked-shrink F test, while a variant the
+// hybrid engine cannot represent records skips naming the reason.
+func TestHybridFamily(t *testing.T) {
+	rep, err := Run(testConfig(), variantsByName(t, "simple", "choices"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	status := make(map[string]map[string][]Check)
+	for _, vr := range rep.Variants {
+		status[vr.Variant] = map[string][]Check{}
+		for _, c := range vr.Checks {
+			status[vr.Variant][c.Name] = append(status[vr.Variant][c.Name], c)
+		}
+	}
+	wantCells := len(hybridNs(testConfig().Ns))
+	for _, name := range []string{"hybrid-sojourn-tost", "hybrid-throughput-tost", "hybrid-utilization-tost"} {
+		cs := status["simple"][name]
+		if len(cs) != wantCells {
+			t.Fatalf("simple: %d %s checks, want one per qualifying n (%d)", len(cs), name, wantCells)
+		}
+		for _, c := range cs {
+			if c.Status != Pass {
+				t.Errorf("simple %s: %s (%s)", name, c.Status, c.describe())
+			}
+			if c.TOST == nil {
+				t.Errorf("simple %s carries no TOST interval", name)
+			}
+		}
+		cs = status["choices"][name]
+		if len(cs) != 1 || cs[0].Status != Skip {
+			t.Fatalf("choices: %s = %+v, want one skip", name, cs)
+		}
+		if !strings.Contains(cs[0].Detail, "choices") {
+			t.Errorf("choices skip reason %q does not name the feature", cs[0].Detail)
+		}
+	}
+	if cs := status["simple"]["hybrid-tracked-shrink"]; len(cs) != 1 || cs[0].Status != Pass {
+		t.Errorf("hybrid-tracked-shrink on simple = %+v, want one pass", cs)
+	}
+	if cs := status["choices"]["hybrid-tracked-shrink"]; len(cs) != 0 {
+		t.Errorf("tracked-shrink ran for the skipped variant: %+v", cs)
+	}
+}
+
 func TestConfigValidate(t *testing.T) {
 	cases := []func(*Config){
 		func(c *Config) { c.Ns = []int{16} },
