@@ -477,10 +477,10 @@ func TestCLIWsodeMetricsJSON(t *testing.T) {
 	}
 }
 
-// TestServeMatchesWsfixed boots the real wsserved daemon and asserts the
-// HTTP fixed-point response is byte-identical to wsfixed -json: the serving
-// layer and the CLI render the same report through the same encoder.
-func TestServeMatchesWsfixed(t *testing.T) {
+// startServed boots the real wsserved daemon on an ephemeral port and
+// returns its listen address; the daemon is torn down with the test.
+func startServed(t *testing.T) string {
+	t.Helper()
 	dir := buildCmds(t)
 
 	cmd := exec.Command(filepath.Join(dir, "wsserved"), "-addr", "127.0.0.1:0", "-log", "text")
@@ -491,12 +491,12 @@ func TestServeMatchesWsfixed(t *testing.T) {
 	if err := cmd.Start(); err != nil {
 		t.Fatal(err)
 	}
-	defer func() {
+	t.Cleanup(func() {
 		cmd.Process.Signal(syscall.SIGTERM)
 		if err := cmd.Wait(); err != nil {
 			t.Errorf("wsserved did not exit cleanly after SIGTERM: %v", err)
 		}
-	}()
+	})
 
 	// The daemon logs its bound address once listening; scrape it.
 	var addr string
@@ -511,6 +511,14 @@ func TestServeMatchesWsfixed(t *testing.T) {
 		t.Fatal("wsserved never reported its listen address")
 	}
 	go io.Copy(io.Discard, stderr) // keep the pipe drained
+	return addr
+}
+
+// TestServeMatchesWsfixed boots the real wsserved daemon and asserts the
+// HTTP fixed-point response is byte-identical to wsfixed -json: the serving
+// layer and the CLI render the same report through the same encoder.
+func TestServeMatchesWsfixed(t *testing.T) {
+	addr := startServed(t)
 
 	resp, err := http.Post("http://"+addr+"/v1/fixedpoint", "application/json",
 		strings.NewReader(`{"model":"threshold","lambda":0.8,"t":3,"tails":5}`))
@@ -529,9 +537,74 @@ func TestServeMatchesWsfixed(t *testing.T) {
 	}
 }
 
+// TestServeMatchesWssimWorkloads drives the same non-exponential workloads
+// through wssim -json and POST /v1/simulate and asserts the reports are
+// byte-identical after scrubbing the wall-clock fields (the metrics block
+// embeds events/sec, which legitimately varies run to run). This pins the
+// whole workload path — spec parsing, distribution fitting, arrival-source
+// threading, report rendering — across the CLI and serving layers at once.
+func TestServeMatchesWssimWorkloads(t *testing.T) {
+	addr := startServed(t)
+
+	canon := func(raw []byte) string {
+		var v any
+		if err := json.Unmarshal(raw, &v); err != nil {
+			t.Fatalf("invalid report JSON: %v\n%s", err, raw)
+		}
+		out, err := json.MarshalIndent(scrubWallClock(v), "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(out)
+	}
+
+	cases := []struct {
+		name string
+		args []string
+		body string
+	}{
+		{
+			name: "h2",
+			args: []string{"-n", "32", "-lambda", "0.85", "-policy", "steal", "-T", "2",
+				"-service", "h2", "-scv", "4",
+				"-horizon", "800", "-warmup", "100", "-reps", "2", "-seed", "1998", "-metrics", "-json"},
+			body: `{"n":32,"lambda":0.85,"policy":"steal","t":2,"service":{"dist":"h2","scv":4},` +
+				`"horizon":800,"warmup":100,"reps":2,"seed":1998,"qhist":16}`,
+		},
+		{
+			name: "mmpp",
+			args: []string{"-n", "32", "-policy", "steal", "-T", "2",
+				"-arrivals", "mmpp", "-mmpp-rates", "1.6,0.1", "-mmpp-switch", "0.5,0.5",
+				"-horizon", "800", "-warmup", "100", "-reps", "2", "-seed", "1998", "-json"},
+			body: `{"n":32,"policy":"steal","t":2,` +
+				`"arrivals":{"kind":"mmpp","rates":[1.6,0.1],"switch":[0.5,0.5]},` +
+				`"horizon":800,"warmup":100,"reps":2,"seed":1998}`,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			resp, err := http.Post("http://"+addr+"/v1/simulate", "application/json",
+				strings.NewReader(c.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			served, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil || resp.StatusCode != http.StatusOK {
+				t.Fatalf("POST /v1/simulate: status %d, err %v\n%s", resp.StatusCode, err, served)
+			}
+
+			cli := run(t, "wssim", c.args...)
+			if got, want := canon(served), canon([]byte(cli)); got != want {
+				t.Errorf("served simulate report differs from wssim -json\nserved: %s\ncli:    %s", got, want)
+			}
+		})
+	}
+}
+
 func TestCLIWscheckList(t *testing.T) {
 	out := run(t, "wscheck", "-list")
-	for _, name := range []string{"nosteal", "simple", "threshold", "hetero"} {
+	for _, name := range []string{"nosteal", "simple", "threshold", "hetero", "h2", "crossover"} {
 		if !strings.Contains(out, name) {
 			t.Errorf("wscheck -list missing %q:\n%s", name, out)
 		}

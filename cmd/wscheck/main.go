@@ -5,11 +5,12 @@
 //
 // Usage:
 //
-//	wscheck -all                 # full suite, default scale
+//	wscheck -all                 # full suite (variants + families), default scale
 //	wscheck -all -quick          # CI smoke scale
 //	wscheck -model simple,hetero # a subset
+//	wscheck -model crossover     # a check family (stealing vs sharing by SCV)
 //	wscheck -all -json -out report.json
-//	wscheck -list                # print registered variant names
+//	wscheck -list                # print registered variant and family names
 //
 // Exit status: 0 when every check passes, 1 when any check fails,
 // 2 on usage or configuration errors.
@@ -55,10 +56,13 @@ func run() int {
 		for _, name := range experiments.VariantNames() {
 			fmt.Println(name)
 		}
+		for _, name := range validate.FamilyNames() {
+			fmt.Println(name)
+		}
 		return 0
 	}
 
-	variants, err := selectVariants(*all, *model)
+	variants, families, err := selectVariants(*all, *model)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wscheck:", err)
 		return 2
@@ -95,7 +99,7 @@ func run() int {
 	}
 
 	start := time.Now()
-	rep, err := validate.Run(cfg, variants)
+	rep, err := validate.Run(cfg, variants, families...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wscheck:", err)
 		return 2
@@ -129,23 +133,31 @@ func run() int {
 	return 0
 }
 
-// selectVariants resolves the -all/-model flags against the registry.
-func selectVariants(all bool, models string) ([]experiments.Variant, error) {
+// selectVariants resolves the -all/-model flags against the variant
+// registry and the validate check families; family names select like
+// variant names.
+func selectVariants(all bool, models string) ([]experiments.Variant, []validate.Family, error) {
 	if all == (models != "") {
-		return nil, fmt.Errorf("pass exactly one of -all or -model (see -list for names)")
+		return nil, nil, fmt.Errorf("pass exactly one of -all or -model (see -list for names)")
 	}
 	if all {
-		return experiments.Variants(), nil
+		return experiments.Variants(), validate.Families(), nil
 	}
 	var vs []experiments.Variant
+	var fs []validate.Family
 	for _, name := range strings.Split(models, ",") {
-		v, ok := experiments.VariantByName(strings.TrimSpace(name))
-		if !ok {
-			return nil, fmt.Errorf("unknown variant %q (see -list)", strings.TrimSpace(name))
+		name = strings.TrimSpace(name)
+		if v, ok := experiments.VariantByName(name); ok {
+			vs = append(vs, v)
+			continue
 		}
-		vs = append(vs, v)
+		if f, ok := validate.FamilyByName(name); ok {
+			fs = append(fs, f)
+			continue
+		}
+		return nil, nil, fmt.Errorf("unknown variant %q (see -list)", name)
 	}
-	return vs, nil
+	return vs, fs, nil
 }
 
 // parseInts parses a comma-separated integer list.

@@ -9,6 +9,10 @@
 //	wssim -n 64 -policy steal -T 2 -retry 10 -initial 8    (static drain)
 //	wssim -n 64 -lambda 0.9 -policy rebalance -rebalance 2
 //	wssim -n 64 -lambda 0.9 -policy steal -T 2 -service const
+//	wssim -n 64 -lambda 0.9 -T 2 -service h2 -scv 4     (bursty task sizes)
+//	wssim -n 64 -lambda 0.9 -T 2 -service pareto -shape 1.5 -ratio 1000
+//	wssim -n 64 -T 2 -arrivals mmpp -mmpp-rates 1.6,0.1 -mmpp-switch 0.5,0.5
+//	wssim -n 64 -T 2 -trace arrivals.csv                (deterministic replay)
 //	wssim -engine hybrid -n 1000000 -lambda 0.9 -T 2    (fluid bulk + tracked sample)
 //	wssim -engine fluid -n 1000000 -lambda 0.9 -T 2     (pure mean-field integration)
 package main
@@ -17,12 +21,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/cliutil"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -39,8 +46,15 @@ func run() (code int) {
 	lambda := flag.Float64("lambda", 0, "external per-processor arrival rate")
 	lambdaInt := flag.Float64("lambda-int", 0, "internal spawn rate while busy")
 	policy := flag.String("policy", "steal", "policy: none, steal, rebalance")
-	service := flag.String("service", "exp", "service distribution: exp, const, erlang, hyper, uniform")
+	service := flag.String("service", "exp", "service distribution: "+strings.Join(workload.ServiceDists, ", "))
 	stages := flag.Int("stages", 10, "stages for -service erlang")
+	scv := flag.Float64("scv", 0, "squared coefficient of variation for -service h2 (0 = default)")
+	shape := flag.Float64("shape", 0, "tail exponent for -service pareto (0 = default)")
+	ratio := flag.Float64("ratio", 0, "hi/lo bound ratio for -service pareto (0 = default)")
+	arrivals := flag.String("arrivals", "", "arrival model: "+strings.Join(workload.ArrivalKinds, ", ")+" (empty = poisson)")
+	mmppRates := flag.String("mmpp-rates", "", "comma-separated per-processor phase rates for -arrivals mmpp")
+	mmppSwitch := flag.String("mmpp-switch", "", "comma-separated phase-exit rates for -arrivals mmpp")
+	trace := flag.String("trace", "", "arrival trace file (JSON or CSV) for -arrivals trace")
 	tFlag := flag.Int("T", 2, "victim threshold")
 	bFlag := flag.Int("B", 0, "preemptive steal-begin level")
 	dFlag := flag.Int("d", 1, "victim choices per attempt")
@@ -62,7 +76,15 @@ func run() (code int) {
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
 
-	svc, err := experiments.ServiceDist(*service, *stages)
+	spec := workload.ServiceSpec{Dist: *service, Stages: *stages,
+		SCV: *scv, Shape: *shape, Ratio: *ratio}
+	svc, err := spec.Distribution()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wssim:", err)
+		return 2
+	}
+
+	arrProc, err := arrivalProcess(*arrivals, *mmppRates, *mmppSwitch, *trace)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wssim:", err)
 		return 2
@@ -86,7 +108,7 @@ func run() (code int) {
 		// user did not set. Explicit flags always win.
 		set := make(map[string]bool)
 		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
-		if !set["lambda"] {
+		if !set["lambda"] && arrProc == nil {
 			*lambda = 0.9
 			fmt.Fprintf(os.Stderr, "wssim: -engine %s defaulting to -lambda 0.9\n", kind)
 		}
@@ -136,6 +158,7 @@ func run() (code int) {
 		Horizon:       *horizon,
 		Warmup:        w,
 		Seed:          *seed,
+		Arrivals:      arrProc,
 	}
 	if *metricsFlag {
 		opts.QueueHistDepth = *qhist
@@ -161,23 +184,28 @@ func run() (code int) {
 		return 1
 	}
 
+	arrName := ""
+	if arrProc != nil {
+		arrName = arrProc.Name()
+	}
 	if *jsonFlag {
 		out := struct {
-			Engine  string          `json:"engine"`
-			Tracked int             `json:"tracked,omitempty"`
-			N       int             `json:"n"`
-			Lambda  float64         `json:"lambda"`
-			Policy  string          `json:"policy"`
-			Service string          `json:"service"`
-			Reps    int             `json:"reps"`
-			Horizon float64         `json:"horizon"`
-			Warmup  float64         `json:"warmup"`
-			Sojourn stats.Summary   `json:"sojourn"`
-			Load    stats.Summary   `json:"load"`
-			Drain   stats.Summary   `json:"drain"`
-			Tails   []float64       `json:"tails,omitempty"`
-			Metrics metrics.Summary `json:"metrics"`
-		}{kind.String(), *tracked, *n, *lambda, *policy, svc.String(), *reps, *horizon, w,
+			Engine   string          `json:"engine"`
+			Tracked  int             `json:"tracked,omitempty"`
+			N        int             `json:"n"`
+			Lambda   float64         `json:"lambda"`
+			Policy   string          `json:"policy"`
+			Service  string          `json:"service"`
+			Arrivals string          `json:"arrivals,omitempty"`
+			Reps     int             `json:"reps"`
+			Horizon  float64         `json:"horizon"`
+			Warmup   float64         `json:"warmup"`
+			Sojourn  stats.Summary   `json:"sojourn"`
+			Load     stats.Summary   `json:"load"`
+			Drain    stats.Summary   `json:"drain"`
+			Tails    []float64       `json:"tails,omitempty"`
+			Metrics  metrics.Summary `json:"metrics"`
+		}{kind.String(), *tracked, *n, *lambda, *policy, svc.String(), arrName, *reps, *horizon, w,
 			agg.Sojourn, agg.Load, agg.Drain, agg.Tails, agg.Metrics}
 		if err := cliutil.WriteJSON(os.Stdout, out); err != nil {
 			fmt.Fprintln(os.Stderr, "wssim:", err)
@@ -188,6 +216,9 @@ func run() (code int) {
 
 	first := agg.Results[0]
 	fmt.Printf("processors:       %d    service: %s    policy: %s\n", *n, svc, *policy)
+	if arrName != "" {
+		fmt.Printf("arrivals:         %s\n", arrName)
+	}
 	if kind != sim.EngineDES {
 		fmt.Printf("engine:           %s", kind)
 		if kind == sim.EngineHybrid {
@@ -221,4 +252,54 @@ func run() (code int) {
 		}
 	}
 	return 0
+}
+
+// arrivalProcess builds the arrival model from the workload flags. The kind
+// is inferred when parameters imply it (-mmpp-rates → mmpp, -trace → trace);
+// an empty result means the engine's native Poisson stream.
+func arrivalProcess(kind, rates, switches, trace string) (workload.ArrivalProcess, error) {
+	if kind == "" {
+		switch {
+		case trace != "":
+			kind = "trace"
+		case rates != "":
+			kind = "mmpp"
+		default:
+			if switches != "" {
+				return nil, fmt.Errorf("-mmpp-switch needs -arrivals mmpp")
+			}
+			return nil, nil
+		}
+	}
+	spec := workload.ArrivalSpec{Kind: kind}
+	var err error
+	if rates != "" {
+		if spec.Rates, err = parseFloats(rates); err != nil {
+			return nil, fmt.Errorf("-mmpp-rates: %v", err)
+		}
+	}
+	if switches != "" {
+		if spec.Switch, err = parseFloats(switches); err != nil {
+			return nil, fmt.Errorf("-mmpp-switch: %v", err)
+		}
+	}
+	if trace != "" {
+		if spec.Times, err = workload.LoadTrace(trace); err != nil {
+			return nil, err
+		}
+	}
+	return spec.Process()
+}
+
+// parseFloats parses a comma-separated float list.
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }

@@ -70,6 +70,22 @@ func wssimGoldenArgs(engine string) []string {
 	return args
 }
 
+// wssimGoldenCases names every wssim golden: one exponential case per
+// engine (the PR 6 baselines, which must never drift) plus the workload
+// cases — phase-type service and bursty MMPP arrivals through the DES
+// sampling path.
+func wssimGoldenCases() map[string][]string {
+	return map[string][]string{
+		"des":    wssimGoldenArgs("des"),
+		"fluid":  wssimGoldenArgs("fluid"),
+		"hybrid": wssimGoldenArgs("hybrid"),
+		"des-h2": append(wssimGoldenArgs("des"), "-service", "h2", "-scv", "4"),
+		"des-mmpp": {"-engine", "des", "-n", "32", "-policy", "steal", "-T", "2",
+			"-arrivals", "mmpp", "-mmpp-rates", "1.6,0.1", "-mmpp-switch", "0.5,0.5",
+			"-horizon", "1500", "-warmup", "200", "-reps", "2", "-seed", "1998", "-metrics", "-json"},
+	}
+}
+
 // scrubWallClock recursively removes the wall-clock-dependent keys from a
 // decoded JSON value, so the goldens pin the sampling sequence and the
 // report structure without pinning machine speed.
@@ -89,25 +105,26 @@ func scrubWallClock(v any) any {
 	return v
 }
 
-// TestGoldenWssimEngines regenerates one wssim -json report per engine and
-// compares the wall-clock-scrubbed structure byte-for-byte against a
-// committed golden. Any diff means an engine's sampling sequence (des,
-// hybrid) or integration (fluid) changed behavior.
+// TestGoldenWssimEngines regenerates one wssim -json report per golden
+// case and compares the wall-clock-scrubbed structure byte-for-byte
+// against a committed golden. Any diff means an engine's sampling
+// sequence (des, hybrid), an integration (fluid), or a workload model's
+// sampling path (des-h2, des-mmpp) changed behavior.
 func TestGoldenWssimEngines(t *testing.T) {
-	for _, engine := range []string{"des", "fluid", "hybrid"} {
-		t.Run(engine, func(t *testing.T) {
+	for name, args := range wssimGoldenCases() {
+		t.Run(name, func(t *testing.T) {
 			t.Parallel()
-			out := run(t, "wssim", wssimGoldenArgs(engine)...)
+			out := run(t, "wssim", args...)
 			var v any
 			if err := json.Unmarshal([]byte(out), &v); err != nil {
-				t.Fatalf("wssim -engine %s -json invalid: %v\n%s", engine, err, out)
+				t.Fatalf("wssim golden %s -json invalid: %v\n%s", name, err, out)
 			}
 			canon, err := json.MarshalIndent(scrubWallClock(v), "", "  ")
 			if err != nil {
 				t.Fatal(err)
 			}
 			canon = append(canon, '\n')
-			golden := filepath.Join("testdata", "wssim", engine+".golden.json")
+			golden := filepath.Join("testdata", "wssim", name+".golden.json")
 			if *update {
 				if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
 					t.Fatal(err)
@@ -123,8 +140,8 @@ func TestGoldenWssimEngines(t *testing.T) {
 				t.Fatalf("missing golden file (run `go test -run TestGoldenWssimEngines -update`): %v", err)
 			}
 			if string(canon) != string(want) {
-				t.Errorf("wssim -engine %s drifted from %s.\nGot:\n%s\nWant:\n%s\n(regenerate with -update if the change is intentional)",
-					engine, golden, canon, want)
+				t.Errorf("wssim golden %s drifted from %s.\nGot:\n%s\nWant:\n%s\n(regenerate with -update if the change is intentional)",
+					name, golden, canon, want)
 			}
 		})
 	}
@@ -149,8 +166,8 @@ func TestGoldenFilesCommitted(t *testing.T) {
 			t.Errorf("golden file %s missing: %v", p, err)
 		}
 	}
-	for _, engine := range []string{"des", "fluid", "hybrid"} {
-		p := filepath.Join("testdata", "wssim", engine+".golden.json")
+	for name := range wssimGoldenCases() {
+		p := filepath.Join("testdata", "wssim", name+".golden.json")
 		if _, err := os.Stat(p); err != nil && !*update {
 			t.Errorf("golden file %s missing: %v", p, err)
 		}

@@ -81,6 +81,31 @@ type Observer interface {
 	StealSuccessProb(x []float64) (p float64, ok bool)
 }
 
+// StealCoupler is an optional Model interface for models whose state the
+// hybrid engine can couple a tracked DES sample against even though the
+// state is not a single task-indexed tail vector (e.g. the phase-type
+// service model, whose state is occupancy by task count and service phase).
+// It exposes the three quantities the Kurtz coupling reads off the fluid
+// bulk: the task tails s_i (steal success probability and bulk victim-load
+// sampling), the queue-emptying completion rate (the bulk steal-attempt
+// rate), and a constant bound on it (the probe process's thinning bound).
+//
+// Tails-first models get this interface for free via an adapter in package
+// sim; implementing it directly is only necessary for other state layouts.
+type StealCoupler interface {
+	// TaskTails appends the task-indexed tail vector implied by state x to
+	// out[:0] and returns it: result[i] = fraction of processors with at
+	// least i tasks.
+	TaskTails(x, out []float64) []float64
+	// EmptyingRate returns the per-processor rate of service completions
+	// that leave the completing processor's queue empty at state x — the
+	// rate at which bulk processors become steal-attempting thieves.
+	EmptyingRate(x []float64) float64
+	// EmptyingRateBound returns a constant upper bound on EmptyingRate over
+	// all feasible states.
+	EmptyingRateBound() float64
+}
+
 // BusyFraction returns the busy fraction at the fixed point: s₁ for
 // tails-first models, or the model's own accounting when it implements
 // Observer. At a stable fixed point this equals λ.

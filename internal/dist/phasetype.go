@@ -1,0 +1,245 @@
+package dist
+
+// Phase-type service-time models. A PhaseType here is a mixture of Erlang
+// branches — with probability P the sample passes K exponential stages of
+// rate Rate — which is the sub-class of acyclic phase-type distributions
+// that is closed under the moment fits this package provides:
+//
+//   - exponential        one branch, K = 1
+//   - Erlang-k           one branch, K = k
+//   - hyperexponential   two branches, K = 1
+//
+// The mixture form is what both consumers want: the DES engine samples a
+// branch then an Erlang, and the mean-field side (meanfield.PhaseService)
+// enumerates the branches' stages as service phases of the generalized
+// method-of-stages equations. Heavy-tailed bounded-Pareto job sizes enter
+// as a two-moment H2 fit (FitBoundedPareto), the standard phase-type
+// surrogate for heavy tails over a bounded range.
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/rng"
+)
+
+// MaxPhases caps the total number of stages across the branches of a fitted
+// PhaseType, bounding the state dimension of the stage-based mean-field.
+const MaxPhases = 64
+
+// Branch is one Erlang component of a PhaseType mixture: with probability P
+// the sample is the sum of K exponential stages, each with rate Rate.
+type Branch struct {
+	P    float64
+	K    int
+	Rate float64
+}
+
+// PhaseType is a finite mixture of Erlang branches. The zero value is not
+// valid; construct through NewPhaseType or the Fit* helpers.
+type PhaseType struct {
+	Branches []Branch
+}
+
+// NewPhaseType validates and returns the mixture. Branch probabilities must
+// be non-negative and sum to 1 (within 1e-9), every branch needs K >= 1 and
+// Rate > 0, and the total stage count must not exceed MaxPhases.
+func NewPhaseType(branches []Branch) (PhaseType, error) {
+	if len(branches) == 0 {
+		return PhaseType{}, fmt.Errorf("dist: phase-type needs at least one branch")
+	}
+	var psum float64
+	phases := 0
+	for i, b := range branches {
+		if b.P < 0 || b.P > 1 || math.IsNaN(b.P) {
+			return PhaseType{}, fmt.Errorf("dist: phase-type branch %d: probability %v outside [0,1]", i, b.P)
+		}
+		if b.K < 1 {
+			return PhaseType{}, fmt.Errorf("dist: phase-type branch %d: need K >= 1, got %d", i, b.K)
+		}
+		if !(b.Rate > 0) || math.IsInf(b.Rate, 0) {
+			return PhaseType{}, fmt.Errorf("dist: phase-type branch %d: need finite rate > 0, got %v", i, b.Rate)
+		}
+		psum += b.P
+		phases += b.K
+	}
+	if math.Abs(psum-1) > 1e-9 {
+		return PhaseType{}, fmt.Errorf("dist: phase-type branch probabilities sum to %v, want 1", psum)
+	}
+	if phases > MaxPhases {
+		return PhaseType{}, fmt.Errorf("dist: phase-type has %d stages, cap is %d", phases, MaxPhases)
+	}
+	return PhaseType{Branches: branches}, nil
+}
+
+// Sample draws a branch by its mixing probability, then the branch's Erlang.
+func (d PhaseType) Sample(r *rng.Source) float64 {
+	u := r.Float64()
+	acc := 0.0
+	for i, b := range d.Branches {
+		acc += b.P
+		if u < acc || i == len(d.Branches)-1 {
+			return r.Erlang(b.K, b.Rate)
+		}
+	}
+	return 0 // unreachable
+}
+
+// Mean returns Σ p·k/μ.
+func (d PhaseType) Mean() float64 {
+	var m float64
+	for _, b := range d.Branches {
+		m += b.P * float64(b.K) / b.Rate
+	}
+	return m
+}
+
+// secondMoment returns E[X²] = Σ p·k(k+1)/μ².
+func (d PhaseType) secondMoment() float64 {
+	var m2 float64
+	for _, b := range d.Branches {
+		k := float64(b.K)
+		m2 += b.P * k * (k + 1) / (b.Rate * b.Rate)
+	}
+	return m2
+}
+
+func (d PhaseType) Var() float64 {
+	m := d.Mean()
+	return d.secondMoment() - m*m
+}
+
+func (d PhaseType) String() string {
+	parts := make([]string, len(d.Branches))
+	for i, b := range d.Branches {
+		parts[i] = fmt.Sprintf("%.6g*Erl(k=%d,rate=%.6g)", b.P, b.K, b.Rate)
+	}
+	return "PH(" + strings.Join(parts, " + ") + ")"
+}
+
+// Phases returns the total stage count across branches — the dimension of
+// the phase space the mean-field side tracks per task level.
+func (d PhaseType) Phases() int {
+	n := 0
+	for _, b := range d.Branches {
+		n += b.K
+	}
+	return n
+}
+
+// AsPhaseType converts the distributions of this package that have an exact
+// finite phase-type representation. ok is false for distributions that do
+// not (Deterministic, Uniform) and for Erlangs beyond the MaxPhases cap.
+func AsPhaseType(d Distribution) (PhaseType, bool) {
+	switch x := d.(type) {
+	case PhaseType:
+		return x, true
+	case Exponential:
+		return PhaseType{Branches: []Branch{{P: 1, K: 1, Rate: x.Rate}}}, true
+	case Erlang:
+		if x.K > MaxPhases {
+			return PhaseType{}, false
+		}
+		return PhaseType{Branches: []Branch{{P: 1, K: x.K, Rate: x.Rate}}}, true
+	case HyperExponential:
+		return PhaseType{Branches: []Branch{
+			{P: x.P, K: 1, Rate: x.Rate1},
+			{P: 1 - x.P, K: 1, Rate: x.Rate2},
+		}}, true
+	}
+	return PhaseType{}, false
+}
+
+// FitH2 moment-matches a two-branch hyperexponential to the target mean and
+// squared coefficient of variation using the balanced-means parameterization
+// (each branch contributes mean/2):
+//
+//	p₁ = (1 + √((scv−1)/(scv+1)))/2,  μ₁ = 2p₁/mean,  μ₂ = 2(1−p₁)/mean
+//
+// The fit is exact: the result's Mean() and SCV() equal the targets up to
+// floating-point rounding. scv = 1 returns the degenerate single-branch
+// exponential; scv < 1 is infeasible for a hyperexponential and errors.
+func FitH2(mean, scv float64) (PhaseType, error) {
+	if !(mean > 0) || math.IsInf(mean, 0) {
+		return PhaseType{}, fmt.Errorf("dist: H2 fit needs finite mean > 0, got %v", mean)
+	}
+	if math.IsNaN(scv) || math.IsInf(scv, 0) || scv < 1 {
+		return PhaseType{}, fmt.Errorf("dist: H2 fit needs scv >= 1, got %v", scv)
+	}
+	if scv == 1 {
+		return PhaseType{Branches: []Branch{{P: 1, K: 1, Rate: 1 / mean}}}, nil
+	}
+	p1 := (1 + math.Sqrt((scv-1)/(scv+1))) / 2
+	return PhaseType{Branches: []Branch{
+		{P: p1, K: 1, Rate: 2 * p1 / mean},
+		{P: 1 - p1, K: 1, Rate: 2 * (1 - p1) / mean},
+	}}, nil
+}
+
+// FitErlang matches an Erlang to the target mean and scv ≤ 1 by picking
+// k = round(1/scv) stages (an Erlang-k has SCV exactly 1/k, so the match is
+// exact when 1/scv is an integer and the closest achievable otherwise).
+func FitErlang(mean, scv float64) (PhaseType, error) {
+	if !(mean > 0) || math.IsInf(mean, 0) {
+		return PhaseType{}, fmt.Errorf("dist: Erlang fit needs finite mean > 0, got %v", mean)
+	}
+	if math.IsNaN(scv) || scv <= 0 || scv > 1 {
+		return PhaseType{}, fmt.Errorf("dist: Erlang fit needs scv in (0, 1], got %v", scv)
+	}
+	k := int(math.Round(1 / scv))
+	if k < 1 {
+		k = 1
+	}
+	if k > MaxPhases {
+		k = MaxPhases
+	}
+	return PhaseType{Branches: []Branch{{P: 1, K: k, Rate: float64(k) / mean}}}, nil
+}
+
+// BoundedParetoMoments returns E[X] and E[X²] of the bounded Pareto
+// distribution with shape alpha on [lo, hi], density
+// f(x) = α·loᵅ·x^(−α−1) / (1 − (lo/hi)ᵅ). The closed forms are
+//
+//	E[Xⁿ] = C · (lo^(n−α) − hi^(n−α)) · α/(α−n)   for α ≠ n
+//	E[Xⁿ] = C · α·loᵅ · ln(hi/lo)                  for α = n
+//
+// with C = loᵅ/(1 − (lo/hi)ᵅ) absorbed appropriately.
+func BoundedParetoMoments(alpha, lo, hi float64) (mean, m2 float64, err error) {
+	if !(alpha > 0) || math.IsInf(alpha, 0) {
+		return 0, 0, fmt.Errorf("dist: bounded Pareto needs finite shape > 0, got %v", alpha)
+	}
+	if !(lo > 0) || !(hi > lo) || math.IsInf(hi, 0) {
+		return 0, 0, fmt.Errorf("dist: bounded Pareto needs 0 < lo < hi < inf, got [%v, %v]", lo, hi)
+	}
+	// Normalizing constant of x^(−α−1) over [lo, hi] times α·loᵅ.
+	c := alpha * math.Pow(lo, alpha) / (1 - math.Pow(lo/hi, alpha))
+	moment := func(n float64) float64 {
+		if alpha == n {
+			return c * math.Log(hi/lo) // ∫ x^(n−α−1) dx with n = α
+		}
+		return c * (math.Pow(hi, n-alpha) - math.Pow(lo, n-alpha)) / (n - alpha)
+	}
+	return moment(1), moment(2), nil
+}
+
+// FitBoundedPareto fits a phase-type surrogate for a bounded Pareto job-size
+// distribution: shape alpha over [lo, lo·ratio] with lo scaled so the mean
+// equals the target, then a two-moment H2 match to the resulting (mean, scv).
+// The SCV of a bounded Pareto is scale-free, so it is computed once at
+// lo = 1. Shapes whose bounded SCV falls below 1 (light tails, e.g. large
+// alpha) cannot be represented by an H2 and error.
+func FitBoundedPareto(mean, alpha, ratio float64) (PhaseType, error) {
+	if !(ratio > 1) || math.IsInf(ratio, 0) {
+		return PhaseType{}, fmt.Errorf("dist: bounded Pareto needs finite hi/lo ratio > 1, got %v", ratio)
+	}
+	m1, m2, err := BoundedParetoMoments(alpha, 1, ratio)
+	if err != nil {
+		return PhaseType{}, err
+	}
+	scv := m2/(m1*m1) - 1
+	if scv < 1 {
+		return PhaseType{}, fmt.Errorf("dist: bounded Pareto(shape=%g, ratio=%g) has scv %.4g < 1; no H2 fit exists (reduce shape or widen ratio)", alpha, ratio, scv)
+	}
+	return FitH2(mean, scv)
+}

@@ -1,0 +1,269 @@
+package dist
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// momentTol is the closed-form moment-matching tolerance: the fits are
+// algebraically exact, so only floating-point rounding separates the fitted
+// distribution's declared moments from the targets.
+const momentTol = 1e-9
+
+// checkFit verifies that a fitted phase-type reproduces the target mean and
+// SCV within momentTol (relative).
+func checkFit(t *testing.T, d PhaseType, mean, scv float64) {
+	t.Helper()
+	if got := d.Mean(); math.Abs(got-mean)/mean > momentTol {
+		t.Errorf("%s: mean %v, want %v", d, got, mean)
+	}
+	if got := SCV(d); math.Abs(got-scv)/scv > momentTol {
+		t.Errorf("%s: scv %v, want %v", d, got, scv)
+	}
+}
+
+func TestFitH2Moments(t *testing.T) {
+	for _, mean := range []float64{0.25, 1, 3.5} {
+		for _, scv := range []float64{1, 1.5, 4, 16, 100} {
+			d, err := FitH2(mean, scv)
+			if err != nil {
+				t.Fatalf("FitH2(%v, %v): %v", mean, scv, err)
+			}
+			checkFit(t, d, mean, scv)
+		}
+	}
+}
+
+func TestFitH2Degenerate(t *testing.T) {
+	d, err := FitH2(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Branches) != 1 || d.Branches[0].K != 1 {
+		t.Fatalf("FitH2(scv=1) should collapse to a single exponential branch, got %v", d)
+	}
+	if r := d.Branches[0].Rate; math.Abs(r-0.5) > 1e-15 {
+		t.Errorf("rate %v, want 0.5", r)
+	}
+}
+
+func TestFitH2Errors(t *testing.T) {
+	for _, tc := range []struct{ mean, scv float64 }{
+		{0, 4}, {-1, 4}, {math.Inf(1), 4}, {math.NaN(), 4},
+		{1, 0.5}, {1, -1}, {1, math.NaN()}, {1, math.Inf(1)},
+	} {
+		if _, err := FitH2(tc.mean, tc.scv); err == nil {
+			t.Errorf("FitH2(%v, %v) should fail", tc.mean, tc.scv)
+		}
+	}
+}
+
+func TestFitErlangMoments(t *testing.T) {
+	// SCVs that are exact reciprocals of integers give exact matches.
+	for _, k := range []int{1, 2, 4, 10, 32} {
+		scv := 1 / float64(k)
+		for _, mean := range []float64{0.5, 1, 2} {
+			d, err := FitErlang(mean, scv)
+			if err != nil {
+				t.Fatalf("FitErlang(%v, %v): %v", mean, scv, err)
+			}
+			checkFit(t, d, mean, scv)
+			if d.Branches[0].K != k {
+				t.Errorf("FitErlang(scv=%v) picked k=%d, want %d", scv, d.Branches[0].K, k)
+			}
+		}
+	}
+	if _, err := FitErlang(1, 0); err == nil {
+		t.Error("FitErlang(scv=0) should fail")
+	}
+	if _, err := FitErlang(1, 1.5); err == nil {
+		t.Error("FitErlang(scv>1) should fail")
+	}
+}
+
+func TestBoundedParetoMoments(t *testing.T) {
+	// Cross-check the closed forms against numerical quadrature of the
+	// density α·loᵅ·x^(−α−1)/(1−(lo/hi)ᵅ) on [lo, hi].
+	for _, tc := range []struct{ alpha, lo, hi float64 }{
+		{1.5, 1, 1000}, {0.8, 1, 100}, {2, 1, 50}, {1, 2, 200}, {2.5, 0.5, 10},
+	} {
+		mean, m2, err := BoundedParetoMoments(tc.alpha, tc.lo, tc.hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		norm := 1 - math.Pow(tc.lo/tc.hi, tc.alpha)
+		steps := 4_000_000
+		// Integrate in log space for accuracy across decades.
+		lnLo, lnHi := math.Log(tc.lo), math.Log(tc.hi)
+		h := (lnHi - lnLo) / float64(steps)
+		var qMean, qM2 float64
+		for i := 0; i <= steps; i++ {
+			x := math.Exp(lnLo + float64(i)*h)
+			w := 1.0
+			if i == 0 || i == steps {
+				w = 0.5
+			}
+			// substitute u = ln x: f(x)·x du
+			f := tc.alpha * math.Pow(tc.lo, tc.alpha) * math.Pow(x, -tc.alpha-1) / norm * x
+			qMean += w * f * x * h
+			qM2 += w * f * x * x * h
+		}
+		if math.Abs(qMean-mean)/mean > 1e-6 {
+			t.Errorf("alpha=%v [%v,%v]: closed mean %v, quadrature %v", tc.alpha, tc.lo, tc.hi, mean, qMean)
+		}
+		if math.Abs(qM2-m2)/m2 > 1e-6 {
+			t.Errorf("alpha=%v [%v,%v]: closed E[X²] %v, quadrature %v", tc.alpha, tc.lo, tc.hi, m2, qM2)
+		}
+	}
+}
+
+func TestFitBoundedParetoMoments(t *testing.T) {
+	for _, tc := range []struct{ alpha, ratio float64 }{
+		{1.5, 1000}, {1.2, 10000}, {0.9, 100}, {1, 1000},
+	} {
+		d, err := FitBoundedPareto(1, tc.alpha, tc.ratio)
+		if err != nil {
+			t.Fatalf("FitBoundedPareto(1, %v, %v): %v", tc.alpha, tc.ratio, err)
+		}
+		m1, m2, err := BoundedParetoMoments(tc.alpha, 1, tc.ratio)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scv := m2/(m1*m1) - 1
+		checkFit(t, d, 1, scv)
+	}
+	// Large shapes over a narrow range have SCV < 1: no H2 fit.
+	if _, err := FitBoundedPareto(1, 10, 2); err == nil {
+		t.Error("FitBoundedPareto with scv < 1 should fail")
+	}
+	if _, err := FitBoundedPareto(1, 1.5, 1); err == nil {
+		t.Error("FitBoundedPareto needs ratio > 1")
+	}
+}
+
+// TestPhaseTypeSamplerMoments is the satellite sampler-agreement property:
+// at n = 1e6 draws the empirical mean and SCV of each fitted phase-type
+// agree with the closed-form targets within sampling error.
+func TestPhaseTypeSamplerMoments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1e6-draw sampler agreement is not a -short test")
+	}
+	fits := []struct {
+		name      string
+		d         PhaseType
+		mean, scv float64
+	}{}
+	h2, err := FitH2(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fits = append(fits, struct {
+		name      string
+		d         PhaseType
+		mean, scv float64
+	}{"h2-scv4", h2, 1, 4})
+	erl, err := FitErlang(1, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fits = append(fits, struct {
+		name      string
+		d         PhaseType
+		mean, scv float64
+	}{"erlang-scv0.25", erl, 1, 0.25})
+	bp, err := FitBoundedPareto(1, 1.5, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, m2, _ := BoundedParetoMoments(1.5, 1, 1000)
+	fits = append(fits, struct {
+		name      string
+		d         PhaseType
+		mean, scv float64
+	}{"pareto-1.5", bp, 1, m2/(m1*m1) - 1})
+
+	const n = 1_000_000
+	for _, tc := range fits {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			r := rng.New(1998)
+			var sum, sumsq float64
+			for i := 0; i < n; i++ {
+				x := tc.d.Sample(r)
+				if x < 0 || math.IsNaN(x) {
+					t.Fatalf("bad sample %v", x)
+				}
+				sum += x
+				sumsq += x * x
+			}
+			mean := sum / n
+			scv := (sumsq/n)/(mean*mean) - 1
+			// Std error of the mean is √(scv)/√n ≈ 0.2–0.7%; allow 5σ.
+			// The SCV estimate is noisier (4th-moment driven), so give it a
+			// proportionally wider band.
+			if math.Abs(mean-tc.mean)/tc.mean > 0.02 {
+				t.Errorf("%s: empirical mean %v, want %v", tc.d, mean, tc.mean)
+			}
+			if math.Abs(scv-tc.scv)/tc.scv > 0.10 {
+				t.Errorf("%s: empirical scv %v, want %v", tc.d, scv, tc.scv)
+			}
+		})
+	}
+}
+
+func TestAsPhaseType(t *testing.T) {
+	cases := []Distribution{
+		NewExponential(2),
+		NewErlang(4, 4),
+		NewHyperExponential(0.3, 2, 0.5),
+	}
+	for _, d := range cases {
+		ph, ok := AsPhaseType(d)
+		if !ok {
+			t.Fatalf("AsPhaseType(%s) failed", d)
+		}
+		if math.Abs(ph.Mean()-d.Mean())/d.Mean() > momentTol {
+			t.Errorf("%s → %s: mean %v, want %v", d, ph, ph.Mean(), d.Mean())
+		}
+		if math.Abs(ph.Var()-d.Var())/d.Var() > momentTol {
+			t.Errorf("%s → %s: var %v, want %v", d, ph, ph.Var(), d.Var())
+		}
+	}
+	if _, ok := AsPhaseType(NewDeterministic(1)); ok {
+		t.Error("Deterministic has no finite phase-type representation")
+	}
+	if _, ok := AsPhaseType(NewUniform(0, 2)); ok {
+		t.Error("Uniform has no finite phase-type representation")
+	}
+}
+
+func TestNewPhaseTypeValidation(t *testing.T) {
+	for _, bad := range [][]Branch{
+		nil,
+		{{P: 0.5, K: 1, Rate: 1}},                          // probs don't sum to 1
+		{{P: 1, K: 0, Rate: 1}},                            // K < 1
+		{{P: 1, K: 1, Rate: 0}},                            // rate <= 0
+		{{P: 1, K: 1, Rate: math.NaN()}},                   // NaN rate
+		{{P: math.NaN(), K: 1, Rate: 1}},                   // NaN prob
+		{{P: 1, K: MaxPhases + 1, Rate: 1}},                // over the stage cap
+		{{P: 0.5, K: 1, Rate: 1}, {P: 0.6, K: 1, Rate: 1}}, // sum > 1
+	} {
+		if _, err := NewPhaseType(bad); err == nil {
+			t.Errorf("NewPhaseType(%v) should fail", bad)
+		}
+	}
+	d, err := NewPhaseType([]Branch{{P: 0.25, K: 2, Rate: 3}, {P: 0.75, K: 1, Rate: 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Phases() != 3 {
+		t.Errorf("Phases() = %d, want 3", d.Phases())
+	}
+	if !strings.HasPrefix(d.String(), "PH(") {
+		t.Errorf("String() = %q", d.String())
+	}
+}

@@ -82,6 +82,12 @@ const (
 	heteroLambda                = heteroQ*heteroLf + (1-heteroQ)*heteroLs // 0.75
 )
 
+// h2SCV is the squared coefficient of variation of the canonical h2
+// workload variant: high enough that the hyperexponential tail visibly
+// separates it from exponential service, low enough that the quick-scale
+// statistical checks stay well-powered.
+const h2SCV = 4.0
+
 // Variants returns the full registry in documentation order (M0 first).
 // The slice is freshly allocated; callers may reorder or filter it.
 func Variants() []Variant {
@@ -140,6 +146,35 @@ func Variants() []Variant {
 			}, true, true),
 		specVariant(FixedPointSpec{Model: "repeated-transfer", Lambda: lam, T: 3, RA: 1, R: 0.5},
 			steal(func(o *sim.Options) { o.T = 3; o.RetryRate = 1; o.TransferRate = 0.5 }), false, true),
+		{
+			// Workload variant: H2 service with SCV 4 under basic stealing.
+			// The mean-field side is the generalized phase-type stage model,
+			// the simulation samples the fitted hyperexponential exactly, so
+			// the pair cross-validates the workload subsystem end to end.
+			Name:   "h2",
+			Lambda: lam,
+			Build: func(lambda float64) (core.Model, error) {
+				ph, err := dist.FitH2(1, h2SCV)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: %v", err)
+				}
+				return buildModel(func() core.Model {
+					return meanfield.NewPhaseService(lambda, ph, 2, 0)
+				})
+			},
+			Sim: func(n int) sim.Options {
+				ph, err := dist.FitH2(1, h2SCV)
+				if err != nil {
+					panic("experiments: " + err.Error())
+				}
+				return sim.Options{N: n, Lambda: lam, Service: ph,
+					Policy: sim.PolicySteal, T: 2}
+			},
+			// The state is a (level, phase) occupancy density, not a tail
+			// vector, and the M/M/1 dominance bound assumes exponential
+			// service; the busy fraction still equals λ at unit mean.
+			UnitService: true,
+		},
 		{
 			Name:   "hetero",
 			Lambda: heteroLambda,

@@ -13,6 +13,7 @@ import (
 	"repro/internal/ode"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/workload"
 )
 
 // This file holds the request-shaped entry points: plain structs that
@@ -423,26 +424,13 @@ func (s *ODESpec) Integrate() (ODEReport, error) {
 	return rep, nil
 }
 
-// ServiceDist maps a service-distribution name (the wssim -service values)
-// to a unit-mean distribution; stages is the Erlang stage count.
+// ServiceDist maps a service-distribution name (the legacy wssim -service
+// values) to a unit-mean distribution; stages is the Erlang stage count. It
+// is a thin veneer over workload.ServiceSpec, which carries the full
+// parameterized model set (h2 by SCV, bounded Pareto).
 func ServiceDist(name string, stages int) (dist.Distribution, error) {
-	switch name {
-	case "exp":
-		return dist.NewExponential(1), nil
-	case "const":
-		return dist.NewDeterministic(1), nil
-	case "erlang":
-		if stages < 1 {
-			return nil, fmt.Errorf("experiments: erlang service needs stages >= 1, got %d", stages)
-		}
-		return dist.ErlangWithMean(stages, 1), nil
-	case "hyper":
-		return dist.NewHyperExponential(0.5, 2, 2.0/3), nil
-	case "uniform":
-		return dist.NewUniform(0.5, 1.5), nil
-	default:
-		return nil, fmt.Errorf("experiments: unknown service distribution %q", name)
-	}
+	sp := workload.ServiceSpec{Dist: name, Stages: stages}
+	return sp.Distribution()
 }
 
 // ParsePolicy maps a policy name (the wssim -policy values) to its
@@ -485,6 +473,14 @@ const (
 // but no backend can run it.
 var ErrEngineSpec = errors.New("experiments: unprocessable engine spec")
 
+// ErrWorkloadSpec tags workload-model problems in a SimSpec: an unknown
+// service distribution, fit parameters outside the model's domain (an h2
+// with SCV < 1, a Pareto with ratio <= 1), or an arrival spec beyond the
+// serving caps. The serving layer maps it to 422 Unprocessable Entity with
+// code "bad_workload", mirroring the bad_engine treatment: the request is
+// well-formed, but names a workload no model provides.
+var ErrWorkloadSpec = errors.New("experiments: unprocessable workload spec")
+
 // SimSpec describes one finite-n simulation cell, mirroring the wssim
 // flags. Defaults are sized for interactive serving (QuickScale-like),
 // not the paper's 100,000-second batch runs.
@@ -505,11 +501,21 @@ type SimSpec struct {
 	LambdaInt float64 `json:"lambda_int,omitempty"`
 	// Policy is the stealing discipline: none, steal (default), rebalance.
 	Policy string `json:"policy,omitempty"`
-	// Service is the service distribution: exp (default), const, erlang,
-	// hyper, uniform.
-	Service string `json:"service,omitempty"`
-	// Stages is the Erlang stage count for service "erlang" (default 10).
+	// Service is the service-time model: either a plain name — exp
+	// (default), const, erlang, hyper, uniform, h2, pareto — or a
+	// parameter object such as {"dist": "h2", "scv": 4}. See
+	// workload.ServiceSpec for the full JSON forms.
+	Service workload.ServiceSpec `json:"service"`
+	// Stages is the legacy top-level Erlang stage count for service
+	// "erlang" (default 10). Normalize folds it into Service.Stages and
+	// zeroes it, so the legacy spelling and the object form share one
+	// canonical cache key.
 	Stages int `json:"stages,omitempty"`
+	// Arrivals is the arrival model: "poisson" (the default, equivalent
+	// to omitting the field), an MMPP object, or an inline trace. Custom
+	// arrival processes are DES-only and own the rate: Lambda must be 0.
+	// See workload.ArrivalSpec for the JSON forms.
+	Arrivals *workload.ArrivalSpec `json:"arrivals,omitempty"`
 	// T, B, D, K and Half are the stealing parameters (defaults 2,0,1,1).
 	T    int  `json:"t,omitempty"`
 	B    int  `json:"b,omitempty"`
@@ -555,14 +561,23 @@ func (s *SimSpec) Normalize() {
 	if s.Policy == "" {
 		s.Policy = "steal"
 	}
-	if s.Service == "" {
-		s.Service = "exp"
+	// Fold the legacy top-level stage count into the service spec, then
+	// canonicalize the spec itself, so {"service":"erlang","stages":4} and
+	// {"service":{"dist":"erlang","stages":4}} hash identically.
+	if s.Service.Dist == "erlang" && s.Service.Stages == 0 && s.Stages > 0 {
+		s.Service.Stages = s.Stages
 	}
-	if s.Service == "erlang" && s.Stages == 0 {
-		s.Stages = 10
-	}
-	if s.Service != "erlang" {
-		s.Stages = 0
+	s.Stages = 0
+	s.Service.Normalize()
+	if s.Arrivals != nil {
+		s.Arrivals.Normalize()
+		if s.Arrivals.IsPoisson() &&
+			len(s.Arrivals.Rates) == 0 && len(s.Arrivals.Switch) == 0 &&
+			len(s.Arrivals.Times) == 0 && s.Arrivals.Path == "" {
+			// A parameter-free "poisson" is the default spelled out; drop it
+			// so implied and explicit defaults share one cache entry.
+			s.Arrivals = nil
+		}
 	}
 	if s.Policy == "steal" {
 		if s.T == 0 {
@@ -623,9 +638,9 @@ func (s *SimSpec) Options() (sim.Options, error) {
 	if s.Horizon > MaxSimHorizon {
 		return sim.Options{}, fmt.Errorf("experiments: horizon = %v exceeds the serving cap %v", s.Horizon, float64(MaxSimHorizon))
 	}
-	svc, err := ServiceDist(s.Service, s.Stages)
+	svc, err := s.Service.Distribution()
 	if err != nil {
-		return sim.Options{}, err
+		return sim.Options{}, fmt.Errorf("%w: %v", ErrWorkloadSpec, err)
 	}
 	pk, err := ParsePolicy(s.Policy)
 	if err != nil {
@@ -653,6 +668,13 @@ func (s *SimSpec) Options() (sim.Options, error) {
 		Seed:           s.Seed,
 		QueueHistDepth: s.QHist,
 	}
+	if s.Arrivals != nil {
+		proc, err := s.Arrivals.Process()
+		if err != nil {
+			return sim.Options{}, fmt.Errorf("%w: %v", ErrWorkloadSpec, err)
+		}
+		o.Arrivals = proc
+	}
 	if err := (sim.Replication{Reps: s.Reps}).Validate(&o); err != nil {
 		if kind != sim.EngineDES {
 			// Option combinations the fluid/hybrid engines cannot
@@ -668,39 +690,54 @@ func (s *SimSpec) Options() (sim.Options, error) {
 // SimReport is the JSON shape of one aggregated simulation cell — the same
 // layout wssim -json emits.
 type SimReport struct {
-	Engine  string          `json:"engine"`
-	Tracked int             `json:"tracked,omitempty"`
-	N       int             `json:"n"`
-	Lambda  float64         `json:"lambda"`
-	Policy  string          `json:"policy"`
-	Service string          `json:"service"`
-	Reps    int             `json:"reps"`
-	Horizon float64         `json:"horizon"`
-	Warmup  float64         `json:"warmup"`
-	Sojourn stats.Summary   `json:"sojourn"`
-	Load    stats.Summary   `json:"load"`
-	Drain   stats.Summary   `json:"drain"`
-	Tails   []float64       `json:"tails,omitempty"`
-	Metrics metrics.Summary `json:"metrics"`
+	Engine   string          `json:"engine"`
+	Tracked  int             `json:"tracked,omitempty"`
+	N        int             `json:"n"`
+	Lambda   float64         `json:"lambda"`
+	Policy   string          `json:"policy"`
+	Service  string          `json:"service"`
+	Arrivals string          `json:"arrivals,omitempty"`
+	Reps     int             `json:"reps"`
+	Horizon  float64         `json:"horizon"`
+	Warmup   float64         `json:"warmup"`
+	Sojourn  stats.Summary   `json:"sojourn"`
+	Load     stats.Summary   `json:"load"`
+	Drain    stats.Summary   `json:"drain"`
+	Tails    []float64       `json:"tails,omitempty"`
+	Metrics  metrics.Summary `json:"metrics"`
 }
 
 // BuildSimReport renders the aggregate of a spec's replication set. The
-// spec must be normalized (Options does this).
+// spec must be normalized and valid (Options does both). Service and
+// Arrivals render as the built models' own descriptions — "Exp(rate=1)",
+// "mmpp(2 phases)" — the exact strings wssim has always printed, so the
+// CLI's -json output and the served report bytes stay identical.
 func BuildSimReport(s *SimSpec, agg sim.Aggregate) SimReport {
+	svcName := s.Service.Dist
+	if svc, err := s.Service.Distribution(); err == nil {
+		svcName = svc.String()
+	}
+	arrName := ""
+	if s.Arrivals != nil {
+		if proc, err := s.Arrivals.Process(); err == nil && proc != nil {
+			arrName = proc.Name()
+		}
+	}
 	return SimReport{
-		Engine:  s.Engine,
-		Tracked: s.Tracked,
-		N:       s.N,
-		Lambda:  s.Lambda,
-		Policy:  s.Policy,
-		Service: s.Service,
-		Reps:    s.Reps,
-		Horizon: s.Horizon,
-		Warmup:  s.Warmup,
-		Sojourn: agg.Sojourn,
-		Load:    agg.Load,
-		Drain:   agg.Drain,
-		Tails:   agg.Tails,
-		Metrics: agg.Metrics,
+		Engine:   s.Engine,
+		Tracked:  s.Tracked,
+		N:        s.N,
+		Lambda:   s.Lambda,
+		Policy:   s.Policy,
+		Service:  svcName,
+		Arrivals: arrName,
+		Reps:     s.Reps,
+		Horizon:  s.Horizon,
+		Warmup:   s.Warmup,
+		Sojourn:  agg.Sojourn,
+		Load:     agg.Load,
+		Drain:    agg.Drain,
+		Tails:    agg.Tails,
+		Metrics:  agg.Metrics,
 	}
 }

@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"testing"
 
 	"repro/internal/meanfield"
 	"repro/internal/sim"
+	"repro/internal/workload"
 )
 
 func TestFixedPointSpecDefaults(t *testing.T) {
@@ -154,12 +156,60 @@ func TestSimSpecCaps(t *testing.T) {
 		{"negative lambda", SimSpec{N: 16, Lambda: -0.8}},
 		{"nan warmup", SimSpec{N: 16, Lambda: 0.8, Warmup: math.NaN()}},
 		{"unknown policy", SimSpec{N: 16, Lambda: 0.8, Policy: "nosuch"}},
-		{"unknown service", SimSpec{N: 16, Lambda: 0.8, Service: "nosuch"}},
+		{"unknown service", SimSpec{N: 16, Lambda: 0.8, Service: workload.ServiceSpec{Dist: "nosuch"}}},
 	}
 	for _, tc := range cases {
 		if _, err := tc.s.Options(); err == nil {
 			t.Errorf("%s: accepted", tc.name)
 		}
+	}
+}
+
+// TestSimSpecWorkload covers the workload threading: the legacy top-level
+// stage count folds into the service spec, parameter-free poisson arrivals
+// collapse to the implied default, workload failures carry ErrWorkloadSpec,
+// and a custom arrival process reaches the simulator and the report.
+func TestSimSpecWorkload(t *testing.T) {
+	legacy := SimSpec{N: 16, Lambda: 0.8, Service: workload.ServiceSpec{Dist: "erlang"}, Stages: 4}
+	object := SimSpec{N: 16, Lambda: 0.8, Service: workload.ServiceSpec{Dist: "erlang", Stages: 4}}
+	legacy.Normalize()
+	object.Normalize()
+	if legacy.Stages != 0 || legacy.Service != object.Service {
+		t.Errorf("legacy stages did not fold: %+v vs %+v", legacy.Service, object.Service)
+	}
+
+	p := SimSpec{N: 16, Lambda: 0.8, Arrivals: &workload.ArrivalSpec{Kind: "poisson"}}
+	p.Normalize()
+	if p.Arrivals != nil {
+		t.Error("parameter-free poisson arrivals did not collapse to nil")
+	}
+
+	s := SimSpec{N: 16, Lambda: 0.8, Service: workload.ServiceSpec{Dist: "h2", SCV: -1}}
+	if _, err := s.Options(); !errors.Is(err, ErrWorkloadSpec) {
+		t.Errorf("negative SCV error %v does not wrap ErrWorkloadSpec", err)
+	}
+	a := SimSpec{N: 16, Arrivals: &workload.ArrivalSpec{Kind: "trace"}}
+	if _, err := a.Options(); !errors.Is(err, ErrWorkloadSpec) {
+		t.Errorf("empty trace error %v does not wrap ErrWorkloadSpec", err)
+	}
+
+	m := SimSpec{N: 16,
+		Arrivals: &workload.ArrivalSpec{Kind: "mmpp", Rates: []float64{1.4, 0}, Switch: []float64{1, 1}},
+		Horizon:  300, Warmup: 50, Reps: 1}
+	o, err := m.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Arrivals == nil || o.Arrivals.Name() != "mmpp(2 phases)" {
+		t.Errorf("arrival process not threaded: %+v", o.Arrivals)
+	}
+	agg, err := sim.Replication{Reps: 1}.Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := BuildSimReport(&m, agg)
+	if rep.Arrivals != "mmpp(2 phases)" || !strings.HasPrefix(rep.Service, "Exp(") {
+		t.Errorf("report workload labels: service %q arrivals %q", rep.Service, rep.Arrivals)
 	}
 }
 

@@ -93,6 +93,15 @@ type maxRater interface {
 	MaxRate() float64
 }
 
+// relaxRater is implemented by models whose slowest relaxation mode is not
+// governed by 1 − λ (the default): the phase-type model mixes at
+// (1 − ρ)·μ_min when a slow branch dominates. Solve stretches the Picard
+// horizon to cover the advertised rate so each application contracts the
+// slow modes enough for Anderson mixing to stay out of limit cycles.
+type relaxRater interface {
+	RelaxRate() float64
+}
+
 // Solve finds the fixed point of model m using Anderson-accelerated Picard
 // iteration on the RK4 flow, starting from the model's warm start (or its
 // initial state), and validates the result.
@@ -116,8 +125,13 @@ func Solve(m core.Model, opt SolveOptions) (core.FixedPoint, error) {
 	step := 0.5 / rate
 	// The slowest relaxation mode decays like exp(−(1−λ)²·t/const), so give
 	// one Picard application a horizon that grows as λ → 1; Anderson mixing
-	// then needs only tens of applications.
-	horizon := numeric.Clamp(1.5/(1-m.ArrivalRate()), 40*step, 120)
+	// then needs only tens of applications. Models with slower modes than
+	// 1 − λ (slow service phases) advertise them via relaxRater.
+	relax := 1 - m.ArrivalRate()
+	if rr, ok := m.(relaxRater); ok {
+		relax = rr.RelaxRate()
+	}
+	horizon := numeric.Clamp(1.5/relax, 40*step, 120)
 	res, err := solver.FixedPoint(m.Derivs, x0, solver.Options{
 		Tol:     opt.Tol,
 		Horizon: horizon,

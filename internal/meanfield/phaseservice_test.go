@@ -1,0 +1,254 @@
+package meanfield
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/numeric"
+	"repro/internal/rng"
+)
+
+func mustPH(t *testing.T, d dist.Distribution) dist.PhaseType {
+	t.Helper()
+	ph, ok := dist.AsPhaseType(d)
+	if !ok {
+		t.Fatalf("no phase-type form for %s", d)
+	}
+	return ph
+}
+
+func h2PH(t *testing.T, scv float64) dist.PhaseType {
+	t.Helper()
+	ph, err := dist.FitH2(1, scv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ph
+}
+
+// completionFlux returns C = Σ_{i, final j} μ_j·x_{i,j}, the total task
+// completion rate at state x.
+func completionFlux(m *PhaseService, x []float64) float64 {
+	var k numeric.KahanSum
+	for i := 1; i <= m.levels; i++ {
+		base := 1 + (i-1)*m.nph
+		for j := 0; j < m.nph; j++ {
+			if m.last[j] {
+				k.Add(m.mu[j] * x[base+j])
+			}
+		}
+	}
+	return k.Sum()
+}
+
+// The phase-service system must conserve both the processor population
+// (de/dt + Σ dx_{i,j}/dt = 0) and the task count (dE[L]/dt = λ − C, since
+// stealing only moves tasks) at EVERY feasible compact-support state, not
+// just the fixed point. Any bookkeeping slip in the steal or phase-advance
+// terms breaks one of the two identities.
+func TestConservationPhaseService(t *testing.T) {
+	cases := []struct {
+		name string
+		m    *PhaseService
+	}{
+		{"exp-T2", NewPhaseService(0.8, mustPH(t, dist.NewExponential(1)), 2, 0)},
+		{"erlang3-T3", NewPhaseService(0.8, mustPH(t, dist.ErlangWithMean(3, 1)), 3, 0)},
+		{"h2-T2-retry", NewPhaseService(0.7, h2PH(t, 8), 2, 2)},
+		{"h2-nosteal", NewPhaseService(0.7, h2PH(t, 4), 0, 0)},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			m := tc.m
+			lam := m.ArrivalRate()
+			f := func(seed uint64) bool {
+				x := randomFeasible(m, rng.New(seed))
+				dx := make([]float64, m.Dim())
+				m.Derivs(x, dx)
+				var pop, tasks numeric.KahanSum
+				pop.Add(dx[0])
+				for i := 1; i <= m.levels; i++ {
+					base := 1 + (i-1)*m.nph
+					var lvl float64
+					for j := 0; j < m.nph; j++ {
+						lvl += dx[base+j]
+					}
+					pop.Add(lvl)
+					tasks.Add(float64(i) * lvl)
+				}
+				if math.Abs(pop.Sum()) > 1e-10 {
+					return false
+				}
+				want := lam - completionFlux(m, x)
+				return math.Abs(tasks.Sum()-want) < 1e-9
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+				t.Errorf("%s: conservation violated: %v", m.Name(), err)
+			}
+		})
+	}
+}
+
+// With a single exponential phase the system collapses to the paper's
+// Threshold equations, so the fixed point must reproduce the closed form.
+func TestPhaseServiceExponentialMatchesThreshold(t *testing.T) {
+	for _, T := range []int{2, 4} {
+		lambda := 0.85
+		m := NewPhaseService(lambda, mustPH(t, dist.NewExponential(1)), T, 0)
+		fp := MustSolve(m, SolveOptions{})
+		cf := SolveThreshold(lambda, T)
+		tails := m.TaskTails(fp.State, nil)
+		for i := 0; i < 12; i++ {
+			if math.Abs(tails[i]-cf.Pi(i)) > 1e-8 {
+				t.Errorf("T=%d: phase-service s_%d = %v, threshold closed form %v", T, i, tails[i], cf.Pi(i))
+			}
+		}
+		if bf := fp.BusyFraction(); math.Abs(bf-lambda) > 1e-8 {
+			t.Errorf("T=%d: busy fraction %v, want λ = %v", T, bf, lambda)
+		}
+	}
+}
+
+// With retries and exponential service the system is the Repeated model.
+func TestPhaseServiceExponentialMatchesRepeated(t *testing.T) {
+	lambda, T, r := 0.8, 2, 2.0
+	ps := MustSolve(NewPhaseService(lambda, mustPH(t, dist.NewExponential(1)), T, r), SolveOptions{})
+	rep := MustSolve(NewRepeated(lambda, T, r), SolveOptions{})
+	if d := math.Abs(ps.MeanTasks() - rep.MeanTasks()); d > 1e-8 {
+		t.Errorf("E[L] phase-service %v vs repeated %v (Δ=%v)", ps.MeanTasks(), rep.MeanTasks(), d)
+	}
+	pq, ok1 := ps.StealSuccessProb(T)
+	rq, ok2 := rep.StealSuccessProb(T)
+	if !ok1 || !ok2 || math.Abs(pq-rq) > 1e-8 {
+		t.Errorf("steal success %v/%v vs %v/%v", pq, ok1, rq, ok2)
+	}
+}
+
+// The Erlang phase type and the method-of-stages model are two encodings of
+// the same Markov system (total remaining stages ↔ task count + head
+// stage), so their fixed points must agree on every task-space observable.
+func TestPhaseServiceErlangMatchesStages(t *testing.T) {
+	lambda, c, T := 0.8, 3, 2
+	ps := MustSolve(NewPhaseService(lambda, mustPH(t, dist.ErlangWithMean(c, 1)), T, 0), SolveOptions{})
+	st := MustSolve(NewStages(lambda, c, T), SolveOptions{})
+	if d := math.Abs(ps.MeanTasks() - st.MeanTasks()); d > 1e-7 {
+		t.Errorf("E[L] phase-service %v vs stages %v (Δ=%v)", ps.MeanTasks(), st.MeanTasks(), d)
+	}
+	if d := math.Abs(ps.BusyFraction() - st.BusyFraction()); d > 1e-8 {
+		t.Errorf("busy fraction %v vs %v", ps.BusyFraction(), st.BusyFraction())
+	}
+	pq, _ := ps.StealSuccessProb(T)
+	sq, _ := st.StealSuccessProb(T)
+	if math.Abs(pq-sq) > 1e-7 {
+		t.Errorf("steal success %v vs %v", pq, sq)
+	}
+}
+
+// Without stealing the model is a bank of independent M/PH/1 queues, whose
+// stationary mean queue length is the Pollaczek–Khinchine formula
+// E[L] = ρ + ρ²(1+scv)/(2(1−ρ)) — an independent closed-form check that
+// the phase bookkeeping carries the right second moment.
+func TestPhaseServiceNoStealIsPollaczekKhinchine(t *testing.T) {
+	cases := []struct {
+		name   string
+		ph     dist.PhaseType
+		lambda float64
+	}{
+		{"exp", mustPH(t, dist.NewExponential(1)), 0.7},
+		{"erlang4", mustPH(t, dist.ErlangWithMean(4, 1)), 0.8},
+		{"h2-scv4", h2PH(t, 4), 0.8},
+		{"h2-scv16", h2PH(t, 16), 0.6},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			m := NewPhaseService(tc.lambda, tc.ph, 0, 0)
+			fp := MustSolve(m, SolveOptions{})
+			rho := tc.lambda * tc.ph.Mean()
+			scv := dist.SCV(tc.ph)
+			want := rho + rho*rho*(1+scv)/(2*(1-rho))
+			if d := math.Abs(fp.MeanTasks() - want); d > 1e-6 {
+				t.Errorf("E[L] = %v, P-K closed form %v (Δ=%v)", fp.MeanTasks(), want, d)
+			}
+			if bf := fp.BusyFraction(); math.Abs(bf-rho) > 1e-8 {
+				t.Errorf("busy fraction %v, want ρ = %v", bf, rho)
+			}
+		})
+	}
+}
+
+// Stealing with high-variance service must help: at equal load the steal
+// fixed point has strictly smaller E[L] than no stealing, and more so as
+// SCV grows (the crossover effect the wscheck family exercises end to end).
+func TestPhaseServiceStealingHelpsUnderVariance(t *testing.T) {
+	lambda := 0.75
+	prevGain := 0.0
+	for _, scv := range []float64{1, 4, 16} {
+		var ph dist.PhaseType
+		if scv == 1 {
+			ph = mustPH(t, dist.NewExponential(1))
+		} else {
+			ph = h2PH(t, scv)
+		}
+		no := MustSolve(NewPhaseService(lambda, ph, 0, 0), SolveOptions{})
+		steal := MustSolve(NewPhaseService(lambda, ph, 2, 0), SolveOptions{})
+		gain := no.SojournTime() - steal.SojournTime()
+		if gain <= 0 {
+			t.Errorf("scv=%v: stealing did not help (E[T] %v vs %v)", scv, steal.SojournTime(), no.SojournTime())
+		}
+		if gain < prevGain {
+			t.Errorf("scv=%v: absolute gain %v shrank below %v at lower scv", scv, gain, prevGain)
+		}
+		prevGain = gain
+	}
+}
+
+// The tails implied by the fixed point are a valid tail vector and the
+// coupler quantities are consistent with them.
+func TestPhaseServiceCouplerConsistency(t *testing.T) {
+	m := NewPhaseService(0.8, h2PH(t, 4), 2, 0.5)
+	fp := MustSolve(m, SolveOptions{})
+	tails := m.TaskTails(fp.State, nil)
+	if err := core.ValidateTails(tails, 1e-8, 1e-6); err != nil {
+		t.Errorf("fixed-point tails invalid: %v", err)
+	}
+	if got := core.MeanFromTails(tails); math.Abs(got-fp.MeanTasks()) > 1e-9 {
+		t.Errorf("tails mean %v != MeanTasks %v", got, fp.MeanTasks())
+	}
+	theta := m.EmptyingRate(fp.State)
+	if theta <= 0 || theta > m.EmptyingRateBound()+1e-12 {
+		t.Errorf("emptying rate %v outside (0, %v]", theta, m.EmptyingRateBound())
+	}
+	// Reuse of the out buffer must not allocate a fresh slice.
+	buf := make([]float64, 0, m.Levels()+1)
+	out := m.TaskTails(fp.State, buf)
+	if &out[0] != &buf[:1][0] {
+		t.Error("TaskTails reallocated despite sufficient capacity")
+	}
+}
+
+func TestPhaseServiceConstructorPanics(t *testing.T) {
+	exp := dist.PhaseType{Branches: []dist.Branch{{P: 1, K: 1, Rate: 1}}}
+	slow := dist.PhaseType{Branches: []dist.Branch{{P: 1, K: 1, Rate: 0.5}}} // mean 2
+	for name, f := range map[string]func(){
+		"lambda=0":     func() { NewPhaseService(0, exp, 2, 0) },
+		"unstable":     func() { NewPhaseService(0.6, slow, 2, 0) }, // ρ = 1.2
+		"T=1":          func() { NewPhaseService(0.5, exp, 1, 0) },
+		"retry<0":      func() { NewPhaseService(0.5, exp, 2, -1) },
+		"retryNoSteal": func() { NewPhaseService(0.5, exp, 0, 1) },
+		"badPhaseType": func() { NewPhaseService(0.5, dist.PhaseType{}, 2, 0) },
+	} {
+		f := f
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		})
+	}
+}

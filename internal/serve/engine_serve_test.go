@@ -87,14 +87,16 @@ func TestSimulateHybridEngine(t *testing.T) {
 func TestSimulateEngineErrors(t *testing.T) {
 	_, ts := newTestServer(t, Config{Workers: 1})
 	unprocessable := []string{
-		`{"engine":"warp","n":16,"lambda":0.8}`,                                  // unknown engine name
-		`{"engine":"hybrid","n":16,"lambda":0.8,"tracked":32}`,                   // tracked > n
-		`{"engine":"hybrid","n":16,"lambda":0.8,"tracked":-1}`,                   // negative tracked
-		`{"engine":"hybrid","n":16,"lambda":0.8,"tracked":100000}`,               // tracked over the cap
-		`{"engine":"fluid","n":16,"lambda":0.8,"tracked":4}`,                     // tracked outside hybrid
-		`{"engine":"hybrid","n":64,"lambda":0.8,"d":2}`,                          // hybrid cannot do d-choices
-		`{"engine":"fluid","n":64,"lambda":0.8,"service":"erlang","stages":4}`,   // non-exponential service
-		`{"engine":"fluid","n":64,"lambda":0.8,"policy":"rebalance","rebalance":0.5}`, // no mean-field counterpart
+		`{"engine":"warp","n":16,"lambda":0.8}`,                                                                // unknown engine name
+		`{"engine":"hybrid","n":16,"lambda":0.8,"tracked":32}`,                                                 // tracked > n
+		`{"engine":"hybrid","n":16,"lambda":0.8,"tracked":-1}`,                                                 // negative tracked
+		`{"engine":"hybrid","n":16,"lambda":0.8,"tracked":100000}`,                                             // tracked over the cap
+		`{"engine":"fluid","n":16,"lambda":0.8,"tracked":4}`,                                                   // tracked outside hybrid
+		`{"engine":"hybrid","n":64,"lambda":0.8,"d":2}`,                                                        // hybrid cannot do d-choices
+		`{"engine":"fluid","n":64,"lambda":0.8,"service":"const"}`,                                             // no phase-type form
+		`{"engine":"fluid","n":64,"lambda":0.8,"service":"h2","half":true,"t":4}`,                              // phase-type beyond basic stealing
+		`{"engine":"fluid","n":64,"lambda":0,"arrivals":{"kind":"mmpp","rates":[1.6,0.1],"switch":[0.5,0.5]}}`, // arrivals are DES-only
+		`{"engine":"fluid","n":64,"lambda":0.8,"policy":"rebalance","rebalance":0.5}`,                          // no mean-field counterpart
 	}
 	for _, body := range unprocessable {
 		resp, rb := post(t, ts, "/v1/simulate", body)

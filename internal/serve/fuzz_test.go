@@ -165,6 +165,24 @@ var simSeeds = []string{
 	`{"engine":"hybrid","n":16,"lambda":0.8,"tracked":32}`,
 	`{"engine":"fluid","n":16,"lambda":0.8,"tracked":4}`,
 	`{"n":16,"lambda":0.8,"tracked":-1,"engine":"hybrid"}`,
+	// Workload objects: parameterized service and arrival models.
+	`{"n":32,"lambda":0.75,"service":{"dist":"h2","scv":4}}`,
+	`{"n":32,"lambda":0.75,"service":{"dist":"pareto","shape":1.5,"ratio":1000}}`,
+	`{"n":32,"lambda":0.7,"service":{"dist":"erlang","stages":4}}`,
+	`{"n":32,"lambda":0,"arrivals":{"kind":"mmpp","rates":[1.4,0],"switch":[1,1]},"horizon":500}`,
+	`{"n":32,"lambda":0,"arrivals":{"kind":"trace","times":[0.5,1,1.5]},"horizon":10}`,
+	`{"n":32,"lambda":0.8,"service":"h2","arrivals":"poisson"}`,
+	// Workload rejections: out-of-domain fits and malformed arrival specs.
+	`{"n":32,"lambda":0.8,"service":{"dist":"h2","scv":-4}}`,
+	`{"n":32,"lambda":0.8,"service":{"dist":"h2","scv":0.5}}`,
+	`{"n":32,"lambda":0.8,"service":{"dist":"pareto","shape":1.5,"ratio":0.5}}`,
+	`{"n":32,"lambda":0,"arrivals":{"kind":"trace","times":[]}}`,
+	`{"n":32,"lambda":0,"arrivals":{"kind":"trace","times":[2,1]}}`,
+	`{"n":32,"lambda":0,"arrivals":{"kind":"trace","path":"/etc/passwd"}}`,
+	`{"n":32,"lambda":0,"arrivals":{"kind":"mmpp","rates":[1e999]}}`,
+	`{"n":32,"lambda":0,"arrivals":{"kind":"mmpp","rates":[-1]}}`,
+	`{"n":32,"lambda":0.5,"arrivals":{"kind":"mmpp","rates":[0.5]}}`,
+	`{"n":32,"lambda":0.8,"service":{"dist":"exp","bogus":1}}`,
 }
 
 func FuzzSimulateRequest(f *testing.F) {
@@ -211,6 +229,29 @@ func TestCanonicalKeyFieldOrder(t *testing.T) {
 			`{"seed":7,"reps":1,"horizon":400,"t":2,"lambda":0.9,"n":100000,"engine":"hybrid"}`,
 			// tracked=256 is hybrid's implied default at this n.
 			`{"engine":"hybrid","n":100000,"lambda":0.9,"t":2,"horizon":400,"reps":1,"seed":7,"tracked":256}`,
+		}},
+		{"simulate-erlang-spellings", simKey, []string{
+			// The legacy top-level stage count and the object form are the
+			// same workload; both spellings must share one cache entry.
+			`{"n":32,"lambda":0.7,"service":"erlang","stages":4,"horizon":900,"reps":1,"seed":7}`,
+			`{"n":32,"lambda":0.7,"service":{"dist":"erlang","stages":4},"horizon":900,"reps":1,"seed":7}`,
+			`{"stages":4,"service":"erlang","seed":7,"reps":1,"horizon":900,"lambda":0.7,"n":32}`,
+		}},
+		{"simulate-workload-defaults", simKey, []string{
+			`{"n":32,"lambda":0.7,"service":"h2","horizon":900}`,
+			// scv=4 is the h2 default; poisson arrivals are the implied default.
+			`{"n":32,"lambda":0.7,"service":{"dist":"h2","scv":4},"horizon":900}`,
+			`{"n":32,"lambda":0.7,"service":{"dist":"h2","scv":4},"horizon":900,"arrivals":"poisson"}`,
+		}},
+		{"simulate-h2-collapse", simKey, []string{
+			// An h2 with SCV exactly 1 is the exponential, spelled long.
+			`{"n":32,"lambda":0.7,"horizon":900}`,
+			`{"n":32,"lambda":0.7,"service":{"dist":"h2","scv":1},"horizon":900}`,
+			`{"n":32,"lambda":0.7,"service":"exp","horizon":900,"arrivals":"poisson"}`,
+		}},
+		{"simulate-mmpp", simKey, []string{
+			`{"n":32,"lambda":0,"arrivals":{"kind":"mmpp","rates":[1.4,0],"switch":[1,1]},"horizon":500,"seed":7}`,
+			`{"seed":7,"horizon":500,"arrivals":{"switch":[1,1],"rates":[1.4,0],"kind":"mmpp"},"lambda":0,"n":32}`,
 		}},
 	}
 	for _, tc := range cases {

@@ -431,14 +431,23 @@ func solveError(err error) error {
 
 // simSpecError classifies a simulate-spec failure: engine-capability
 // problems (an unknown engine name, Tracked out of range, or a variant the
-// selected engine cannot run) are unprocessable — the request is
-// well-formed but names a computation no engine provides — while plain
-// parameter errors stay bad requests.
+// selected engine cannot run) and workload-model problems (an unknown
+// service distribution, fit parameters outside the model's domain, an
+// arrival spec beyond the serving caps) are unprocessable — the request is
+// well-formed but names a computation no engine or workload model provides
+// — while plain parameter errors stay bad requests.
 func simSpecError(err error) error {
 	if errors.Is(err, experiments.ErrEngineSpec) {
 		return &httpError{
 			status: http.StatusUnprocessableEntity,
 			code:   "bad_engine",
+			msg:    err.Error(),
+		}
+	}
+	if errors.Is(err, experiments.ErrWorkloadSpec) {
+		return &httpError{
+			status: http.StatusUnprocessableEntity,
+			code:   "bad_workload",
 			msg:    err.Error(),
 		}
 	}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/rng"
 	"repro/internal/stats"
+	"repro/internal/workload"
 )
 
 // Event kinds used by the engine.
@@ -50,6 +51,11 @@ type engine struct {
 	now   float64
 
 	classProcs [][]int32 // processor indices per class (victim sampling is global)
+
+	// arrivals is the per-replication source of the custom arrival process
+	// (nil for the default merged Poisson stream, which keeps the legacy
+	// arrival path — and its event and RNG sequence — untouched).
+	arrivals workload.ArrivalSource
 
 	// Load accounting: total tasks in queues plus in flight.
 	totalTasks   int64
@@ -152,8 +158,15 @@ func (e *engine) init(o Options, stream *rng.Source) {
 		}
 	}
 
-	// External arrival streams: one merged Poisson stream per class.
-	if o.Classes == nil {
+	// External arrival streams: a custom process when configured, else one
+	// merged Poisson stream per class.
+	e.arrivals = nil
+	if o.Arrivals != nil {
+		e.arrivals = o.Arrivals.NewSource(o.N)
+		if t := e.arrivals.Next(0, e.r); !math.IsInf(t, 1) {
+			e.q.Push(eventq.Event{Time: t, Kind: evArrival, Aux: 0})
+		}
+	} else if o.Classes == nil {
 		if o.Lambda > 0 {
 			e.q.Push(eventq.Event{Time: e.r.Exp(o.Lambda * float64(o.N)), Kind: evArrival, Aux: 0})
 		}
@@ -429,6 +442,15 @@ func (e *engine) run() {
 
 		switch ev.Kind {
 		case evArrival:
+			if e.arrivals != nil {
+				p := int32(e.r.Intn(o.N))
+				e.addTask(p, e.now)
+				e.met.Arrivals++
+				if t := e.arrivals.Next(e.now, e.r); !math.IsInf(t, 1) {
+					e.q.Push(eventq.Event{Time: t, Kind: evArrival, Aux: 0})
+				}
+				break
+			}
 			class := int(ev.Aux)
 			ids := e.classProcs[class]
 			p := ids[e.r.Intn(len(ids))]
@@ -497,14 +519,16 @@ func (e *engine) run() {
 			e.handleSeries()
 		}
 
-		// Static runs end as soon as the system drains.
-		if e.totalTasks == 0 && o.Lambda == 0 && e.res.DrainTime < 0 {
+		// Static runs end as soon as the system drains. A custom arrival
+		// process disables the early stop: the system may legitimately be
+		// empty between bursts or trace instants.
+		if e.totalTasks == 0 && o.Lambda == 0 && e.arrivals == nil && e.res.DrainTime < 0 {
 			e.res.DrainTime = e.now
 			break
 		}
 	}
 	end := e.now
-	if e.res.DrainTime < 0 && o.Lambda > 0 {
+	if e.res.DrainTime < 0 && (o.Lambda > 0 || e.arrivals != nil) {
 		end = o.Horizon
 	}
 	e.accountLoad(end)

@@ -47,11 +47,14 @@ func fluidModel(o *Options) (m core.Model, tailsFirst bool, err error) {
 	if o.InitialLoad != 0 {
 		return bad("static (initial-load) runs are not supported")
 	}
+	if o.Arrivals != nil {
+		return bad("custom arrival processes (%s) are DES-only: the fluid limit needs Poisson arrivals", o.Arrivals.Name())
+	}
 	if o.Lambda <= 0 || o.Lambda >= 1 {
 		return bad("need arrival rate in (0, 1), got %g", o.Lambda)
 	}
 	if e, ok := o.Service.(dist.Exponential); !ok || e.Rate != 1 {
-		return bad("need exponential service with rate 1, got %v", o.Service)
+		return phaseFluidModel(o)
 	}
 	lam := o.Lambda
 	switch o.Policy {
@@ -101,6 +104,36 @@ func fluidModel(o *Options) (m core.Model, tailsFirst bool, err error) {
 	return meanfield.NewThreshold(lam, o.T), true, nil
 }
 
+// phaseFluidModel maps non-exponential service onto the generalized
+// phase-type mean-field model. Its state is occupancy by (task count, head
+// phase) rather than a tail vector, so tailsFirst is false and downstream
+// consumers read tails through core.StealCoupler. The phase-service ODEs
+// cover no stealing and basic threshold stealing (B = 0, D = 1, K = 1,
+// instantaneous transfer, optional retries); richer variants have no
+// phase-type mean-field counterpart yet.
+func phaseFluidModel(o *Options) (core.Model, bool, error) {
+	bad := func(format string, args ...any) (core.Model, bool, error) {
+		return nil, false, fmt.Errorf("sim: %s engine: %s", o.Engine, fmt.Sprintf(format, args...))
+	}
+	ph, ok := dist.AsPhaseType(o.Service)
+	if !ok {
+		return bad("service %v has no phase-type form (use exponential, Erlang, hyperexponential, or a fitted Pareto)", o.Service)
+	}
+	if rho := o.Lambda * ph.Mean(); rho >= 1 {
+		return bad("offered load λ·E[S] = %g is not below 1", rho)
+	}
+	switch o.Policy {
+	case PolicyRebalance:
+		return bad("pairwise rebalancing is not supported")
+	case PolicyNone:
+		return meanfield.NewPhaseService(o.Lambda, ph, 0, 0), false, nil
+	}
+	if o.TransferRate > 0 || o.B != 0 || o.D != 1 || o.K != 1 || o.Half {
+		return bad("non-exponential service combines only with basic threshold stealing (B = 0, D = 1, K = 1, no transfer delays)")
+	}
+	return meanfield.NewPhaseService(o.Lambda, ph, o.T, o.RetryRate), false, nil
+}
+
 // busyFraction reads the fraction of busy processors off a model state.
 func busyFraction(m core.Model, tailsFirst bool, x []float64) float64 {
 	if obs, ok := m.(core.Observer); ok {
@@ -141,13 +174,14 @@ func (f *fluidEngine) run() {
 	scratch := ode.NewRK4Scratch(m.Dim())
 	sys := ode.System(m.Derivs)
 
+	coupler, hasCoupler := m.(core.StealCoupler)
 	tailDepth := o.TailDepth
-	if !tailsFirst {
-		tailDepth = 0 // state is not a task-indexed tail vector
+	if !tailsFirst && !hasCoupler {
+		tailDepth = 0 // the state does not imply a task-indexed tail vector
 	}
 	var (
 		loadInt, busyInt, span float64
-		tailInt                []float64
+		tailInt, tailBuf       []float64
 		seriesT, seriesL       []float64
 		nextSeries             float64
 	)
@@ -176,9 +210,16 @@ func (f *fluidEngine) run() {
 			span += w
 			loadInt += m.MeanTasks(x) * w
 			busyInt += busyFraction(m, tailsFirst, x) * w
-			for i := range tailInt {
-				if i < len(x) {
-					tailInt[i] += x[i] * w
+			if tailInt != nil {
+				src := x
+				if !tailsFirst {
+					tailBuf = coupler.TaskTails(x, tailBuf)
+					src = tailBuf
+				}
+				for i := range tailInt {
+					if i < len(src) {
+						tailInt[i] += src[i] * w
+					}
 				}
 			}
 		}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/dist"
 	"repro/internal/meanfield"
+	"repro/internal/workload"
 )
 
 // fluidBase returns a basic-threshold configuration for the fluid engine.
@@ -121,6 +122,52 @@ func TestFluidSeries(t *testing.T) {
 	}
 }
 
+// TestFluidPhaseType checks the generalized phase-type path end to end: a
+// non-exponential fluid run must converge to the PhaseService fixed point,
+// and the task tails must come back through the StealCoupler even though
+// the model state is phase-structured rather than a tail vector.
+func TestFluidPhaseType(t *testing.T) {
+	h2, err := dist.FitH2(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]dist.Distribution{
+		"erlang3": dist.NewErlang(3, 3),
+		"h2-scv4": h2,
+	}
+	for name, svc := range cases {
+		t.Run(name, func(t *testing.T) {
+			o := fluidBase()
+			o.Lambda, o.Service = 0.75, svc
+			o.Horizon, o.Warmup = 1200, 800
+			res, err := Run(o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ph, ok := dist.AsPhaseType(svc)
+			if !ok {
+				t.Fatal("no phase-type form")
+			}
+			fp, err := meanfield.Solve(meanfield.NewPhaseService(0.75, ph, 2, 0), meanfield.SolveOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := fp.SojournTime(); math.Abs(res.MeanSojourn-want)/want > 0.02 {
+				t.Errorf("fluid sojourn %v, fixed point %v", res.MeanSojourn, want)
+			}
+			if len(res.Tails) != 6 || res.Tails[0] != 1 {
+				t.Fatalf("fluid tails %v, want 6 coupler entries starting at 1", res.Tails)
+			}
+			want := fp.Model.(*meanfield.PhaseService).TaskTails(fp.State, nil)
+			for i := 1; i < 6; i++ {
+				if math.Abs(res.Tails[i]-want[i]) > 0.01 {
+					t.Errorf("fluid tail s_%d = %v, fixed point %v", i, res.Tails[i], want[i])
+				}
+			}
+		})
+	}
+}
+
 // TestFluidRejectsUnsupported pins the typed rejection of configurations
 // without a mean-field counterpart, and of Tracked outside hybrid.
 func TestFluidRejectsUnsupported(t *testing.T) {
@@ -134,10 +181,13 @@ func TestFluidRejectsUnsupported(t *testing.T) {
 		}, "classes"},
 		"spawning":  {func(o *Options) { o.LambdaInt = 0.3 }, "spawning"},
 		"static":    {func(o *Options) { o.InitialLoad = 4 }, "static"},
-		"erlang":    {func(o *Options) { o.Service = dist.NewErlang(4, 4) }, "exponential"},
-		"unstable":  {func(o *Options) { o.Lambda = 1.5 }, "(0, 1)"},
-		"tracked":   {func(o *Options) { o.Tracked = 16 }, "Tracked"},
-		"preemhalf": {func(o *Options) { o.B = 1; o.T = 4; o.Half = true }, "preemptive"},
+		"deterministic": {func(o *Options) { o.Service = dist.NewDeterministic(1) }, "phase-type"},
+		"overloaded":    {func(o *Options) { o.Service = dist.NewErlang(2, 1) }, "below 1"}, // E[S] = 2
+		"phasehalf":     {func(o *Options) { o.Service = dist.NewErlang(2, 2); o.Half = true }, "threshold"},
+		"arrivals":      {func(o *Options) { o.Lambda = 0; o.Arrivals = workload.MMPP{Rates: []float64{0.5}} }, "DES-only"},
+		"unstable":      {func(o *Options) { o.Lambda = 1.5 }, "(0, 1)"},
+		"tracked":       {func(o *Options) { o.Tracked = 16 }, "Tracked"},
+		"preemhalf":     {func(o *Options) { o.B = 1; o.T = 4; o.Half = true }, "preemptive"},
 	}
 	for name, tc := range cases {
 		t.Run(name, func(t *testing.T) {

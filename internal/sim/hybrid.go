@@ -17,8 +17,10 @@ package sim
 //     Stolen bulk tasks materialize in the thief's queue.
 //   - Bulk thieves victimize the sample through a thinned Poisson probe
 //     process: each tracked processor is probed at rate α(t)·(N−Tracked)/N,
-//     where α(t) = (s₁−s₂) + r·(1−s₁) is the fluid per-processor
-//     steal-attempt rate (completions that empty a queue, plus retries).
+//     where α(t) = θ(t) + r·(1−s₁) is the fluid per-processor
+//     steal-attempt rate: θ(t), the rate of completions that empty a queue
+//     (s₁−s₂ under exponential service, the phase-weighted completion flux
+//     under phase-type service), plus idle retries.
 //     A probed processor at or above the threshold loses K tasks (⌈j/2⌉
 //     under steal-half) from the tail of its queue into the bulk.
 //
@@ -29,9 +31,13 @@ package sim
 // and utilization but never to sojourn measurements.
 //
 // Supported options are the intersection of the DES engine and the
-// tails-first mean-field models with on-empty stealing: PolicyNone or
-// PolicySteal with B = 0, D = 1, no transfer delays, and K ≥ 1, steal-half
-// or retries; exponential rate-1 service; homogeneous processors.
+// mean-field models that expose a task-tail coupling (core.StealCoupler):
+// PolicyNone or PolicySteal with B = 0, D = 1, no transfer delays, and
+// K ≥ 1, steal-half or retries under exponential rate-1 service, or basic
+// threshold stealing (K = 1) under any phase-type service; homogeneous
+// processors. All bulk reads — s_i, the attempt rate α(t), and victim-load
+// sampling — go through a tail snapshot refreshed at each fluid tick, so
+// tails-first models behave exactly as if the state were read directly.
 
 import (
 	"fmt"
@@ -57,8 +63,8 @@ const hybridFluidStep = 0.05
 var bulkArrival = math.Inf(-1)
 
 // validateHybrid rejects option combinations the hybrid coupling cannot
-// represent: it needs a tails-first mean-field model (for s_T and the
-// probe rate) and on-empty single-victim stealing.
+// represent: it needs a mean-field model with task-indexed tails (for s_T
+// and the probe rate) and on-empty single-victim stealing.
 func (o *Options) validateHybrid() error {
 	bad := func(format string, args ...any) error {
 		return fmt.Errorf("sim: hybrid engine: %s", fmt.Sprintf(format, args...))
@@ -78,11 +84,36 @@ func (o *Options) validateHybrid() error {
 	if err != nil {
 		return err
 	}
-	if !tailsFirst {
+	if _, ok := m.(core.StealCoupler); !ok && !tailsFirst {
 		return bad("model %s does not expose task-indexed tails", m.Name())
 	}
 	return nil
 }
+
+// tailsCoupler adapts a tails-first model state to core.StealCoupler: the
+// state already is the tail vector, completions that empty a queue happen at
+// rate s₁ − s₂ (unit-rate exponential service), bounded by 1. EmptyingRate
+// deliberately returns the raw difference — the α(t) clamp happens once, in
+// alpha() — so the coupled arithmetic is bit-identical to reading the state
+// directly.
+type tailsCoupler struct{}
+
+func (tailsCoupler) TaskTails(x, out []float64) []float64 {
+	return append(out[:0], x...)
+}
+
+func (tailsCoupler) EmptyingRate(x []float64) float64 {
+	var s1, s2 float64
+	if len(x) > 1 {
+		s1 = x[1]
+	}
+	if len(x) > 2 {
+		s2 = x[2]
+	}
+	return s1 - s2
+}
+
+func (tailsCoupler) EmptyingRateBound() float64 { return 1 }
 
 // hybridEngine is the tracked-sample-plus-fluid backend.
 type hybridEngine struct {
@@ -91,10 +122,17 @@ type hybridEngine struct {
 	q     *eventq.Queue
 	procs []proc // the tracked sample
 
-	// Fluid bulk.
-	model   core.Model
-	x       []float64
-	scratch *ode.RK4Scratch
+	// Fluid bulk. bulkTails and bulkTheta are snapshots of the coupler's
+	// tail vector and queue-emptying rate, refreshed after every fluid tick
+	// (the state is piecewise constant in between, so snapshotting changes
+	// nothing for tails-first models and saves phase-type models a
+	// suffix-sum per coupling event).
+	model     core.Model
+	coupler   core.StealCoupler
+	x         []float64
+	bulkTails []float64
+	bulkTheta float64
+	scratch   *ode.RK4Scratch
 
 	// Coupling rates, fixed per run.
 	trackedFrac float64 // Tracked / N: chance a tracked thief picks a tracked victim
@@ -147,8 +185,14 @@ func (h *hybridEngine) init(o Options, stream *rng.Source) {
 		panic(err) // Options.Validate gates every caller
 	}
 	h.model = m
+	if c, ok := m.(core.StealCoupler); ok {
+		h.coupler = c
+	} else {
+		h.coupler = tailsCoupler{}
+	}
 	h.x = m.Initial()
 	h.scratch = ode.NewRK4Scratch(m.Dim())
+	h.refreshBulk()
 
 	if h.q == nil {
 		h.q = eventq.New(4 * o.Tracked)
@@ -173,10 +217,11 @@ func (h *hybridEngine) init(o Options, stream *rng.Source) {
 	h.alphaBar = 0
 	h.probeBound = 0
 	if o.Policy == PolicySteal {
-		// α(t) ≤ (s₁−s₂) + r·(1−s₁) ≤ 1 + r, the thinning bound of the
-		// bulk probe process; scaled by the bulk fraction and merged over
-		// the sample.
-		h.alphaBar = 1 + o.RetryRate
+		// α(t) ≤ θ̄ + r, where θ̄ bounds the queue-emptying completion rate
+		// (1 for exponential service, max phase rate for phase-type): the
+		// thinning bound of the bulk probe process, scaled by the bulk
+		// fraction and merged over the sample.
+		h.alphaBar = h.coupler.EmptyingRateBound() + o.RetryRate
 		h.probeBound = h.alphaBar * (1 - h.trackedFrac) * float64(o.Tracked)
 	}
 
@@ -198,21 +243,28 @@ func (h *hybridEngine) init(o Options, stream *rng.Source) {
 
 func (h *hybridEngine) result() Result { return h.res }
 
-// tail returns s_i of the fluid state (0 beyond the truncation).
+// refreshBulk recomputes the tail and emptying-rate snapshots from the
+// fluid state; called whenever h.x changes (init and every fluid tick).
+func (h *hybridEngine) refreshBulk() {
+	h.bulkTails = h.coupler.TaskTails(h.x, h.bulkTails)
+	h.bulkTheta = h.coupler.EmptyingRate(h.x)
+}
+
+// tail returns s_i of the fluid bulk (0 beyond the truncation).
 func (h *hybridEngine) tail(i int) float64 {
 	if i < 0 {
 		return 1
 	}
-	if i >= len(h.x) {
+	if i >= len(h.bulkTails) {
 		return 0
 	}
-	return h.x[i]
+	return h.bulkTails[i]
 }
 
 // alpha is the fluid per-processor steal-attempt rate: processors
 // completing the task that empties their queue, plus idle retries.
 func (h *hybridEngine) alpha() float64 {
-	a := h.tail(1) - h.tail(2) + h.o.RetryRate*(1-h.tail(1))
+	a := h.bulkTheta + h.o.RetryRate*(1-h.tail(1))
 	if a < 0 {
 		return 0
 	}
@@ -309,7 +361,7 @@ func (h *hybridEngine) sampleBulkLoad() int {
 	}
 	u := h.r.Float64() * sT
 	j := t
-	for j+1 < len(h.x) && h.x[j+1] > u {
+	for j+1 < len(h.bulkTails) && h.bulkTails[j+1] > u {
 		j++
 	}
 	return j
@@ -524,6 +576,7 @@ func (h *hybridEngine) run() {
 		case evFluid:
 			ode.RK4(ode.System(h.model.Derivs), h.x, hybridFluidStep, h.scratch)
 			h.model.Project(h.x)
+			h.refreshBulk()
 			next := h.now + hybridFluidStep
 			if next <= o.Horizon {
 				h.q.Push(eventq.Event{Time: next, Kind: evFluid})

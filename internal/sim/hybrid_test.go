@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/dist"
+	"repro/internal/workload"
 )
 
 // hybridBase returns a basic-threshold hybrid configuration: a 32-processor
@@ -68,6 +69,35 @@ func TestHybridTracksDES(t *testing.T) {
 	// Throughput is normalized per measured processor on both sides.
 	if d := math.Abs(ha.Metrics.Throughput.Mean - da.Metrics.Throughput.Mean); d > 0.05 {
 		t.Errorf("hybrid throughput %v vs DES %v", ha.Metrics.Throughput.Mean, da.Metrics.Throughput.Mean)
+	}
+}
+
+// TestHybridTracksDESPhaseType is the smoke version of the wscheck H2 TOST
+// family: under hyperexponential service the coupler-driven hybrid must
+// still track the DES means.
+func TestHybridTracksDESPhaseType(t *testing.T) {
+	h2, err := dist.FitH2(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := hybridBase()
+	base.Lambda, base.Service = 0.75, h2
+	rp := Replication{Reps: 4}
+	des := base
+	des.Engine, des.Tracked = EngineDES, 0
+	da, err := rp.Run(des)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ha, err := rp.Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(ha.Sojourn.Mean-da.Sojourn.Mean) / da.Sojourn.Mean; d > 0.15 {
+		t.Errorf("hybrid H2 sojourn %v vs DES %v: rel diff %.3f", ha.Sojourn.Mean, da.Sojourn.Mean, d)
+	}
+	if d := math.Abs(ha.Metrics.Utilization.Mean - da.Metrics.Utilization.Mean); d > 0.05 {
+		t.Errorf("hybrid H2 utilization %v vs DES %v", ha.Metrics.Utilization.Mean, da.Metrics.Utilization.Mean)
 	}
 }
 
@@ -160,6 +190,7 @@ func TestHybridVariants(t *testing.T) {
 		"multisteal": func(o *Options) { o.T = 4; o.K = 2 },
 		"stealhalf":  func(o *Options) { o.T = 4; o.Half = true },
 		"repeated":   func(o *Options) { o.RetryRate = 1 },
+		"erlang":     func(o *Options) { o.Service = dist.NewErlang(2, 2) },
 	}
 	for name, mutate := range cases {
 		t.Run(name, func(t *testing.T) {
@@ -191,7 +222,9 @@ func TestHybridRejectsUnsupported(t *testing.T) {
 		"preemptive":      {func(o *Options) { o.B = 1; o.T = 3 }, "preemptive"},
 		"transfer":        {func(o *Options) { o.T = 4; o.TransferRate = 0.25 }, "transfer"},
 		"rebalance":       {func(o *Options) { o.Policy = PolicyRebalance; o.T = 0; o.RebalanceRate = 1 }, "rebalancing"},
-		"deterministic":   {func(o *Options) { o.Service = dist.NewDeterministic(1) }, "exponential"},
+		"deterministic":   {func(o *Options) { o.Service = dist.NewDeterministic(1) }, "phase-type"},
+		"phase-multi":     {func(o *Options) { o.Service = dist.NewErlang(2, 2); o.T = 4; o.K = 2 }, "threshold"},
+		"arrivals":        {func(o *Options) { o.Lambda = 0; o.Arrivals = workload.MMPP{Rates: []float64{0.5}} }, "DES-only"},
 		"unstable-lambda": {func(o *Options) { o.Lambda = 1.2 }, "(0, 1)"},
 	}
 	for name, tc := range cases {

@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/dist"
 	"repro/internal/metrics"
+	"repro/internal/workload"
 )
 
 // PolicyKind selects the stealing discipline.
@@ -68,6 +69,11 @@ type Options struct {
 	// Lambda is the external per-processor Poisson task arrival rate.
 	// Zero gives a static (draining) system.
 	Lambda float64
+	// Arrivals, when non-nil, replaces the merged Poisson stream with a
+	// custom system-wide arrival process (MMPP bursts, trace replay; see
+	// package workload). Each arrival still lands on a uniformly random
+	// processor. DES only; mutually exclusive with Lambda > 0 and Classes.
+	Arrivals workload.ArrivalProcess
 	// LambdaInt is the internal spawn rate: while a processor is busy it
 	// generates new tasks at this additional rate (§3.5). Usually 0.
 	LambdaInt float64
@@ -204,7 +210,7 @@ func (o *Options) measuredProcs() int {
 
 // hasArrivals reports whether any task source exists.
 func (o *Options) hasArrivals() bool {
-	if o.Lambda > 0 || o.LambdaInt > 0 || o.InitialLoad > 0 {
+	if o.Lambda > 0 || o.LambdaInt > 0 || o.InitialLoad > 0 || o.Arrivals != nil {
 		return true
 	}
 	for _, c := range o.Classes {
@@ -238,6 +244,14 @@ func (o *Options) Validate() error {
 	}
 	if o.TailDepth < 0 || o.QueueHistDepth < 0 {
 		return fmt.Errorf("sim: negative sampling depth")
+	}
+	if o.Arrivals != nil {
+		if o.Lambda > 0 {
+			return fmt.Errorf("sim: Arrivals and Lambda are mutually exclusive (the arrival process owns the rate)")
+		}
+		if o.Classes != nil {
+			return fmt.Errorf("sim: Arrivals does not combine with heterogeneous Classes")
+		}
 	}
 	switch o.Policy {
 	case PolicyNone:

@@ -191,6 +191,51 @@ func TOST(s Summary, target, margin float64) TOSTResult {
 	return r
 }
 
+// WelchResult reports Welch's unequal-variance comparison of two
+// replication summaries.
+type WelchResult struct {
+	// Diff is the point estimate a.Mean − b.Mean.
+	Diff float64 `json:"diff"`
+	// T is Diff over the pooled standard error √(sₐ²/Nₐ + s_b²/N_b).
+	T float64 `json:"t"`
+	// Df is the Welch–Satterthwaite degrees of freedom, rounded down.
+	Df int `json:"df"`
+	// Less is true when a's mean is significantly below b's: the one-sided
+	// 5%-level Welch test rejects "mean(a) ≥ mean(b)". Like TOST, too few
+	// replications (either N < 2) can never produce a spurious pass.
+	Less bool `json:"less"`
+}
+
+// Welch compares two replication summaries with Welch's unequal-variance t
+// procedure. The one-sided orientation tests whether a's mean lies below
+// b's; callers wanting the opposite direction swap the arguments.
+func Welch(a, b Summary) WelchResult {
+	r := WelchResult{Diff: a.Mean - b.Mean}
+	if a.N < 2 || b.N < 2 {
+		return r
+	}
+	va, vb := a.Std*a.Std/float64(a.N), b.Std*b.Std/float64(b.N)
+	se2 := va + vb
+	if se2 <= 0 {
+		// Degenerate replications: no variance estimate, no significance.
+		return r
+	}
+	r.T = r.Diff / math.Sqrt(se2)
+	df := se2 * se2 / (va*va/float64(a.N-1) + vb*vb/float64(b.N-1))
+	r.Df = int(df)
+	if r.Df < 1 {
+		r.Df = 1
+	}
+	r.Less = r.T < -tQuantile95(r.Df)
+	return r
+}
+
+// TQuantile95 returns the 0.95 quantile of Student's t distribution with
+// df degrees of freedom (NaN for df ≤ 0) — the one-sided 5% critical value
+// behind TOST and Welch, exported for callers that render the threshold a
+// comparison was held to.
+func TQuantile95(df int) float64 { return tQuantile95(df) }
+
 // tQuantile95 returns the 0.95 quantile of Student's t distribution with df
 // degrees of freedom (the one-sided 5% critical value used by TOST), from a
 // table for small df and the normal approximation beyond it.

@@ -341,6 +341,49 @@ func TestTQuantile95(t *testing.T) {
 	}
 }
 
+func TestWelch(t *testing.T) {
+	lo := Summary{N: 6, Mean: 2.0, Std: 0.1}
+	hi := Summary{N: 6, Mean: 3.0, Std: 0.1}
+	r := Welch(lo, hi)
+	if !r.Less || r.T >= 0 || r.Diff != -1 {
+		t.Errorf("clear separation not detected: %+v", r)
+	}
+	// Equal per-group variances and counts give df = 2(N−1) before the
+	// floor rounding.
+	if r.Df < 1 || r.Df > 10 {
+		t.Errorf("df = %d outside the Welch–Satterthwaite range", r.Df)
+	}
+	// The opposite orientation must not pass.
+	if rev := Welch(hi, lo); rev.Less {
+		t.Errorf("reversed comparison significant: %+v", rev)
+	}
+	// Overlapping noisy groups are not significant either way.
+	a := Summary{N: 4, Mean: 2.0, Std: 1.5}
+	b := Summary{N: 4, Mean: 2.2, Std: 1.5}
+	if r := Welch(a, b); r.Less || Welch(b, a).Less {
+		t.Errorf("overlapping groups significant: %+v", r)
+	}
+	// TQuantile95 is the rendered threshold |T| is held to.
+	if got, want := TQuantile95(5), tQuantile95(5); got != want {
+		t.Errorf("TQuantile95(5) = %v, want %v", got, want)
+	}
+}
+
+func TestWelchDegenerate(t *testing.T) {
+	// Too few replications or no variance can never be significant.
+	cases := [][2]Summary{
+		{{N: 1, Mean: 0}, {N: 6, Mean: 10, Std: 0.1}},
+		{{N: 6, Mean: 0, Std: 0.1}, {N: 1, Mean: 10}},
+		{{N: 6, Mean: 0}, {N: 6, Mean: 10}},
+	}
+	for i, c := range cases {
+		r := Welch(c[0], c[1])
+		if r.Less || r.T != 0 || r.Df != 0 {
+			t.Errorf("case %d: degenerate input significant: %+v", i, r)
+		}
+	}
+}
+
 func TestTOSTEquivalence(t *testing.T) {
 	// Tight replications around 2.0 are equivalent to 2.0 under a 5%
 	// margin but not under an implausibly small one.

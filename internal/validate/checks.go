@@ -125,6 +125,8 @@ func closedForm(vr *VariantReport, v experiments.Variant, fp core.FixedPoint) {
 			core.TailRatio(fp.State, 3, 1e-8), cf.Beta, TolTailRatio))
 		vr.add(relative("closedform-sojourn", "E[T] vs closed form",
 			fp.SojournTime(), cf.SojournTime(), TolSojournRel))
+	case "h2":
+		h2ClosedForm(vr, v.Lambda, v.Sim(2).Service)
 	case "threshold":
 		cf := meanfield.SolveThreshold(v.Lambda, 3)
 		worst, at := 0.0, 0
@@ -204,6 +206,8 @@ func dominates(vr *VariantReport, v experiments.Variant, fp core.FixedPoint) {
 			why = "is the baseline itself"
 		case "hetero":
 			why = "non-unit service rates"
+		case "h2":
+			why = "non-exponential service: the M/M/1 bound does not apply"
 		}
 		vr.add(Check{Name: "dominates-nosteal", Status: Skip, Detail: why})
 		return

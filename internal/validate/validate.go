@@ -167,15 +167,15 @@ func (cfg Config) validate() error {
 	return nil
 }
 
-// Run validates every given variant under cfg and returns the report.
-// The error covers configuration problems only; check failures are
-// reported through Report.OK and the per-check records.
-func Run(cfg Config, variants []experiments.Variant) (Report, error) {
+// Run validates every given variant and check family under cfg and
+// returns the report. The error covers configuration problems only; check
+// failures are reported through Report.OK and the per-check records.
+func Run(cfg Config, variants []experiments.Variant, families ...Family) (Report, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return Report{}, err
 	}
-	if len(variants) == 0 {
+	if len(variants) == 0 && len(families) == 0 {
 		return Report{}, fmt.Errorf("validate: no variants to check")
 	}
 	pool := cfg.Pool
@@ -208,6 +208,12 @@ func Run(cfg Config, variants []experiments.Variant) (Report, error) {
 	// The hybrid twins (and the tracked-shrink pair) join the same queue so
 	// the pool drains DES and hybrid cells together.
 	hyb := enqueueHybrid(cfg, variants, pool)
+	// Check families enqueue last: their cells drain alongside the grid and
+	// their collectors run after pass 2.
+	collectors := make([]func(*VariantReport), len(families))
+	for fi, f := range families {
+		collectors[fi] = f.enqueue(cfg, pool)
+	}
 
 	rep := Report{
 		Seed: cfg.Seed, Ns: cfg.Ns, Reps: cfg.Reps,
@@ -268,6 +274,12 @@ func Run(cfg Config, variants []experiments.Variant) (Report, error) {
 		if s := seconds[vi]; s != nil {
 			containment(&rep.Variants[vi], cfg, s.et, s.plan, s.cell.Aggregate())
 		}
+	}
+	// Collect the check families; each reports as one more variant block.
+	for fi, f := range families {
+		vr := VariantReport{Variant: f.Name, Lambda: f.Lambda}
+		collectors[fi](&vr)
+		rep.Variants = append(rep.Variants, vr)
 	}
 	rep.tally()
 	return rep, nil

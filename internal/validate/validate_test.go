@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/dist"
 	"repro/internal/experiments"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -169,6 +170,89 @@ func TestHybridFamily(t *testing.T) {
 	}
 	if cs := status["choices"]["hybrid-tracked-shrink"]; len(cs) != 0 {
 		t.Errorf("tracked-shrink ran for the skipped variant: %+v", cs)
+	}
+}
+
+// TestCrossoverFamily runs the workload crossover family alone (no
+// variants at all — the families-only path through Run) and pins its
+// report shape: one variant block named like the family carrying the two
+// endpoint Welch checks and the gap-monotonicity check.
+func TestCrossoverFamily(t *testing.T) {
+	f, ok := FamilyByName("crossover")
+	if !ok {
+		t.Fatal("families lost crossover")
+	}
+	rep, err := Run(testConfig(), nil, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Variants) != 1 || rep.Variants[0].Variant != "crossover" {
+		t.Fatalf("family report blocks = %+v", rep.Variants)
+	}
+	if rep.Variants[0].Lambda != crossoverLambda {
+		t.Errorf("family lambda = %g, want %g", rep.Variants[0].Lambda, crossoverLambda)
+	}
+	got := map[string]Check{}
+	for _, c := range rep.Variants[0].Checks {
+		got[c.Name] = c
+	}
+	for _, name := range []string{"crossover-steal-wins-low",
+		"crossover-sharing-wins-high", "crossover-gap-monotone"} {
+		c, ok := got[name]
+		if !ok {
+			t.Fatalf("check %q never ran", name)
+		}
+		if c.Status != Pass {
+			t.Errorf("%s: %s (%s)", name, c.Status, c.describe())
+		}
+	}
+	if !rep.OK {
+		var buf bytes.Buffer
+		rep.Render(&buf)
+		t.Fatalf("crossover family failed at test scale:\n%s", buf.String())
+	}
+}
+
+// TestH2ClosedForm pins the deterministic workload checks: the moment
+// match and the Pollaczek–Khinchine comparison pass for the canonical h2
+// service, and a service with no phase-type form fails loudly instead of
+// being skipped.
+func TestH2ClosedForm(t *testing.T) {
+	ph, err := dist.FitH2(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vr := VariantReport{Variant: "h2"}
+	h2ClosedForm(&vr, 0.85, ph)
+	if len(vr.Checks) != 2 || vr.Failed != 0 {
+		t.Fatalf("h2 closed-form checks = %+v", vr.Checks)
+	}
+	for _, c := range vr.Checks {
+		if c.Status != Pass {
+			t.Errorf("%s: %s (%s)", c.Name, c.Status, c.describe())
+		}
+	}
+
+	vr = VariantReport{Variant: "h2"}
+	h2ClosedForm(&vr, 0.85, nil)
+	if vr.Failed == 0 {
+		t.Errorf("nil service must fail the closed-form check: %+v", vr.Checks)
+	}
+}
+
+// TestFamilyNames pins the family registry lookups.
+func TestFamilyNames(t *testing.T) {
+	names := FamilyNames()
+	if len(names) == 0 || names[0] != "crossover" {
+		t.Fatalf("family names = %v", names)
+	}
+	if _, ok := FamilyByName("nosuch"); ok {
+		t.Error("FamilyByName accepted an unknown name")
+	}
+	for _, name := range names {
+		if _, ok := experiments.VariantByName(name); ok {
+			t.Errorf("family %q collides with a registry variant", name)
+		}
 	}
 }
 

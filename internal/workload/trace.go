@@ -1,0 +1,79 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LoadTrace reads a trace file into arrival instants. Two formats are
+// accepted, chosen by extension:
+//
+//   - .json: either a bare array of numbers, or an object with a "times"
+//     array — {"times": [0.1, 0.4, ...]}.
+//   - anything else is CSV/plain text: one arrival instant per line, first
+//     column; blank lines and lines starting with '#' are skipped, and a
+//     non-numeric first line is treated as a header.
+//
+// The returned times are sorted. This is CLI-side plumbing — the serving
+// layer only accepts inline times (see ArrivalSpec.Path).
+func LoadTrace(path string) ([]float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("workload: reading trace: %w", err)
+	}
+	var times []float64
+	if strings.HasSuffix(strings.ToLower(path), ".json") {
+		times, err = parseJSONTrace(raw)
+	} else {
+		times, err = parseCSVTrace(raw)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("workload: trace %s: %w", path, err)
+	}
+	if len(times) == 0 {
+		return nil, fmt.Errorf("workload: trace %s holds no arrival times", path)
+	}
+	sort.Float64s(times)
+	return times, nil
+}
+
+func parseJSONTrace(raw []byte) ([]float64, error) {
+	var arr []float64
+	if err := json.Unmarshal(raw, &arr); err == nil {
+		return arr, nil
+	}
+	var obj struct {
+		Times []float64 `json:"times"`
+	}
+	if err := json.Unmarshal(raw, &obj); err != nil {
+		return nil, fmt.Errorf("want an array of numbers or {\"times\": [...]}: %w", err)
+	}
+	return obj.Times, nil
+}
+
+func parseCSVTrace(raw []byte) ([]float64, error) {
+	var times []float64
+	for ln, line := range strings.Split(string(raw), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		field := line
+		if i := strings.IndexByte(line, ','); i >= 0 {
+			field = strings.TrimSpace(line[:i])
+		}
+		v, err := strconv.ParseFloat(field, 64)
+		if err != nil {
+			if len(times) == 0 {
+				continue // header row
+			}
+			return nil, fmt.Errorf("line %d: %q is not a number", ln+1, field)
+		}
+		times = append(times, v)
+	}
+	return times, nil
+}

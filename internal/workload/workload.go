@@ -1,0 +1,215 @@
+// Package workload owns *what work arrives and how big it is*, decoupled
+// from the engines that process it. It provides the two request-shaped spec
+// types threaded through the CLI flags, the HTTP request bodies, and the
+// simulator options:
+//
+//   - ServiceSpec: the task-size model. Beyond the paper's exponential and
+//     Erlang-stage service it covers hyperexponential H2 fits by squared
+//     coefficient of variation (SCV) and heavy-tailed bounded-Pareto fits,
+//     all expressed through the common phase-type representation of
+//     dist.PhaseType so the fluid and hybrid engines get a stage-based
+//     mean-field while the DES engine samples exactly.
+//
+//   - ArrivalSpec: the arrival model. Poisson (the paper's default), MMPP
+//     on-off/bursty arrivals modulated by a cyclic continuous-time Markov
+//     chain, and deterministic trace replay from a JSON or CSV file.
+//
+// Every distribution is unit-mean (the repo's convention: service rates are
+// multipliers of a mean-1 task), so SCV is the single knob for variability:
+// 1 is exponential, 1/k is Erlang-k, > 1 is hyperexponential territory.
+//
+// Both spec types are polymorphic in JSON — a plain string selects a named
+// default ("exp", "poisson") while an object carries parameters — and both
+// canonicalize: MarshalJSON collapses parameter-free objects back to the
+// legacy string form, so implied and explicit defaults hash to the same
+// serving-layer cache key.
+package workload
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"repro/internal/dist"
+)
+
+// ServiceDists lists the accepted service-distribution names, in the order
+// the CLI documents them.
+var ServiceDists = []string{"exp", "const", "erlang", "hyper", "uniform", "h2", "pareto"}
+
+// Default parameters filled by ServiceSpec.Normalize.
+const (
+	// DefaultErlangStages is the stage count of an unparameterized erlang
+	// service (mirrors the wssim -stages default).
+	DefaultErlangStages = 10
+	// DefaultH2SCV is the squared coefficient of variation of an
+	// unparameterized h2 service.
+	DefaultH2SCV = 4
+	// DefaultParetoShape and DefaultParetoRatio parameterize an
+	// unparameterized pareto service: shape 1.5 over three decades is the
+	// classic heavy-tailed-but-bounded job-size model.
+	DefaultParetoShape = 1.5
+	DefaultParetoRatio = 1000
+)
+
+// ServiceSpec selects a unit-mean service-time distribution. In JSON it is
+// either a plain string — "exp", "const", "erlang", "hyper", "uniform" —
+// or an object carrying parameters:
+//
+//	{"dist": "h2", "scv": 4}            hyperexponential, mean 1, SCV 4
+//	{"dist": "erlang", "stages": 4}     Erlang-4, mean 1 (SCV 1/4)
+//	{"dist": "pareto", "shape": 1.5, "ratio": 1000}
+//	                                    bounded-Pareto two-moment fit
+//
+// The zero value means "unset"; Normalize turns it into "exp".
+type ServiceSpec struct {
+	// Dist is the distribution name (see ServiceDists).
+	Dist string `json:"dist"`
+	// SCV is the squared coefficient of variation for dist "h2" (>= 1;
+	// exactly 1 collapses to "exp").
+	SCV float64 `json:"scv,omitempty"`
+	// Stages is the stage count for dist "erlang".
+	Stages int `json:"stages,omitempty"`
+	// Shape is the Pareto tail exponent for dist "pareto".
+	Shape float64 `json:"shape,omitempty"`
+	// Ratio is the hi/lo bound ratio for dist "pareto".
+	Ratio float64 `json:"ratio,omitempty"`
+}
+
+// UnmarshalJSON accepts the string form or the parameter object. The object
+// decode is strict — unknown fields are rejected even when an outer decoder
+// would let them through — because custom unmarshalers bypass the outer
+// decoder's DisallowUnknownFields.
+func (s *ServiceSpec) UnmarshalJSON(b []byte) error {
+	t := bytes.TrimSpace(b)
+	if len(t) > 0 && t[0] == '"' {
+		var name string
+		if err := json.Unmarshal(t, &name); err != nil {
+			return err
+		}
+		*s = ServiceSpec{Dist: name}
+		return nil
+	}
+	type plain ServiceSpec
+	dec := json.NewDecoder(bytes.NewReader(t))
+	dec.DisallowUnknownFields()
+	var p plain
+	if err := dec.Decode(&p); err != nil {
+		return fmt.Errorf("service: %w", err)
+	}
+	*s = ServiceSpec(p)
+	return nil
+}
+
+// MarshalJSON emits the canonical form: the legacy string when no parameter
+// distinguishes the spec from its named default, the object otherwise. The
+// object's field order is pinned by the struct declaration, so canonical
+// bytes — and the cache keys hashed from them — are deterministic.
+func (s ServiceSpec) MarshalJSON() ([]byte, error) {
+	if s == (ServiceSpec{Dist: s.Dist}) {
+		return json.Marshal(s.Dist)
+	}
+	type plain ServiceSpec
+	return json.Marshal(plain(s))
+}
+
+// Normalize fills defaults in place and folds parameter-free shapes onto
+// their canonical spelling: empty means "exp", an h2 with SCV exactly 1 is
+// an exponential, and non-applicable parameter fields are zeroed so that
+// specs differing only in ignored fields canonicalize identically.
+func (s *ServiceSpec) Normalize() {
+	if s.Dist == "" {
+		s.Dist = "exp"
+	}
+	if s.Dist != "h2" {
+		s.SCV = 0
+	}
+	if s.Dist != "erlang" {
+		s.Stages = 0
+	}
+	if s.Dist != "pareto" {
+		s.Shape, s.Ratio = 0, 0
+	}
+	switch s.Dist {
+	case "erlang":
+		if s.Stages == 0 {
+			s.Stages = DefaultErlangStages
+		}
+	case "h2":
+		if s.SCV == 0 {
+			s.SCV = DefaultH2SCV
+		}
+		if s.SCV == 1 {
+			*s = ServiceSpec{Dist: "exp"}
+		}
+	case "pareto":
+		if s.Shape == 0 {
+			s.Shape = DefaultParetoShape
+		}
+		if s.Ratio == 0 {
+			s.Ratio = DefaultParetoRatio
+		}
+	}
+}
+
+// Validate checks a normalized spec without building the distribution.
+func (s *ServiceSpec) Validate() error {
+	switch s.Dist {
+	case "exp", "const", "hyper", "uniform":
+		return nil
+	case "erlang":
+		if s.Stages < 1 || s.Stages > dist.MaxPhases {
+			return fmt.Errorf("workload: erlang service needs stages in [1, %d], got %d", dist.MaxPhases, s.Stages)
+		}
+		return nil
+	case "h2":
+		if math.IsNaN(s.SCV) || math.IsInf(s.SCV, 0) || s.SCV < 1 {
+			return fmt.Errorf("workload: h2 service needs scv >= 1, got %v (use erlang for scv < 1)", s.SCV)
+		}
+		return nil
+	case "pareto":
+		if !(s.Shape > 0) || math.IsInf(s.Shape, 0) {
+			return fmt.Errorf("workload: pareto service needs finite shape > 0, got %v", s.Shape)
+		}
+		if !(s.Ratio > 1) || math.IsInf(s.Ratio, 0) {
+			return fmt.Errorf("workload: pareto service needs finite ratio > 1, got %v", s.Ratio)
+		}
+		return nil
+	default:
+		return fmt.Errorf("workload: unknown service distribution %q", s.Dist)
+	}
+}
+
+// Distribution normalizes, validates, and builds the unit-mean distribution.
+func (s *ServiceSpec) Distribution() (dist.Distribution, error) {
+	s.Normalize()
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	switch s.Dist {
+	case "exp":
+		return dist.NewExponential(1), nil
+	case "const":
+		return dist.NewDeterministic(1), nil
+	case "erlang":
+		return dist.ErlangWithMean(s.Stages, 1), nil
+	case "hyper":
+		return dist.NewHyperExponential(0.5, 2, 2.0/3), nil
+	case "uniform":
+		return dist.NewUniform(0.5, 1.5), nil
+	case "h2":
+		d, err := dist.FitH2(1, s.SCV)
+		if err != nil {
+			return nil, fmt.Errorf("workload: %w", err)
+		}
+		return d, nil
+	case "pareto":
+		d, err := dist.FitBoundedPareto(1, s.Shape, s.Ratio)
+		if err != nil {
+			return nil, fmt.Errorf("workload: %w", err)
+		}
+		return d, nil
+	}
+	return nil, fmt.Errorf("workload: unknown service distribution %q", s.Dist)
+}

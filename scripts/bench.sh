@@ -3,13 +3,15 @@
 #
 #   scripts/bench.sh [extra wsbench flags...]
 #
-# Writes BENCH_PR3.json at the repo root (ns/event and allocs/event for the
+# Writes BENCH_PR8.json at the repo root (ns/event and allocs/event for the
 # steady-state engine configurations, plus Table 1-4 wall times at 1 worker
 # vs GOMAXPROCS) and then runs the Go micro-benchmarks once for a quick
-# smoke reading. Commit the refreshed JSON alongside performance changes.
+# smoke reading. Commit the refreshed JSON alongside performance changes;
+# compare the throughput section against the previous BENCH_PR*.json to
+# check the exponential fast path stayed within ±10%.
 set -eu
 cd "$(dirname "$0")/.."
 
-go run ./cmd/wsbench -out BENCH_PR3.json "$@"
+go run ./cmd/wsbench -out BENCH_PR8.json "$@"
 echo
 go test -run '^$' -bench 'BenchmarkSimulatorThroughput|BenchmarkRunnerReuse|BenchmarkPolicySimpleSteal|BenchmarkStealHalf' -benchmem ./internal/sim/ .
