@@ -604,7 +604,7 @@ func TestServeMatchesWssimWorkloads(t *testing.T) {
 
 func TestCLIWscheckList(t *testing.T) {
 	out := run(t, "wscheck", "-list")
-	for _, name := range []string{"nosteal", "simple", "threshold", "hetero", "h2", "crossover"} {
+	for _, name := range []string{"nosteal", "simple", "threshold", "hetero", "h2", "crossover", "cluster"} {
 		if !strings.Contains(out, name) {
 			t.Errorf("wscheck -list missing %q:\n%s", name, out)
 		}

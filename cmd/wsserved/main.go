@@ -18,6 +18,18 @@
 // tunes the /v1/simulate circuit breaker; and the -chaos.* flags enable
 // deterministic fault injection for self-tests (never set them in
 // production — the zero values are fully inert).
+//
+// Cluster mode (see README "Cluster Operations"): -self and -peers attach
+// the replica to a static peer group that gossips load, routes cached
+// requests by consistent hash, and steals queued simulate replications
+// from loaded peers:
+//
+//	wsserved -addr :8080 -self http://127.0.0.1:8080 \
+//	  -peers http://127.0.0.1:8081,http://127.0.0.1:8082
+//
+// A replica that loses every peer degrades to standalone serving (visible
+// on /readyz and the wsserved_cluster_standalone gauge) and keeps
+// answering everything locally.
 package main
 
 import (
@@ -30,10 +42,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/chaos"
+	"repro/internal/cluster"
+	"repro/internal/sched"
 	"repro/internal/serve"
 )
 
@@ -75,12 +90,28 @@ func run() int {
 	brkCooldown := flag.Duration("breaker.cooldown", 5*time.Second,
 		"open-state hold time before a half-open probe")
 
+	// Cluster membership (off unless -peers is set; see README "Cluster
+	// Operations").
+	self := flag.String("self", "", "this replica's advertised base URL (required with -peers)")
+	peers := flag.String("peers", "", "comma-separated peer base URLs (static membership)")
+	gossip := flag.Duration("cluster.gossip", 500*time.Millisecond, "peer load-gossip interval")
+	stealBatch := flag.Int("cluster.steal-batch", 4, "max replications leased per steal")
+	leaseTTL := flag.Duration("cluster.lease-ttl", 10*time.Second,
+		"steal-lease TTL; expired leases are reclaimed and re-run locally")
+	hedge := flag.Duration("cluster.hedge", 75*time.Millisecond,
+		"delay before hedging a steal probe to the second-best victim")
+	rpcTimeout := flag.Duration("cluster.rpc-timeout", 2*time.Second, "per-RPC deadline for peer calls")
+	retryBase := flag.Duration("cluster.retry.base", 50*time.Millisecond,
+		"base delay of the jittered exponential completion-retry schedule")
+	retryAttempts := flag.Int("cluster.retry.attempts", 3, "completion POST attempts before abandoning")
+
 	// Deterministic fault injection (self-test only; inert at defaults).
 	chaosSeed := flag.Uint64("chaos.seed", 0, "chaos decision-stream seed")
 	chaosPLatency := flag.Float64("chaos.p.latency", 0, "per-probe latency-fault probability")
 	chaosPError := flag.Float64("chaos.p.error", 0, "per-probe error-fault probability")
 	chaosPPanic := flag.Float64("chaos.p.panic", 0, "per-probe panic-fault probability")
 	chaosPPerturb := flag.Float64("chaos.p.perturb", 0, "per-probe numeric-perturbation probability")
+	chaosPPartition := flag.Float64("chaos.p.partition", 0, "per-RPC network-partition probability (cluster links)")
 	chaosLatency := flag.Duration("chaos.latency", 5*time.Millisecond, "injected latency per fault")
 	flag.Parse()
 
@@ -100,22 +131,66 @@ func run() int {
 	// The injector stays nil unless at least one probability is set, so the
 	// default daemon carries zero chaos machinery on its hot paths.
 	var inj *chaos.Injector
-	if *chaosPLatency > 0 || *chaosPError > 0 || *chaosPPanic > 0 || *chaosPPerturb > 0 {
+	if *chaosPLatency > 0 || *chaosPError > 0 || *chaosPPanic > 0 || *chaosPPerturb > 0 || *chaosPPartition > 0 {
 		inj = chaos.New(chaos.Config{
-			Seed:     *chaosSeed,
-			PLatency: *chaosPLatency,
-			PError:   *chaosPError,
-			PPanic:   *chaosPPanic,
-			PPerturb: *chaosPPerturb,
-			Latency:  *chaosLatency,
+			Seed:       *chaosSeed,
+			PLatency:   *chaosPLatency,
+			PError:     *chaosPError,
+			PPanic:     *chaosPPanic,
+			PPerturb:   *chaosPPerturb,
+			PPartition: *chaosPPartition,
+			Latency:    *chaosLatency,
 		})
 		logger.Warn("chaos injection enabled",
 			"seed", *chaosSeed,
 			"p_latency", *chaosPLatency, "p_error", *chaosPError,
-			"p_panic", *chaosPPanic, "p_perturb", *chaosPPerturb)
+			"p_panic", *chaosPPanic, "p_perturb", *chaosPPerturb,
+			"p_partition", *chaosPPartition)
+	}
+
+	// In cluster mode the pool is created here and shared between the
+	// server (local simulate traffic) and the node (stolen replications);
+	// it outlives both and is closed last.
+	var (
+		pool *sched.Pool
+		node *cluster.Node
+	)
+	if *peers != "" {
+		if *self == "" {
+			fmt.Fprintln(os.Stderr, "wsserved: -peers requires -self (this replica's advertised URL)")
+			return 2
+		}
+		var peerList []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+		pool = sched.New(*workers)
+		defer pool.Close()
+		var err error
+		node, err = cluster.New(cluster.Config{
+			Self:           *self,
+			Peers:          peerList,
+			Pool:           pool,
+			GossipInterval: *gossip,
+			StealBatch:     *stealBatch,
+			LeaseTTL:       *leaseTTL,
+			HedgeDelay:     *hedge,
+			RPCTimeout:     *rpcTimeout,
+			Retry:          cluster.Backoff{Base: *retryBase, Attempts: *retryAttempts},
+			Chaos:          inj,
+			Logger:         logger,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wsserved:", err)
+			return 2
+		}
+		logger.Info("cluster membership configured", "self", *self, "peers", len(peerList))
 	}
 
 	srv := serve.New(serve.Config{
+		Pool:               pool,
 		Workers:            *workers,
 		CacheEntries:       *cache,
 		QueueDepth:         *queue,
@@ -127,8 +202,12 @@ func run() int {
 		BreakerThreshold:   *brkThreshold,
 		BreakerMinSamples:  *brkMinSamples,
 		BreakerCooldown:    *brkCooldown,
+		Cluster:            node,
 	})
 	defer srv.Close()
+	if node != nil {
+		defer node.Close() // LIFO: node stops before the server and pool go away
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -153,6 +232,9 @@ func run() int {
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
 	logger.Info("serving", "addr", ln.Addr().String())
+	if node != nil {
+		node.Start() // after the listener, so peers' first polls can land
+	}
 
 	select {
 	case err := <-errc:

@@ -1,8 +1,8 @@
 // Serving: a load generator against the wsserved HTTP daemon.
 //
 // It starts an in-process server (or targets an already-running daemon via
-// -addr), then demonstrates the serving layer's three behaviors under
-// concurrent load:
+// -addr, or a whole cluster via -cluster), then demonstrates the serving
+// layer's behaviors under concurrent load:
 //
 //  1. Result caching — the same fixed-point request repeated is served
 //     from the LRU cache without re-solving.
@@ -11,11 +11,19 @@
 //  3. Admission control — distinct simulate requests beyond the queue
 //     depth are rejected immediately with 429 + Retry-After instead of
 //     piling up.
+//  4. Retry discipline — the same overload, driven through a client that
+//     honors Retry-After with capped jittered backoff: every request
+//     eventually lands without hammering the rejecting server.
 //
 // Run with:
 //
 //	go run ./examples/serving
 //	go run ./examples/serving -addr http://localhost:8080   # external daemon
+//	go run ./examples/serving \
+//	  -cluster http://localhost:8080,http://localhost:8081,http://localhost:8082
+//
+// In -cluster mode requests round-robin across the replicas and the demo
+// reports the cluster's steal metrics at the end.
 package main
 
 import (
@@ -24,8 +32,10 @@ import (
 	"io"
 	"log"
 	"log/slog"
+	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -35,11 +45,21 @@ import (
 
 func main() {
 	addr := flag.String("addr", "", "base URL of a running wsserved (empty = start one in-process)")
+	clusterFlag := flag.String("cluster", "",
+		"comma-separated base URLs of a wsserved cluster (overrides -addr; requests round-robin)")
 	burst := flag.Int("burst", 32, "concurrent identical simulate requests in the coalescing demo")
 	flag.Parse()
 
-	base := *addr
-	if base == "" {
+	var targets []string
+	for _, u := range strings.Split(*clusterFlag, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			targets = append(targets, u)
+		}
+	}
+	if len(targets) == 0 && *addr != "" {
+		targets = []string{*addr}
+	}
+	if len(targets) == 0 {
 		// A deliberately small server so the demo's overload phase actually
 		// overloads: 2 admission slots, in-process listener.
 		srv := serve.New(serve.Config{
@@ -49,18 +69,29 @@ func main() {
 		defer srv.Close()
 		ts := httptest.NewServer(srv.Handler())
 		defer ts.Close()
-		base = ts.URL
-		fmt.Printf("started in-process wsserved at %s (queue depth 2)\n\n", base)
+		targets = []string{ts.URL}
+		fmt.Printf("started in-process wsserved at %s (queue depth 2)\n\n", ts.URL)
+	}
+	base := targets[0]
+	// pick round-robins over the targets — with one target it is just base.
+	var rr int
+	var rrMu sync.Mutex
+	pick := func() string {
+		rrMu.Lock()
+		defer rrMu.Unlock()
+		u := targets[rr%len(targets)]
+		rr++
+		return u
 	}
 	client := &http.Client{Timeout: 120 * time.Second}
 
 	// --- 1. Caching: identical fixed-point requests ---------------------
 	fpBody := `{"model":"simple","lambda":0.9}`
 	t0 := time.Now()
-	post(client, base+"/v1/fixedpoint", fpBody)
+	post(client, pick()+"/v1/fixedpoint", fpBody)
 	cold := time.Since(t0)
 	t0 = time.Now()
-	post(client, base+"/v1/fixedpoint", fpBody)
+	post(client, pick()+"/v1/fixedpoint", fpBody)
 	warm := time.Since(t0)
 	fmt.Printf("caching:   first solve %v, repeat %v (%s)\n", cold, warm,
 		metricLine(client, base, "wsserved_cache_hits_total"))
@@ -75,7 +106,7 @@ func main() {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			codes[i], bodies[i] = post(client, base+"/v1/simulate", simBody)
+			codes[i], bodies[i] = post(client, pick()+"/v1/simulate", simBody)
 		}(i)
 	}
 	wg.Wait()
@@ -101,7 +132,7 @@ func main() {
 			// Distinct seeds defeat the cache and the coalescer, so each
 			// request needs its own admission slot.
 			body := fmt.Sprintf(`{"n":256,"lambda":0.95,"horizon":20000,"reps":4,"seed":%d}`, 1000+i)
-			code, _ := post(client, base+"/v1/simulate", body)
+			code, _ := post(client, pick()+"/v1/simulate", body)
 			mu.Lock()
 			if code == http.StatusTooManyRequests {
 				rejected++
@@ -114,10 +145,50 @@ func main() {
 	wg.Wait()
 	fmt.Printf("overload:  %d distinct requests → %d served, %d rejected with 429 (%s)\n",
 		distinct, accepted, rejected, metricLine(client, base, "wsserved_sim_rejected_total"))
+
+	// --- 4. Retry discipline: the same overload, but a polite client ----
+	// postRetry honors the server's Retry-After on 429/503 (capped, with
+	// jitter so a burst of rejected clients does not return in lockstep).
+	var landed, retries int
+	wg = sync.WaitGroup{}
+	t0 = time.Now()
+	for i := 0; i < distinct; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := fmt.Sprintf(`{"n":256,"lambda":0.95,"horizon":8000,"reps":4,"seed":%d}`, 2000+i)
+			code, _, tries := postRetry(client, pick()+"/v1/simulate", body, 40)
+			mu.Lock()
+			if code == http.StatusOK {
+				landed++
+			}
+			retries += tries - 1
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	fmt.Printf("retry:     %d distinct requests with Retry-After backoff → %d served in %v (%d retries)\n",
+		distinct, landed, time.Since(t0), retries)
+
+	if len(targets) > 1 {
+		fmt.Printf("\ncluster (%d replicas):\n", len(targets))
+		for _, u := range targets {
+			fmt.Printf("  %s: %s\n              %s\n", u,
+				metricLine(client, u, `wsserved_cluster_steal_reps_total{role="victim"}`),
+				metricLine(client, u, "wsserved_cluster_peers_healthy"))
+		}
+	}
 }
 
 // post issues one JSON POST and returns the status code and body.
 func post(client *http.Client, url, body string) (int, string) {
+	code, b, _ := postHdr(client, url, body)
+	return code, b
+}
+
+// postHdr issues one JSON POST and also returns the response's Retry-After
+// hint (0 when absent or unparsable).
+func postHdr(client *http.Client, url, body string) (int, string, time.Duration) {
 	resp, err := client.Post(url, "application/json", strings.NewReader(body))
 	if err != nil {
 		log.Fatalf("POST %s: %v", url, err)
@@ -127,7 +198,41 @@ func post(client *http.Client, url, body string) (int, string) {
 	if err != nil {
 		log.Fatalf("POST %s: read: %v", url, err)
 	}
-	return resp.StatusCode, string(b)
+	var ra time.Duration
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+		ra = time.Duration(secs) * time.Second
+	}
+	return resp.StatusCode, string(b), ra
+}
+
+// Retry pacing: the server's Retry-After is authoritative when present
+// (capped so a confused server cannot park the client), exponential from
+// retryBase otherwise, and always jittered ±20% so a burst of rejected
+// clients spreads out instead of re-arriving in lockstep.
+const (
+	retryBase = 100 * time.Millisecond
+	retryCap  = 3 * time.Second
+)
+
+// postRetry issues a JSON POST, retrying 429/503 responses up to attempts
+// times. It returns the final status, body, and how many attempts it made.
+func postRetry(client *http.Client, url, body string, attempts int) (int, string, int) {
+	for try := 1; ; try++ {
+		code, respBody, ra := postHdr(client, url, body)
+		retryable := code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable
+		if !retryable || try >= attempts {
+			return code, respBody, try
+		}
+		d := retryBase << (try - 1)
+		if ra > 0 {
+			d = ra
+		}
+		if d > retryCap {
+			d = retryCap
+		}
+		jittered := time.Duration(float64(d) * (0.8 + 0.4*rand.Float64()))
+		time.Sleep(jittered)
+	}
 }
 
 // metricLine scrapes /metrics and returns the first sample line for name.

@@ -1,4 +1,4 @@
-package serve
+package breaker
 
 import (
 	"testing"
@@ -11,23 +11,22 @@ type fakeClock struct{ t time.Time }
 func (c *fakeClock) now() time.Time          { return c.t }
 func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
 
-func testBreaker(cfg breakerConfig) (*breaker, *fakeClock, *[]string) {
-	b := newBreaker(cfg)
+func testBreaker(cfg Config) (*Breaker, *fakeClock, *[]string) {
 	clk := &fakeClock{t: time.Unix(1000, 0)}
-	b.now = clk.now
+	cfg.Now = clk.now
 	var transitions []string
-	b.onTransition = func(from, to breakerState) {
+	cfg.OnTransition = func(from, to State) {
 		transitions = append(transitions, from.String()+"->"+to.String())
 	}
-	return b, clk, &transitions
+	return New(cfg), clk, &transitions
 }
 
-// admit is a test helper: allow must admit, returning the generation.
-func admit(t *testing.T, b *breaker) uint64 {
+// admit is a test helper: Allow must admit, returning the generation.
+func admit(t *testing.T, b *Breaker) uint64 {
 	t.Helper()
-	ok, gen, _ := b.allow()
+	ok, gen, _ := b.Allow()
 	if !ok {
-		t.Fatalf("allow() denied in state %v, want admitted", b.current())
+		t.Fatalf("Allow() denied in state %v, want admitted", b.Current())
 	}
 	return gen
 }
@@ -36,25 +35,25 @@ func admit(t *testing.T, b *breaker) uint64 {
 // closed below MinSamples and below the failure-rate threshold, and opens
 // exactly when both are met.
 func TestBreakerOpensAtThreshold(t *testing.T) {
-	b, _, transitions := testBreaker(breakerConfig{
+	b, _, transitions := testBreaker(Config{
 		Window: 10, MinSamples: 4, Threshold: 0.5, Cooldown: time.Second,
 	})
 
 	// Three straight failures: under MinSamples, must stay closed.
 	for i := 0; i < 3; i++ {
-		b.record(admit(t, b), true)
+		b.Record(admit(t, b), true)
 	}
-	if got := b.current(); got != breakerClosed {
+	if got := b.Current(); got != Closed {
 		t.Fatalf("state after 3 failures = %v, want closed (MinSamples not reached)", got)
 	}
 
 	// Fourth failure: 4/4 ≥ 0.5 with MinSamples met — open.
-	b.record(admit(t, b), true)
-	if got := b.current(); got != breakerOpen {
+	b.Record(admit(t, b), true)
+	if got := b.Current(); got != Open {
 		t.Fatalf("state after 4 failures = %v, want open", got)
 	}
-	if ok, _, retry := b.allow(); ok || retry <= 0 {
-		t.Fatalf("open breaker: allow() = (%v, retry %v), want denied with positive retry", ok, retry)
+	if ok, _, retry := b.Allow(); ok || retry <= 0 {
+		t.Fatalf("open breaker: Allow() = (%v, retry %v), want denied with positive retry", ok, retry)
 	}
 	if len(*transitions) != 1 || (*transitions)[0] != "closed->open" {
 		t.Fatalf("transitions = %v, want [closed->open]", *transitions)
@@ -64,13 +63,13 @@ func TestBreakerOpensAtThreshold(t *testing.T) {
 // TestBreakerStaysClosedUnderThreshold pins that a failure rate below the
 // threshold never trips the breaker, however long traffic flows.
 func TestBreakerStaysClosedUnderThreshold(t *testing.T) {
-	b, _, _ := testBreaker(breakerConfig{
+	b, _, _ := testBreaker(Config{
 		Window: 10, MinSamples: 4, Threshold: 0.5, Cooldown: time.Second,
 	})
 	for i := 0; i < 100; i++ {
-		b.record(admit(t, b), i%4 == 1) // 1/4 failure rate < 0.5
+		b.Record(admit(t, b), i%4 == 1) // 1/4 failure rate < 0.5
 	}
-	if got := b.current(); got != breakerClosed {
+	if got := b.Current(); got != Closed {
 		t.Fatalf("state at 25%% failures = %v, want closed", got)
 	}
 }
@@ -79,39 +78,39 @@ func TestBreakerStaysClosedUnderThreshold(t *testing.T) {
 // probe is admitted (everyone else still rejected), and its success closes
 // the breaker for all traffic.
 func TestBreakerProbeRecovers(t *testing.T) {
-	b, clk, transitions := testBreaker(breakerConfig{
+	b, clk, transitions := testBreaker(Config{
 		Window: 10, MinSamples: 2, Threshold: 0.5, Cooldown: time.Second,
 	})
-	b.record(admit(t, b), true)
-	b.record(admit(t, b), true)
-	if got := b.current(); got != breakerOpen {
+	b.Record(admit(t, b), true)
+	b.Record(admit(t, b), true)
+	if got := b.Current(); got != Open {
 		t.Fatalf("state = %v, want open", got)
 	}
 
 	// Cooldown not yet elapsed: still rejecting.
 	clk.advance(500 * time.Millisecond)
-	if ok, _, _ := b.allow(); ok {
-		t.Fatal("allow() admitted before cooldown elapsed")
+	if ok, _, _ := b.Allow(); ok {
+		t.Fatal("Allow() admitted before cooldown elapsed")
 	}
 
 	// Cooldown elapsed: exactly one probe goes through.
 	clk.advance(600 * time.Millisecond)
 	probeGen := admit(t, b)
-	if got := b.current(); got != breakerHalfOpen {
+	if got := b.Current(); got != HalfOpen {
 		t.Fatalf("state = %v, want half_open", got)
 	}
-	if ok, _, _ := b.allow(); ok {
+	if ok, _, _ := b.Allow(); ok {
 		t.Fatal("second request admitted during the probe")
 	}
 
-	b.record(probeGen, false)
-	if got := b.current(); got != breakerClosed {
+	b.Record(probeGen, false)
+	if got := b.Current(); got != Closed {
 		t.Fatalf("state after successful probe = %v, want closed", got)
 	}
 	// Closed again: traffic flows, and the old window is gone (a single
 	// failure must not re-trip instantly).
-	b.record(admit(t, b), true)
-	if got := b.current(); got != breakerClosed {
+	b.Record(admit(t, b), true)
+	if got := b.Current(); got != Closed {
 		t.Fatalf("state = %v, want closed (window must reset on close)", got)
 	}
 	want := []string{"closed->open", "open->half_open", "half_open->closed"}
@@ -128,22 +127,22 @@ func TestBreakerProbeRecovers(t *testing.T) {
 // TestBreakerProbeFailureReopens pins that a failed probe restarts the
 // cooldown instead of closing the breaker.
 func TestBreakerProbeFailureReopens(t *testing.T) {
-	b, clk, _ := testBreaker(breakerConfig{
+	b, clk, _ := testBreaker(Config{
 		Window: 10, MinSamples: 2, Threshold: 0.5, Cooldown: time.Second,
 	})
-	b.record(admit(t, b), true)
-	b.record(admit(t, b), true)
+	b.Record(admit(t, b), true)
+	b.Record(admit(t, b), true)
 	clk.advance(1100 * time.Millisecond)
-	b.record(admit(t, b), true) // failed probe
-	if got := b.current(); got != breakerOpen {
+	b.Record(admit(t, b), true) // failed probe
+	if got := b.Current(); got != Open {
 		t.Fatalf("state after failed probe = %v, want open", got)
 	}
-	if ok, _, _ := b.allow(); ok {
-		t.Fatal("allow() admitted right after a failed probe")
+	if ok, _, _ := b.Allow(); ok {
+		t.Fatal("Allow() admitted right after a failed probe")
 	}
 	clk.advance(1100 * time.Millisecond)
-	b.record(admit(t, b), false)
-	if got := b.current(); got != breakerClosed {
+	b.Record(admit(t, b), false)
+	if got := b.Current(); got != Closed {
 		t.Fatalf("state after second probe = %v, want closed", got)
 	}
 }
@@ -152,26 +151,26 @@ func TestBreakerProbeFailureReopens(t *testing.T) {
 // admitted while closed but finishing during a half-open probe must not be
 // misread as the probe's verdict.
 func TestBreakerStaleOutcomeIgnored(t *testing.T) {
-	b, clk, _ := testBreaker(breakerConfig{
+	b, clk, _ := testBreaker(Config{
 		Window: 10, MinSamples: 2, Threshold: 0.5, Cooldown: time.Second,
 	})
 	staleGen := admit(t, b) // slow request, outcome arrives much later
-	b.record(admit(t, b), true)
-	b.record(admit(t, b), true)
+	b.Record(admit(t, b), true)
+	b.Record(admit(t, b), true)
 	clk.advance(1100 * time.Millisecond)
 	probeGen := admit(t, b)
-	if got := b.current(); got != breakerHalfOpen {
+	if got := b.Current(); got != HalfOpen {
 		t.Fatalf("state = %v, want half_open", got)
 	}
 
 	// The stale success lands mid-probe: must not close the breaker.
-	b.record(staleGen, false)
-	if got := b.current(); got != breakerHalfOpen {
+	b.Record(staleGen, false)
+	if got := b.Current(); got != HalfOpen {
 		t.Fatalf("stale outcome changed state to %v, want half_open", got)
 	}
 	// The probe's own verdict still decides.
-	b.record(probeGen, true)
-	if got := b.current(); got != breakerOpen {
+	b.Record(probeGen, true)
+	if got := b.Current(); got != Open {
 		t.Fatalf("state after failed probe = %v, want open", got)
 	}
 }
@@ -179,24 +178,24 @@ func TestBreakerStaleOutcomeIgnored(t *testing.T) {
 // TestBreakerSlidingWindowEvicts pins that old outcomes age out: failures
 // pushed out of the window no longer count toward the rate.
 func TestBreakerSlidingWindowEvicts(t *testing.T) {
-	b, _, _ := testBreaker(breakerConfig{
+	b, _, _ := testBreaker(Config{
 		Window: 4, MinSamples: 4, Threshold: 0.75, Cooldown: time.Second,
 	})
 	// Two failures, then a long run of successes evicting them.
-	b.record(admit(t, b), true)
-	b.record(admit(t, b), true)
+	b.Record(admit(t, b), true)
+	b.Record(admit(t, b), true)
 	for i := 0; i < 4; i++ {
-		b.record(admit(t, b), false)
+		b.Record(admit(t, b), false)
 	}
 	// Window now holds 4 successes; two fresh failures give 2/4 < 0.75.
-	b.record(admit(t, b), true)
-	b.record(admit(t, b), true)
-	if got := b.current(); got != breakerClosed {
+	b.Record(admit(t, b), true)
+	b.Record(admit(t, b), true)
+	if got := b.Current(); got != Closed {
 		t.Fatalf("state = %v, want closed (evicted failures must not count)", got)
 	}
 	// A third fresh failure makes 3/4 ≥ 0.75 — now it opens.
-	b.record(admit(t, b), true)
-	if got := b.current(); got != breakerOpen {
+	b.Record(admit(t, b), true)
+	if got := b.Current(); got != Open {
 		t.Fatalf("state = %v, want open", got)
 	}
 }

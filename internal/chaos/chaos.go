@@ -38,16 +38,23 @@ import (
 
 // Fault kinds as they appear in injection counters and metric labels.
 const (
-	KindLatency = "latency"
-	KindError   = "error"
-	KindPanic   = "panic"
-	KindPerturb = "perturb"
+	KindLatency   = "latency"
+	KindError     = "error"
+	KindPanic     = "panic"
+	KindPerturb   = "perturb"
+	KindPartition = "partition"
 )
 
 // ErrInjected is wrapped by every error the Injector fabricates, so
 // resilience code can distinguish self-inflicted faults from organic ones
 // (both must be handled identically; only tests and metrics care).
 var ErrInjected = errors.New("chaos: injected error")
+
+// ErrPartitioned is the error an injected network partition fabricates. It
+// wraps ErrInjected (it is still self-inflicted) but keeps its own identity
+// so the cluster layer can count dropped RPCs separately from organic
+// transport failures.
+var ErrPartitioned = fmt.Errorf("%w: network partition", ErrInjected)
 
 // PanicValue is the value an injected panic carries, so recovery layers can
 // label the fault in logs while still treating it as a real panic.
@@ -63,26 +70,32 @@ type Config struct {
 	// the same Seed and probabilities make identical per-site decision
 	// sequences.
 	Seed uint64
-	// PLatency, PError, PPanic, PPerturb are the per-probe injection
-	// probabilities in [0, 1] for each fault kind.
-	PLatency float64
-	PError   float64
-	PPanic   float64
-	PPerturb float64
+	// PLatency, PError, PPanic, PPerturb, PPartition are the per-probe
+	// injection probabilities in [0, 1] for each fault kind. Partition
+	// faults drop cluster RPCs at their per-peer sites (see
+	// internal/cluster); the other kinds never fire at partition sites and
+	// vice versa, so one Config can drive both serving and cluster seams.
+	PLatency   float64
+	PError     float64
+	PPanic     float64
+	PPerturb   float64
+	PPartition float64
 	// Latency is the injected delay (default 5ms when PLatency > 0).
 	Latency time.Duration
 }
 
 // Enabled reports whether any fault kind has a positive probability.
 func (c Config) Enabled() bool {
-	return c.PLatency > 0 || c.PError > 0 || c.PPanic > 0 || c.PPerturb > 0
+	return c.PLatency > 0 || c.PError > 0 || c.PPanic > 0 || c.PPerturb > 0 ||
+		c.PPartition > 0
 }
 
 // Validate rejects probabilities outside [0, 1] and non-finite values, the
 // kind of flag typo that would otherwise silently disable a chaos run.
 func (c Config) Validate() error {
 	for name, p := range map[string]float64{
-		"latency": c.PLatency, "error": c.PError, "panic": c.PPanic, "perturb": c.PPerturb,
+		"latency": c.PLatency, "error": c.PError, "panic": c.PPanic,
+		"perturb": c.PPerturb, "partition": c.PPartition,
 	} {
 		if math.IsNaN(p) || p < 0 || p > 1 {
 			return fmt.Errorf("chaos: probability for %s = %v outside [0, 1]", name, p)
@@ -215,6 +228,15 @@ func (in *Injector) Perturb(siteName string, x []float64) bool {
 		x[0] = math.NaN()
 	}
 	return true
+}
+
+// Partitioned reports whether the site draws a partition fault: the RPC it
+// guards must be dropped without touching the network, as if the peer were
+// unreachable. Sites are per peer ("cluster.rpc:<peer>") so each link has
+// its own deterministic decision stream — one seed reproduces the same
+// partition pattern per link regardless of how other links interleave.
+func (in *Injector) Partitioned(siteName string) bool {
+	return in.decide(siteName, KindPartition, in.p().PPartition)
 }
 
 // PerturbFunc adapts Perturb to the solver's Perturb hook shape for one

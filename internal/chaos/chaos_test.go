@@ -29,6 +29,9 @@ func TestNilAndZeroConfigInert(t *testing.T) {
 		if f := in.PerturbFunc("s"); f != nil {
 			t.Errorf("%s: PerturbFunc not nil", name)
 		}
+		if in.Partitioned("s") {
+			t.Errorf("%s: Partitioned fired", name)
+		}
 		if in.Total() != 0 {
 			t.Errorf("%s: counted faults on inert injector", name)
 		}
@@ -119,6 +122,39 @@ func TestFaultKinds(t *testing.T) {
 	}
 	if in.Total() != 4 {
 		t.Errorf("Total = %d, want 4", in.Total())
+	}
+}
+
+// TestPartitionKind pins the partition fault: per-peer sites draw their own
+// deterministic streams, hits are counted under KindPartition, and
+// ErrPartitioned stays recognisable as an injected fault.
+func TestPartitionKind(t *testing.T) {
+	in := New(Config{Seed: 11, PPartition: 1})
+	if !in.Partitioned("cluster.rpc:peerA") {
+		t.Fatal("Partitioned at p=1 did not fire")
+	}
+	if got := in.Count("cluster.rpc:peerA", KindPartition); got != 1 {
+		t.Fatalf("Count = %d, want 1", got)
+	}
+	if !errors.Is(ErrPartitioned, ErrInjected) {
+		t.Fatal("ErrPartitioned does not wrap ErrInjected")
+	}
+
+	// Two injectors with the same seed agree per link; probing one link must
+	// not shift another link's stream.
+	cfg := Config{Seed: 21, PPartition: 0.4}
+	a, b := New(cfg), New(cfg)
+	var seqA, seqB []bool
+	for i := 0; i < 200; i++ {
+		a.Partitioned("cluster.rpc:peerB") // noise on another link, a only
+		seqA = append(seqA, a.Partitioned("cluster.rpc:peerA"))
+		seqB = append(seqB, b.Partitioned("cluster.rpc:peerA"))
+	}
+	if !equalBools(seqA, seqB) {
+		t.Fatal("same seed produced different partition sequences for a link")
+	}
+	if a.Count("cluster.rpc:peerA", KindPartition) == 0 {
+		t.Fatal("p=0.4 over 200 probes partitioned nothing")
 	}
 }
 

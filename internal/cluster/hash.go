@@ -1,0 +1,33 @@
+package cluster
+
+import "hash/fnv"
+
+// Request routing uses rendezvous (highest-random-weight) hashing: the
+// owner of a cache key is the member whose FNV-64a(member ‖ 0 ‖ key) is
+// largest. Every node evaluates the same pure function over the same
+// static member list, so owners agree with no coordination, and removing a
+// member only reassigns the keys it owned — the consistent-hashing
+// property that keeps the other members' caches warm through a failure.
+//
+// Keys are the serving layer's canonical SHA-256 spec keys ("fp:…",
+// "ode:…"), already uniformly distributed, so a single hash per member is
+// enough — no virtual-node machinery.
+
+// owner returns the member of members with the highest rendezvous weight
+// for key ("" when members is empty). Ties break toward the
+// lexicographically largest member so the choice stays total.
+func owner(members []string, key string) string {
+	var best string
+	var bestW uint64
+	for _, m := range members {
+		h := fnv.New64a()
+		h.Write([]byte(m))
+		h.Write([]byte{0})
+		h.Write([]byte(key))
+		w := h.Sum64()
+		if best == "" || w > bestW || (w == bestW && m > best) {
+			best, bestW = m, w
+		}
+	}
+	return best
+}

@@ -1,0 +1,52 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestOwnerBalancedAndStable pins the two rendezvous-hash properties the
+// router relies on: keys spread roughly evenly over members, and removing
+// one member only reassigns the keys it owned.
+func TestOwnerBalancedAndStable(t *testing.T) {
+	members := []string{"http://a:1", "http://b:2", "http://c:3"}
+	const keys = 3000
+	counts := make(map[string]int)
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("fp:%064d", i)
+		counts[owner(members, key)]++
+	}
+	for _, m := range members {
+		if counts[m] < keys/6 {
+			t.Fatalf("member %s owns %d of %d keys — far from balanced: %v",
+				m, counts[m], keys, counts)
+		}
+	}
+
+	// Remove member b: keys owned by a or c must keep their owner.
+	survivors := []string{members[0], members[2]}
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("fp:%064d", i)
+		before := owner(members, key)
+		after := owner(survivors, key)
+		if before != members[1] && after != before {
+			t.Fatalf("key %q moved from %s to %s although its owner survived", key, before, after)
+		}
+	}
+}
+
+// TestOwnerAgreesAcrossPermutations pins that member order cannot change
+// the owner — each node builds its member list independently.
+func TestOwnerAgreesAcrossPermutations(t *testing.T) {
+	a := []string{"http://a:1", "http://b:2", "http://c:3"}
+	b := []string{"http://c:3", "http://a:1", "http://b:2"}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("sim:%d", i)
+		if owner(a, key) != owner(b, key) {
+			t.Fatalf("owner of %q differs across member orderings", key)
+		}
+	}
+	if owner(nil, "k") != "" {
+		t.Fatal("owner of empty membership should be empty")
+	}
+}

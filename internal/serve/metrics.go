@@ -3,6 +3,7 @@ package serve
 import (
 	"sync"
 
+	"repro/internal/breaker"
 	"repro/internal/chaos"
 	"repro/internal/metrics"
 )
@@ -139,7 +140,7 @@ func (m *serverMetrics) snapshotHits() (hits, misses int64) {
 // emit renders the whole registry in Prometheus text format. The breaker
 // state and the chaos injector are read-side extras owned by the Server,
 // passed in so this registry stays a dumb counter bag.
-func (m *serverMetrics) emit(p *metrics.PromWriter, cacheLen int, brkState breakerState, inj *chaos.Injector) {
+func (m *serverMetrics) emit(p *metrics.PromWriter, cacheLen int, brkState breaker.State, inj *chaos.Injector) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 

@@ -18,13 +18,24 @@
 //
 // Endpoints:
 //
-//	POST /v1/fixedpoint  mean-field fixed point (wsfixed -json, byte-identical)
-//	POST /v1/ode         integrated trajectory (wsode -json, byte-identical)
-//	POST /v1/simulate    finite-n replication set on the scheduler pool
-//	GET  /v1/stream/ode  NDJSON stream of trajectory points
-//	GET  /healthz        liveness
-//	GET  /readyz         readiness (503 while draining)
-//	GET  /metrics        Prometheus text exposition
+// With a cluster.Node attached (Config.Cluster), the daemon becomes one
+// replica of a peer group: cached requests are routed to their
+// consistent-hash owner (so N replicas share one logical cache), in-flight
+// simulate computations are offered to idle peers for work stealing, and
+// the cluster RPC endpoints are mounted behind the same route barrier as
+// everything else. Every cluster path degrades to the local computation —
+// a partitioned or solitary replica serves exactly as PR 4's daemon did.
+//
+//	POST /v1/fixedpoint       mean-field fixed point (wsfixed -json, byte-identical)
+//	POST /v1/ode              integrated trajectory (wsode -json, byte-identical)
+//	POST /v1/simulate         finite-n replication set on the scheduler pool
+//	GET  /v1/stream/ode       NDJSON stream of trajectory points
+//	GET  /v1/cluster/load     peer gossip: stealable work on this replica
+//	POST /v1/cluster/steal    peer RPC: lease a batch of queued replications
+//	POST /v1/cluster/complete peer RPC: deliver stolen results
+//	GET  /healthz             liveness
+//	GET  /readyz              readiness (503 while draining; cluster status line)
+//	GET  /metrics             Prometheus text exposition
 package serve
 
 import (
@@ -32,15 +43,19 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"math"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/breaker"
 	"repro/internal/chaos"
 	"repro/internal/cliutil"
+	"repro/internal/cluster"
 	"repro/internal/experiments"
 	"repro/internal/meanfield"
 	"repro/internal/metrics"
@@ -88,7 +103,7 @@ type Config struct {
 	// costs one nil/probability check per seam. Leave nil in production.
 	Chaos *chaos.Injector
 	// Breaker tunes the /v1/simulate circuit breaker; zero fields take the
-	// defaults documented on breakerConfig (window 20, threshold 0.5, min
+	// defaults documented on breaker.Config (window 20, threshold 0.5, min
 	// samples 10, cooldown 5s).
 	BreakerWindow     int
 	BreakerThreshold  float64
@@ -96,6 +111,12 @@ type Config struct {
 	BreakerCooldown   time.Duration
 	// Logger receives one structured line per request; nil discards.
 	Logger *slog.Logger
+	// Cluster, when non-nil, attaches this server to a peer group: its RPC
+	// endpoints are mounted, cached requests are routed to their
+	// consistent-hash owner, and simulate computations become stealable.
+	// The caller owns the node's lifecycle (Start after the listener is up,
+	// Close before the pool).
+	Cluster *cluster.Node
 }
 
 // Server is the serving daemon. Create with New, expose via Handler, and
@@ -111,7 +132,8 @@ type Server struct {
 	mux      *http.ServeMux
 	log      *slog.Logger
 	chaos    *chaos.Injector
-	brk      *breaker
+	brk      *breaker.Breaker
+	cluster  *cluster.Node
 	draining atomic.Bool
 }
 
@@ -134,27 +156,28 @@ func New(cfg Config) *Server {
 		logger = slog.New(slog.DiscardHandler)
 	}
 	s := &Server{
-		cfg:    cfg,
-		pool:   cfg.Pool,
-		cache:  newLRUCache(cfg.CacheEntries),
-		flight: newFlightGroup(),
-		admit:  make(chan struct{}, cfg.QueueDepth),
-		met:    newServerMetrics(),
-		mux:    http.NewServeMux(),
-		log:    logger,
-		chaos:  cfg.Chaos,
+		cfg:     cfg,
+		pool:    cfg.Pool,
+		cache:   newLRUCache(cfg.CacheEntries),
+		flight:  newFlightGroup(),
+		admit:   make(chan struct{}, cfg.QueueDepth),
+		met:     newServerMetrics(),
+		mux:     http.NewServeMux(),
+		log:     logger,
+		chaos:   cfg.Chaos,
+		cluster: cfg.Cluster,
 	}
-	s.brk = newBreaker(breakerConfig{
+	s.brk = breaker.New(breaker.Config{
 		Window:     cfg.BreakerWindow,
 		Threshold:  cfg.BreakerThreshold,
 		MinSamples: cfg.BreakerMinSamples,
 		Cooldown:   cfg.BreakerCooldown,
+		OnTransition: func(from, to breaker.State) {
+			s.met.addBreakerTransition(from.String(), to.String())
+			s.log.Warn("breaker transition", "route", "/v1/simulate",
+				"from", from.String(), "to", to.String())
+		},
 	})
-	s.brk.onTransition = func(from, to breakerState) {
-		s.met.addBreakerTransition(from.String(), to.String())
-		s.log.Warn("breaker transition", "route", "/v1/simulate",
-			"from", from.String(), "to", to.String())
-	}
 	if s.pool == nil {
 		s.pool = sched.New(cfg.Workers)
 		s.ownPool = true
@@ -170,6 +193,17 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /healthz", s.route("/healthz", s.handleHealthz))
 	s.mux.HandleFunc("GET /readyz", s.route("/readyz", s.handleReadyz))
 	s.mux.HandleFunc("GET /metrics", s.route("/metrics", s.handleMetrics))
+	if s.cluster != nil {
+		// Cluster RPCs ride behind the same route barrier as client traffic:
+		// panic containment, request accounting, and structured logging.
+		for pattern, h := range s.cluster.Endpoints() {
+			name := pattern
+			if i := strings.IndexByte(pattern, ' '); i >= 0 {
+				name = pattern[i+1:]
+			}
+			s.mux.HandleFunc(pattern, s.route(name, h))
+		}
+	}
 	return s
 }
 
@@ -179,7 +213,14 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // SetDraining flips the readiness endpoint: a draining server answers
 // /readyz with 503 so load balancers stop routing to it, while in-flight
 // and even new requests still complete. Call before http.Server.Shutdown.
-func (s *Server) SetDraining(d bool) { s.draining.Store(d) }
+// With a cluster attached, peers are told too — a draining replica grants
+// no steal leases and steals nothing for itself.
+func (s *Server) SetDraining(d bool) {
+	s.draining.Store(d)
+	if s.cluster != nil {
+		s.cluster.SetDraining(d)
+	}
+}
 
 // Close releases the server-owned scheduler pool (a no-op for a shared
 // pool). Call only after HTTP traffic has drained.
@@ -282,7 +323,7 @@ func (s *Server) route(name string, h http.HandlerFunc) http.HandlerFunc {
 // breaker's sliding window.
 func (s *Server) withBreaker(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		ok, gen, retry := s.brk.allow()
+		ok, gen, retry := s.brk.Allow()
 		if !ok {
 			s.met.addBreakerShortCircuit()
 			secs := int(math.Ceil(retry.Seconds()))
@@ -303,10 +344,10 @@ func (s *Server) withBreaker(h http.HandlerFunc) http.HandlerFunc {
 				status = sw.status
 			}
 			if v := recover(); v != nil {
-				s.brk.record(gen, true)
+				s.brk.Record(gen, true)
 				panic(v) // the route barrier renders the 500
 			}
-			s.brk.record(gen, status >= http.StatusInternalServerError)
+			s.brk.Record(gen, status >= http.StatusInternalServerError)
 		}()
 		h(w, r)
 	}
@@ -454,10 +495,58 @@ func simSpecError(err error) error {
 	return errBadRequest("%v", err)
 }
 
+// relayToOwner implements cluster request routing for the cached
+// endpoints: on a local cache miss, a request whose consistent-hash owner
+// is a healthy peer is proxied there (so N replicas share one logical
+// cache instead of computing everything N times), and a 200 fills the
+// local cache on the way through. Returns true when the response has been
+// written. False — no cluster, already-forwarded request (loop
+// prevention), local hit, self-owned key, or any forwarding failure —
+// means "serve locally", which is always safe: forwarding is an
+// optimization, never a dependency.
+func (s *Server) relayToOwner(w http.ResponseWriter, r *http.Request, route, key string, rawBody []byte) bool {
+	if s.cluster == nil {
+		return false
+	}
+	if r.Header.Get(cluster.ForwardedHeader) != "" {
+		s.cluster.NoteForwardedIn()
+		return false
+	}
+	if _, ok := s.cache.Get(key); ok {
+		return false // a local hit beats a network hop
+	}
+	res, ok := s.cluster.Forward(r.Context(), route, key, rawBody)
+	if !ok {
+		return false
+	}
+	if res.Status == http.StatusOK {
+		s.cache.Add(key, res.Body) // repeats of this key are now local hits
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(res.Status)
+	w.Write(res.Body)
+	return true
+}
+
+// readRaw buffers a request body so it can be both decoded locally and
+// forwarded verbatim to a peer. The limit matches decodeStrict's.
+func readRaw(r io.Reader) ([]byte, error) {
+	b, err := io.ReadAll(io.LimitReader(r, maxBodyBytes))
+	if err != nil {
+		return nil, errBadRequest("reading request body: %v", err)
+	}
+	return b, nil
+}
+
 // handleFixedPoint serves POST /v1/fixedpoint.
 func (s *Server) handleFixedPoint(w http.ResponseWriter, r *http.Request) {
+	raw, err := readRaw(r.Body)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
 	var spec experiments.FixedPointSpec
-	if err := decodeStrict(r.Body, &spec); err != nil {
+	if err := decodeStrict(bytes.NewReader(raw), &spec); err != nil {
 		s.writeError(w, err)
 		return
 	}
@@ -468,6 +557,9 @@ func (s *Server) handleFixedPoint(w http.ResponseWriter, r *http.Request) {
 	key, err := canonicalKey("fp", &spec)
 	if err != nil {
 		s.writeError(w, err)
+		return
+	}
+	if s.relayToOwner(w, r, "/v1/fixedpoint", key, raw) {
 		return
 	}
 	body, err := s.serveCached(r.Context(), key, 0, func(context.Context) ([]byte, error) {
@@ -491,8 +583,13 @@ func (s *Server) handleFixedPoint(w http.ResponseWriter, r *http.Request) {
 
 // handleODE serves POST /v1/ode.
 func (s *Server) handleODE(w http.ResponseWriter, r *http.Request) {
+	raw, err := readRaw(r.Body)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
 	var spec experiments.ODESpec
-	if err := decodeStrict(r.Body, &spec); err != nil {
+	if err := decodeStrict(bytes.NewReader(raw), &spec); err != nil {
 		s.writeError(w, err)
 		return
 	}
@@ -503,6 +600,9 @@ func (s *Server) handleODE(w http.ResponseWriter, r *http.Request) {
 	key, err := canonicalKey("ode", &spec)
 	if err != nil {
 		s.writeError(w, err)
+		return
+	}
+	if s.relayToOwner(w, r, "/v1/ode", key, raw) {
 		return
 	}
 	body, err := s.serveCached(r.Context(), key, 0, func(context.Context) ([]byte, error) {
@@ -553,7 +653,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	}
 	spec := req.SimSpec // normalized by Options
 	body, err := s.serveCached(r.Context(), key, timeout, func(ctx context.Context) ([]byte, error) {
-		return s.computeSim(ctx, &spec, opts)
+		return s.computeSim(ctx, key, &spec, opts)
 	})
 	if err != nil {
 		s.writeError(w, err)
@@ -565,8 +665,11 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 // computeSim is the admission-controlled slow path of one simulate
 // computation: acquire a queue slot (or reject), dispatch the replication
 // set onto the pool, and wait under the compute context. Replications left
-// queued when the context dies are skipped by the scheduler, not run.
-func (s *Server) computeSim(ctx context.Context, spec *experiments.SimSpec, opts sim.Options) ([]byte, error) {
+// queued when the context dies are skipped by the scheduler, not run. With
+// a cluster attached, the in-flight cell is offered to idle peers — a
+// stolen replication is byte-identical to the local run it displaces, so
+// the rendered report is the same either way.
+func (s *Server) computeSim(ctx context.Context, key string, spec *experiments.SimSpec, opts sim.Options) ([]byte, error) {
 	select {
 	case s.admit <- struct{}{}:
 	default:
@@ -583,8 +686,13 @@ func (s *Server) computeSim(ctx context.Context, spec *experiments.SimSpec, opts
 	if err != nil {
 		return nil, simSpecError(err)
 	}
+	if s.cluster != nil {
+		release := s.cluster.Offer(key, *spec, cell)
+		defer release()
+	}
 	agg, aggErr := cell.AggregateCtx(ctx)
 	ran := cell.Ran()
+	stolen := cell.Stolen() // peer-computed replications are neither local runs nor skips
 	var cs []metrics.Counters
 	if aggErr == nil {
 		cs = make([]metrics.Counters, len(agg.Results))
@@ -592,7 +700,7 @@ func (s *Server) computeSim(ctx context.Context, spec *experiments.SimSpec, opts
 			cs[i] = res.Metrics.Counters
 		}
 	}
-	s.met.observeSim(ran, int64(spec.Reps)-ran, cs)
+	s.met.observeSim(ran, int64(spec.Reps)-ran-stolen, cs)
 	if aggErr != nil {
 		if errors.Is(aggErr, sched.ErrReplicationPanic) {
 			s.met.addReplicationPanic()
@@ -615,15 +723,26 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		w.WriteHeader(http.StatusServiceUnavailable)
 		fmt.Fprintln(w, "draining")
+		if s.cluster != nil {
+			fmt.Fprintln(w, s.cluster.ClusterStatus())
+		}
 		return
 	}
 	fmt.Fprintln(w, "ready")
+	// A standalone replica is still ready — it serves everything locally.
+	// The status line makes the degradation observable to operators.
+	if s.cluster != nil {
+		fmt.Fprintln(w, s.cluster.ClusterStatus())
+	}
 }
 
 // handleMetrics serves GET /metrics in Prometheus text format.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p := metrics.NewPromWriter()
-	s.met.emit(p, s.cache.Len(), s.brk.current(), s.chaos)
+	s.met.emit(p, s.cache.Len(), s.brk.Current(), s.chaos)
+	if s.cluster != nil {
+		s.cluster.EmitProm(p)
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	p.WriteTo(w)
 }

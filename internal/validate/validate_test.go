@@ -330,3 +330,47 @@ func TestReportRenderAndJSON(t *testing.T) {
 		}
 	}
 }
+
+// TestClusterFamily runs the cluster family alone: it boots a real
+// 3-replica loopback cluster, forces every replication of its simulate
+// request through the HTTP steal path, and pins the mean-field steal-rate
+// equivalence. The family skips itself when loopback listeners are
+// unavailable, which this test honors.
+func TestClusterFamily(t *testing.T) {
+	f, ok := FamilyByName("cluster")
+	if !ok {
+		t.Fatal("families lost cluster")
+	}
+	rep, err := Run(testConfig(), nil, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Variants) != 1 || rep.Variants[0].Variant != "cluster" {
+		t.Fatalf("family report blocks = %+v", rep.Variants)
+	}
+	if rep.Variants[0].Lambda != clusterLambda {
+		t.Errorf("family lambda = %g, want %g", rep.Variants[0].Lambda, clusterLambda)
+	}
+	checks := rep.Variants[0].Checks
+	if len(checks) == 1 && checks[0].Status == Skip {
+		t.Skipf("cluster unavailable here: %s", checks[0].Detail)
+	}
+	got := map[string]Check{}
+	for _, c := range checks {
+		got[c.Name] = c
+	}
+	for _, name := range []string{"cluster-boot", "cluster-steals-happened", "cluster-steal-rate"} {
+		c, ok := got[name]
+		if !ok {
+			t.Fatalf("check %q never ran", name)
+		}
+		if c.Status != Pass {
+			t.Errorf("%s: %s (%s)", name, c.Status, c.describe())
+		}
+	}
+	if !rep.OK {
+		var buf bytes.Buffer
+		rep.Render(&buf)
+		t.Fatalf("cluster family failed at test scale:\n%s", buf.String())
+	}
+}

@@ -32,7 +32,7 @@ type Family struct {
 
 // Families returns every registered check family.
 func Families() []Family {
-	return []Family{crossoverFamily()}
+	return []Family{crossoverFamily(), clusterFamily()}
 }
 
 // FamilyNames returns the registered family names in order.

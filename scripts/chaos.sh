@@ -14,9 +14,196 @@
 #
 #   scripts/chaos.sh [port] [metrics-snapshot-path]
 #
+# Cluster mode boots three wsserved replicas peered over loopback, storms
+# them with 200 simulate requests through a client that retries across
+# replicas, SIGKILLs one replica mid-storm, runs another behind an
+# injected network partition, and asserts the cluster contract: no
+# surviving replica crashes, every client request lands after retries,
+# the dead peer's circuit breaker opens, and — once the dead replica is
+# restarted — the breaker recloses and membership heals:
+#
+#   scripts/chaos.sh cluster [base-port] [metrics-snapshot-dir]
+#
 # Exits non-zero on the first failed assertion. Needs curl.
 set -eu
 cd "$(dirname "$0")/.."
+
+MODE=single
+if [ "${1:-}" = "cluster" ]; then
+    MODE=cluster
+    shift
+fi
+
+if [ "$MODE" = "cluster" ]; then
+    BASEPORT="${1:-18190}"
+    SNAPDIR="${2:-}"
+    PORT_A="$BASEPORT"
+    PORT_B=$((BASEPORT + 1))
+    PORT_C=$((BASEPORT + 2))
+    URL_A="http://127.0.0.1:$PORT_A"
+    URL_B="http://127.0.0.1:$PORT_B"
+    URL_C="http://127.0.0.1:$PORT_C"
+    BIN="$(mktemp -d)/wsserved"
+    PID_A=""
+    PID_B=""
+    PID_C=""
+    trap 'kill "$PID_A" "$PID_B" "$PID_C" 2>/dev/null || true; rm -rf "$(dirname "$BIN")"' EXIT
+
+    echo "# build"
+    go build -o "$BIN" ./cmd/wsserved
+
+    # start_replica port self peer1 peer2 [extra flags...]
+    start_replica() {
+        _port="$1" _self="$2" _p1="$3" _p2="$4"
+        shift 4
+        "$BIN" -addr "127.0.0.1:$_port" -log off -queue 8 -workers 2 \
+            -self "$_self" -peers "$_p1,$_p2" \
+            -cluster.gossip 50ms -cluster.rpc-timeout 500ms "$@" &
+    }
+
+    wait_healthy() {
+        i=0
+        until curl -fsS "$1/healthz" >/dev/null 2>&1; do
+            i=$((i + 1))
+            [ "$i" -lt 50 ] || { echo "FAIL: $1 never became healthy"; exit 1; }
+            sleep 0.1
+        done
+        echo "ok: $1 healthy"
+    }
+
+    # wait_metric base-url grep-pattern description
+    wait_metric() {
+        j=0
+        until curl -fsS "$1/metrics" 2>/dev/null | grep -q "$2"; do
+            j=$((j + 1))
+            [ "$j" -lt 100 ] || {
+                echo "FAIL: $3"
+                curl -fsS "$1/metrics" 2>/dev/null | grep cluster || true
+                exit 1
+            }
+            sleep 0.1
+        done
+        echo "ok: $3"
+    }
+
+    echo "# start 3 replicas (replica C behind a 35% injected partition)"
+    start_replica "$PORT_A" "$URL_A" "$URL_B" "$URL_C"
+    PID_A=$!
+    start_replica "$PORT_B" "$URL_B" "$URL_A" "$URL_C"
+    PID_B=$!
+    start_replica "$PORT_C" "$URL_C" "$URL_A" "$URL_B" \
+        -chaos.seed 42 -chaos.p.partition 0.35
+    PID_C=$!
+    wait_healthy "$URL_A"
+    wait_healthy "$URL_B"
+    wait_healthy "$URL_C"
+
+    echo "# storm: 200 simulate requests, failover client, kill replica B at #100"
+    SERVED=0
+    RETRIES=0
+    FAILED=0
+    i=0
+    while [ "$i" -lt 200 ]; do
+        if [ "$i" -eq 100 ]; then
+            kill -KILL "$PID_B"
+            echo "  (killed replica B mid-storm)"
+        fi
+        # Round-robin start target; on any non-200 the client rotates to the
+        # next replica with a short pause — the retry discipline the cluster
+        # is designed for. A request only counts as failed when every
+        # attempt across every replica is exhausted.
+        try=0
+        ok=0
+        while [ "$try" -lt 9 ]; do
+            case $(((i + try) % 3)) in
+            0) TARGET="$URL_A" ;;
+            1) TARGET="$URL_B" ;;
+            2) TARGET="$URL_C" ;;
+            esac
+            CODE=$(curl -s -m 10 -o /dev/null -w '%{http_code}' -X POST \
+                -d "{\"n\":4,\"lambda\":0.7,\"horizon\":60,\"warmup\":10,\"reps\":2,\"seed\":$i}" \
+                "$TARGET/v1/simulate" || echo 000)
+            if [ "$CODE" = "200" ]; then
+                ok=1
+                break
+            fi
+            try=$((try + 1))
+            RETRIES=$((RETRIES + 1))
+            sleep 0.05
+        done
+        if [ "$ok" = "1" ]; then
+            SERVED=$((SERVED + 1))
+        else
+            FAILED=$((FAILED + 1))
+        fi
+        # The cached tier on the survivor must stay healthy mid-storm even
+        # when the consistent-hash owner of the key is dead or partitioned
+        # (forward falls back to local compute).
+        if [ $((i % 20)) -eq 0 ]; then
+            FP=$(curl -s -m 10 -o /dev/null -w '%{http_code}' -X POST \
+                -d "{\"model\":\"simple\",\"lambda\":0.$((50 + i % 49))}" "$URL_A/v1/fixedpoint" || echo 000)
+            [ "$FP" = "200" ] || { echo "FAIL: /v1/fixedpoint on A returned $FP mid-storm"; exit 1; }
+        fi
+        i=$((i + 1))
+    done
+    echo "storm outcomes: served=$SERVED failed=$FAILED retries=$RETRIES"
+    [ "$FAILED" = "0" ] || { echo "FAIL: $FAILED requests failed even after cross-replica retries"; exit 1; }
+
+    kill -0 "$PID_A" 2>/dev/null || { echo "FAIL: replica A died during the storm"; exit 1; }
+    kill -0 "$PID_C" 2>/dev/null || { echo "FAIL: replica C died during the storm"; exit 1; }
+    echo "ok: surviving replicas alive after the storm"
+    curl -fsS "$URL_A/readyz" >/dev/null || { echo "FAIL: replica A not ready after the storm"; exit 1; }
+    echo "ok: replica A still ready"
+
+    # The dead peer must be visible: failed gossip polls and an open (or
+    # probing half-open) breaker toward B on the survivor.
+    wait_metric "$URL_A" "^wsserved_cluster_gossip_total{outcome=\"fail\",peer=\"$URL_B\"} [1-9]" \
+        'A counted failed gossip to dead B'
+    wait_metric "$URL_A" "^wsserved_cluster_peer_breaker_state{peer=\"$URL_B\"} [12]" \
+        'A opened its breaker toward dead B'
+    # The partition must be visible on C, and A must still get through to C
+    # between drops — partition tolerance, not partition blindness.
+    wait_metric "$URL_C" '^wsserved_cluster_rpc_partition_drops_total [1-9]' \
+        'C dropped cluster RPCs under the injected partition'
+    wait_metric "$URL_A" "^wsserved_cluster_gossip_total{outcome=\"ok\",peer=\"$URL_C\"} [1-9]" \
+        'A still gossips with partitioned C between drops'
+
+    echo "# restart replica B: the breaker must reclose and membership heal"
+    start_replica "$PORT_B" "$URL_B" "$URL_A" "$URL_C"
+    PID_B=$!
+    wait_healthy "$URL_B"
+    wait_metric "$URL_A" "^wsserved_cluster_peer_breaker_state{peer=\"$URL_B\"} 0" \
+        'A reclosed its breaker toward restarted B'
+    wait_metric "$URL_A" '^wsserved_cluster_peers_healthy 2' \
+        'A sees both peers healthy again'
+
+    if [ -n "$SNAPDIR" ]; then
+        mkdir -p "$SNAPDIR"
+        curl -fsS "$URL_A/metrics" >"$SNAPDIR/replica-a.metrics"
+        curl -fsS "$URL_B/metrics" >"$SNAPDIR/replica-b.metrics"
+        curl -fsS "$URL_C/metrics" >"$SNAPDIR/replica-c.metrics"
+        echo "ok: metrics snapshots written to $SNAPDIR"
+    fi
+
+    echo "# graceful shutdown of all replicas"
+    for P in "$PID_A" "$PID_B" "$PID_C"; do
+        kill -TERM "$P"
+    done
+    for P in "$PID_A" "$PID_B" "$PID_C"; do
+        i=0
+        while kill -0 "$P" 2>/dev/null; do
+            i=$((i + 1))
+            [ "$i" -lt 100 ] || { echo "FAIL: replica $P ignored SIGTERM"; exit 1; }
+            sleep 0.1
+        done
+        wait "$P" 2>/dev/null && RC=0 || RC=$?
+        [ "$RC" = "0" ] || { echo "FAIL: replica $P exited with $RC after SIGTERM"; exit 1; }
+    done
+    echo "ok: clean exit on SIGTERM for all replicas"
+
+    echo "PASS"
+    exit 0
+fi
 
 PORT="${1:-18090}"
 SNAPSHOT="${2:-}"
