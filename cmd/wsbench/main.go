@@ -12,9 +12,18 @@
 //     QuickScale with 1 worker versus GOMAXPROCS workers on the global
 //     scheduler, individually and with all four sharing one pool.
 //
+// It can also act as a regression gate: -compare OLD.json re-reads a
+// committed baseline report and fails (exit 1) if any throughput config
+// regressed by more than -maxregress (default 25%) in ns/event. Config
+// matching is by name, so baselines from PRs with fewer configs still
+// gate the ones they have. The generous threshold absorbs the run-to-run
+// jitter of shared CI machines; catching a 2x cliff is the goal, not
+// detecting single-digit drift.
+//
 // Usage:
 //
-//	wsbench [-out BENCH_PR3.json] [-runs 6] [-horizon 2000]
+//	wsbench [-out BENCH_PR10.json] [-runs 6] [-horizon 2000]
+//	wsbench -tables=false -compare BENCH_PR8.json [-maxregress 0.25]
 package main
 
 import (
@@ -76,10 +85,12 @@ type Report struct {
 }
 
 func run() int {
-	out := flag.String("out", "BENCH_PR3.json", "output JSON file (- for stdout)")
+	out := flag.String("out", "BENCH_PR10.json", "output JSON file (- for stdout)")
 	runs := flag.Int("runs", 6, "measured steady-state runs per throughput config")
 	horizon := flag.Float64("horizon", 2_000, "simulated horizon per throughput run")
 	tables := flag.Bool("tables", true, "also time Tables 1-4 at QuickScale (the slow part)")
+	compare := flag.String("compare", "", "baseline BENCH_*.json; exit 1 if ns/event regresses past -maxregress")
+	maxRegress := flag.Float64("maxregress", 0.25, "allowed fractional ns/event regression against -compare")
 	flag.Parse()
 
 	rep := Report{
@@ -155,7 +166,53 @@ func run() int {
 	if *out != "-" {
 		fmt.Printf("wrote %s\n", *out)
 	}
+	if *compare != "" {
+		if err := compareBaseline(&rep, *compare, *maxRegress); err != nil {
+			fmt.Fprintln(os.Stderr, "wsbench:", err)
+			return 1
+		}
+	}
 	return 0
+}
+
+// compareBaseline checks the fresh throughput numbers against a committed
+// baseline report and errors if any config sharing a name regressed in
+// ns/event beyond the allowed fraction. Configs present on only one side
+// are reported and skipped — the gate compares what both reports measured.
+func compareBaseline(rep *Report, path string, maxRegress float64) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base Report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	old := make(map[string]Throughput, len(base.Throughput))
+	for _, t := range base.Throughput {
+		old[t.Name] = t
+	}
+	fmt.Printf("\nvs %s (max allowed regression %+.0f%%):\n", path, 100*maxRegress)
+	var failed []string
+	for _, t := range rep.Throughput {
+		b, ok := old[t.Name]
+		if !ok {
+			fmt.Printf("%-12s  %7.1f ns/event  (no baseline, skipped)\n", t.Name, t.NsPerEvent)
+			continue
+		}
+		delta := t.NsPerEvent/b.NsPerEvent - 1
+		verdict := "ok"
+		if delta > maxRegress {
+			verdict = "REGRESSION"
+			failed = append(failed, t.Name)
+		}
+		fmt.Printf("%-12s  %7.1f -> %6.1f ns/event  %+6.1f%%  %s\n",
+			t.Name, b.NsPerEvent, t.NsPerEvent, 100*delta, verdict)
+	}
+	if len(failed) > 0 {
+		return fmt.Errorf("ns/event regressed past %.0f%% on: %v", 100*maxRegress, failed)
+	}
+	return nil
 }
 
 // timeTables fills in the experiment wall-time section of the report.

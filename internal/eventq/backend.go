@@ -1,0 +1,167 @@
+package eventq
+
+import "fmt"
+
+// Interface is the future-event-list contract shared by every queue
+// backend: a priority queue of Events ordered by (Time, seq), where seq is
+// an internal insertion counter — simultaneous events pop in push order
+// (FIFO tie-break). That tie-break is part of the simulator's determinism
+// contract: fixed-seed goldens, cluster stolen-replication byte-identity,
+// and the wscheck TOST suites all pin exact event orderings, so two
+// backends are interchangeable only if they agree on the full pop
+// sequence, ties included. The property and fuzz tests in this package
+// hold every backend to that standard against the heap oracle.
+//
+// Event times must be finite; times are typically non-negative and
+// non-decreasing in simulation use, but backends must order arbitrary
+// finite times correctly.
+type Interface interface {
+	// Len returns the number of pending events.
+	Len() int
+	// Push inserts an event; the tie-break sequence number is assigned
+	// internally in push order.
+	Push(e Event)
+	// PopMin removes and returns the earliest event (smallest (Time, seq)).
+	// It panics if the queue is empty.
+	PopMin() Event
+	// Peek returns the earliest event without removing it. It panics if
+	// the queue is empty.
+	Peek() Event
+	// Reset empties the queue, retains learned capacity, and restarts the
+	// tie-break counter so a recycled queue is indistinguishable from a
+	// fresh one.
+	Reset()
+}
+
+// Backend names a queue implementation.
+type Backend uint8
+
+const (
+	// BackendCalendar is the adaptive calendar queue (eventq.Calendar):
+	// O(1) amortized per operation on the near-uniform exponential
+	// timestamp streams the simulator generates. It is the zero value,
+	// and therefore the default backend of every simulation run.
+	BackendCalendar Backend = iota
+	// BackendHeap is the 4-ary binary heap (eventq.Queue): O(log n) per
+	// operation, no tuning state, kept as the correctness oracle.
+	BackendHeap
+)
+
+// BackendNames lists the accepted backend names in Backend order.
+var BackendNames = []string{"calendar", "heap"}
+
+// String returns the canonical name of the backend.
+func (b Backend) String() string {
+	if int(b) >= len(BackendNames) {
+		return fmt.Sprintf("Backend(%d)", int(b))
+	}
+	return BackendNames[b]
+}
+
+// ParseBackend maps a backend name to its kind.
+func ParseBackend(name string) (Backend, error) {
+	switch name {
+	case "heap":
+		return BackendHeap, nil
+	case "calendar":
+		return BackendCalendar, nil
+	}
+	return 0, fmt.Errorf("eventq: unknown backend %q (want heap or calendar)", name)
+}
+
+// NewBackend constructs an empty queue of the given backend with capacity
+// pre-sized for about n pending events.
+func NewBackend(b Backend, n int) Interface {
+	if b == BackendHeap {
+		return New(n)
+	}
+	return NewCalendar(n)
+}
+
+// Q is a future event list with a run-time selected backend, embedded by
+// value in the simulation engines. Dispatch is a predictable branch on a
+// one-byte tag rather than an interface call: the event loop's ns/event
+// budget pays for Push/PopMin two to three times per event, and a
+// monomorphic branch is free where dynamic dispatch is not.
+type Q struct {
+	heap Queue
+	cal  Calendar
+	kind Backend
+	ok   bool // Configure has run
+}
+
+// Configure prepares q for a run on the given backend with capacity for
+// about n events. If q already holds that backend it is Reset in place,
+// retaining learned capacity (and, for the calendar, its calibrated bucket
+// width — pop order is invariant under calibration, so a warm queue stays
+// byte-identical to a cold one); switching backends rebuilds from scratch.
+func (q *Q) Configure(k Backend, n int) {
+	if q.ok && k == q.kind {
+		q.Reset()
+		return
+	}
+	*q = Q{kind: k, ok: true}
+	if k == BackendHeap {
+		q.heap.a = make([]Event, 0, n)
+	} else {
+		q.cal.sizeFor(n)
+	}
+}
+
+// Backend returns the configured backend kind.
+func (q *Q) Backend() Backend { return q.kind }
+
+// Cal returns the embedded calendar queue when it is the configured
+// backend, or nil for the heap. The engines cache this pointer and call
+// the calendar directly from their event loops: that removes a dispatch
+// hop — one call frame and one 32-byte Event copy per Push and PopMin —
+// that a sub-100 ns/event budget cannot spare. The heap oracle keeps the
+// generic Q path; its O(log n) ops dwarf the hop anyway.
+func (q *Q) Cal() *Calendar {
+	if q.kind == BackendHeap {
+		return nil
+	}
+	return &q.cal
+}
+
+// Len returns the number of pending events.
+func (q *Q) Len() int {
+	if q.kind == BackendHeap {
+		return q.heap.Len()
+	}
+	return q.cal.Len()
+}
+
+// Push inserts an event.
+func (q *Q) Push(e Event) {
+	if q.kind == BackendHeap {
+		q.heap.Push(e)
+	} else {
+		q.cal.Push(e)
+	}
+}
+
+// PopMin removes and returns the earliest event.
+func (q *Q) PopMin() Event {
+	if q.kind == BackendHeap {
+		return q.heap.PopMin()
+	}
+	return q.cal.PopMin()
+}
+
+// Peek returns the earliest event without removing it.
+func (q *Q) Peek() Event {
+	if q.kind == BackendHeap {
+		return q.heap.Peek()
+	}
+	return q.cal.Peek()
+}
+
+// Reset empties the queue, retaining capacity and calibration.
+func (q *Q) Reset() {
+	if q.kind == BackendHeap {
+		q.heap.Reset()
+	} else {
+		q.cal.Reset()
+	}
+}

@@ -1,0 +1,334 @@
+package eventq
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// The calendar queue is only usable if it agrees with the heap on the
+// exact pop sequence — (Time, seq) order with FIFO tie-breaking — because
+// the simulator's determinism contract (fixed-seed goldens, cluster
+// byte-identity, wscheck TOSTs) pins event orderings, not just event
+// multisets. The tests here drive both backends in lockstep over millions
+// of randomized operations in several regimes and demand identical events
+// from every pop.
+
+// opMix describes one randomized lockstep regime.
+type opMix struct {
+	name     string
+	pushBias float64                                  // probability of push when both legal
+	time     func(r *rng.Source, now float64) float64 // next push time
+	resetP   float64                                  // probability of a full Reset per op
+}
+
+// lockstep drives heap and calendar with an identical operation sequence
+// and compares every popped event. Returns the number of pops compared.
+func lockstep(t *testing.T, mix opMix, ops int, seed uint64) int {
+	t.Helper()
+	h := New(16)
+	c := NewCalendar(16)
+	r := rng.New(seed)
+	now := 0.0
+	pops := 0
+	for i := 0; i < ops; i++ {
+		if mix.resetP > 0 && r.Float64() < mix.resetP {
+			h.Reset()
+			c.Reset()
+			now = 0
+			continue
+		}
+		if h.Len() != c.Len() {
+			t.Fatalf("op %d: Len diverged: heap %d, calendar %d", i, h.Len(), c.Len())
+		}
+		if h.Len() == 0 || r.Float64() < mix.pushBias {
+			e := Event{
+				Time:  mix.time(r, now),
+				Kind:  Kind(r.Intn(8)),
+				Proc:  int32(r.Intn(1 << 20)),
+				Aux:   int32(r.Intn(1 << 20)),
+				Epoch: uint32(r.Intn(1 << 16)),
+			}
+			h.Push(e)
+			c.Push(e)
+			continue
+		}
+		a, b := h.PopMin(), c.PopMin()
+		if a != b {
+			t.Fatalf("op %d (pop %d): heap popped %+v, calendar popped %+v", i, pops, a, b)
+		}
+		now = a.Time
+		pops++
+	}
+	// Drain both completely.
+	for h.Len() > 0 {
+		if c.Len() == 0 {
+			t.Fatalf("drain: calendar empty with %d heap events left", h.Len())
+		}
+		a, b := h.PopMin(), c.PopMin()
+		if a != b {
+			t.Fatalf("drain (pop %d): heap popped %+v, calendar popped %+v", pops, a, b)
+		}
+		pops++
+	}
+	if c.Len() != 0 {
+		t.Fatalf("drain: heap empty, calendar holds %d", c.Len())
+	}
+	return pops
+}
+
+// TestCalendarLockstepRegimes covers the workload shapes the simulator
+// produces plus adversarial ones: exponential hold times (the DES event
+// stream), heavy ties (FIFO tie-break), clustered plus far-future
+// outliers (retry/transfer events that break span-based width guesses),
+// uniform static times, and frequent Resets (engine reuse).
+func TestCalendarLockstepRegimes(t *testing.T) {
+	ops := 400_000
+	if testing.Short() {
+		ops = 40_000
+	}
+	mixes := []opMix{
+		{name: "exponential-hold", pushBias: 0.55,
+			time: func(r *rng.Source, now float64) float64 { return now + r.Exp(1) }},
+		{name: "heavy-ties", pushBias: 0.55,
+			time: func(r *rng.Source, now float64) float64 { return now + float64(r.Intn(4)) }},
+		{name: "all-equal", pushBias: 0.6,
+			time: func(r *rng.Source, now float64) float64 { return 42 }},
+		{name: "outliers", pushBias: 0.55,
+			time: func(r *rng.Source, now float64) float64 {
+				if r.Float64() < 0.02 {
+					return now + 1e6*r.Float64Open()
+				}
+				return now + 0.01*r.Exp(1)
+			}},
+		{name: "uniform-static", pushBias: 0.5,
+			time: func(r *rng.Source, now float64) float64 { return 1000 * r.Float64() }},
+		{name: "tiny-gaps", pushBias: 0.55,
+			time: func(r *rng.Source, now float64) float64 { return now + 1e-9*r.Exp(1) }},
+		{name: "with-resets", pushBias: 0.6, resetP: 0.0005,
+			time: func(r *rng.Source, now float64) float64 { return now + r.Exp(1) }},
+	}
+	for _, mix := range mixes {
+		mix := mix
+		t.Run(mix.name, func(t *testing.T) {
+			t.Parallel()
+			for seed := uint64(1); seed <= 3; seed++ {
+				pops := lockstep(t, mix, ops, seed)
+				if pops < ops/4 {
+					t.Fatalf("regime exercised too few pops: %d", pops)
+				}
+			}
+		})
+	}
+}
+
+// TestCalendarGrowDrainCycles pushes the population up and down across
+// the resize thresholds repeatedly, so grow, shrink, and recalibration
+// paths all run under lockstep comparison.
+func TestCalendarGrowDrainCycles(t *testing.T) {
+	h := New(0)
+	c := NewCalendar(0)
+	r := rng.New(99)
+	now := 0.0
+	for cycle := 0; cycle < 6; cycle++ {
+		target := 1 << (4 + 2*(cycle%3)) // 16, 64, 256 live events
+		for h.Len() < target*8 {
+			e := Event{Time: now + r.Exp(1), Proc: int32(h.Len())}
+			h.Push(e)
+			c.Push(e)
+		}
+		for h.Len() > target {
+			a, b := h.PopMin(), c.PopMin()
+			if a != b {
+				t.Fatalf("cycle %d: heap %+v calendar %+v", cycle, a, b)
+			}
+			now = a.Time
+		}
+	}
+	for h.Len() > 0 {
+		a, b := h.PopMin(), c.PopMin()
+		if a != b {
+			t.Fatalf("final drain: heap %+v calendar %+v", a, b)
+		}
+	}
+}
+
+// TestCalendarResetWarmIdentity pins the reuse contract: a drained,
+// Reset calendar (which retains its calibrated width and bucket sizes)
+// must pop a fresh workload in exactly the order a cold calendar does.
+func TestCalendarResetWarmIdentity(t *testing.T) {
+	warm := NewCalendar(16)
+	r := rng.New(7)
+	now := 0.0
+	for i := 0; i < 10_000; i++ {
+		if warm.Len() == 0 || r.Float64() < 0.55 {
+			warm.Push(Event{Time: now + r.Exp(1)})
+		} else {
+			now = warm.PopMin().Time
+		}
+	}
+	warm.Reset()
+
+	cold := NewCalendar(16)
+	r2 := rng.New(8)
+	now = 0
+	for i := 0; i < 20_000; i++ {
+		if cold.Len() == 0 || r2.Float64() < 0.5 {
+			e := Event{Time: now + r2.Exp(1), Proc: int32(i)}
+			warm.Push(e)
+			cold.Push(e)
+		} else {
+			a, b := warm.PopMin(), cold.PopMin()
+			if a != b {
+				t.Fatalf("op %d: warm %+v cold %+v", i, a, b)
+			}
+			now = a.Time
+		}
+	}
+}
+
+// TestCalendarPeek checks Peek against the heap oracle without disturbing
+// the pop sequence.
+func TestCalendarPeek(t *testing.T) {
+	h := New(4)
+	c := NewCalendar(4)
+	r := rng.New(3)
+	now := 0.0
+	for i := 0; i < 5_000; i++ {
+		if h.Len() == 0 || r.Float64() < 0.55 {
+			e := Event{Time: now + r.Exp(1), Proc: int32(i)}
+			h.Push(e)
+			c.Push(e)
+			continue
+		}
+		if p, want := c.Peek(), h.Peek(); p != want {
+			t.Fatalf("op %d: Peek: calendar %+v heap %+v", i, p, want)
+		}
+		a, b := h.PopMin(), c.PopMin()
+		if a != b {
+			t.Fatalf("op %d: heap %+v calendar %+v", i, a, b)
+		}
+		now = a.Time
+	}
+}
+
+// TestCalendarEmptyPanics matches the heap's contract on empty queues.
+func TestCalendarEmptyPanics(t *testing.T) {
+	c := NewCalendar(1)
+	for _, f := range []func(){func() { c.PopMin() }, func() { c.Peek() }} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic on empty calendar queue")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestQDispatch covers the tagged-union wrapper: backend selection,
+// reconfiguration between kinds, and Reset-in-place reuse.
+func TestQDispatch(t *testing.T) {
+	var q Q
+	for _, k := range []Backend{BackendHeap, BackendCalendar, BackendHeap, BackendCalendar} {
+		q.Configure(k, 32)
+		if q.Backend() != k {
+			t.Fatalf("Backend() = %v after Configure(%v)", q.Backend(), k)
+		}
+		for i := int32(0); i < 10; i++ {
+			q.Push(Event{Time: 1, Proc: i}) // all ties: pins FIFO through the wrapper
+		}
+		if q.Peek().Proc != 0 {
+			t.Fatalf("%v: Peek().Proc = %d, want 0", k, q.Peek().Proc)
+		}
+		for i := int32(0); i < 10; i++ {
+			if e := q.PopMin(); e.Proc != i {
+				t.Fatalf("%v: pop %d returned proc %d", k, i, e.Proc)
+			}
+		}
+		if q.Len() != 0 {
+			t.Fatalf("%v: Len() = %d after drain", k, q.Len())
+		}
+		// Configure with the same kind must reuse (Reset) rather than
+		// rebuild: push/pop once more to show it is usable.
+		q.Configure(k, 32)
+		q.Push(Event{Time: 5})
+		if q.PopMin().Time != 5 {
+			t.Fatalf("%v: queue unusable after same-kind Configure", k)
+		}
+	}
+}
+
+// TestParseBackend covers the name mapping both ways.
+func TestParseBackend(t *testing.T) {
+	for _, k := range []Backend{BackendHeap, BackendCalendar} {
+		got, err := ParseBackend(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseBackend(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := ParseBackend("splay"); err == nil {
+		t.Error("ParseBackend accepted an unknown backend")
+	}
+	if Backend(99).String() == "" {
+		t.Error("String() of unknown backend is empty")
+	}
+	if nb := NewBackend(BackendCalendar, 8); nb.Len() != 0 {
+		t.Error("NewBackend(calendar) not empty")
+	}
+	if nb := NewBackend(BackendHeap, 8); nb.Len() != 0 {
+		t.Error("NewBackend(heap) not empty")
+	}
+}
+
+// TestCalendarSteadyStateAllocs pins the calendar's zero-alloc hot path:
+// once bucket capacities are learned, a hold-model push/pop cycle must
+// not allocate. This is the eventq half of the engine's steady-state
+// alloc gate.
+func TestCalendarSteadyStateAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement under -short")
+	}
+	c := NewCalendar(1024)
+	r := rng.New(1)
+	now := 0.0
+	for i := 0; i < 1024; i++ {
+		c.Push(Event{Time: now + r.Exp(1)})
+	}
+	// Warm: run the hold model long enough to stabilize calibration and
+	// bucket capacities.
+	for i := 0; i < 100_000; i++ {
+		e := c.PopMin()
+		now = e.Time
+		e.Time = now + r.Exp(1)
+		c.Push(e)
+	}
+	avg := testing.AllocsPerRun(10, func() {
+		for i := 0; i < 10_000; i++ {
+			e := c.PopMin()
+			e.Time += r.Exp(1)
+			c.Push(e)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("steady-state hold model allocated %.2f allocs per 10k events, want 0", avg)
+	}
+}
+
+// BenchmarkCalendarPushPop is the hold model on the calendar queue,
+// directly comparable to BenchmarkPushPop on the heap.
+func BenchmarkCalendarPushPop(b *testing.B) {
+	c := NewCalendar(1024)
+	r := rng.New(1)
+	for i := 0; i < 1024; i++ {
+		c.Push(Event{Time: r.Float64()})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := c.PopMin()
+		e.Time += r.Exp(1)
+		c.Push(e)
+	}
+}

@@ -14,9 +14,23 @@ package rng
 
 import "math"
 
+// bufLen is the number of outputs generated per refill of the batch
+// buffer. 256 draws (2 KiB) amortizes the refill loop enough that the
+// per-draw cost is one load and one predictable branch, while staying
+// small next to the simulator's per-processor state.
+const bufLen = 256
+
 // Source is a xoshiro256** generator. The zero value is invalid; use New.
+//
+// Outputs are produced in batches: the xoshiro core runs bufLen steps at a
+// time with its state held in registers, filling buf, and Uint64 hands out
+// buffered values until the next refill. The output sequence is exactly the
+// sequence the unbatched core would produce — batching changes when state
+// advances, never what is drawn — so fixed-seed results are unaffected.
 type Source struct {
-	s [4]uint64
+	s   [4]uint64
+	i   int // next unread index into buf; == bufLen forces a refill
+	buf [bufLen]uint64
 }
 
 // splitmix64 advances *x and returns the next SplitMix64 output. It is used
@@ -50,6 +64,8 @@ func (r *Source) Reseed(seed uint64) {
 	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
 		r.s[0] = 0x9e3779b97f4a7c15
 	}
+	// Discard any buffered outputs from the previous seed.
+	r.i = bufLen
 }
 
 // DeriveSeed returns the seed of the independent stream i derived from
@@ -70,18 +86,33 @@ func Derive(seed uint64, i int) *Source {
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
+// refill runs the xoshiro core bufLen times with the state in locals
+// (registers, not four loads and four stores per draw) and stores the
+// outputs in buf.
+func (r *Source) refill() {
+	s0, s1, s2, s3 := r.s[0], r.s[1], r.s[2], r.s[3]
+	for i := range r.buf {
+		r.buf[i] = rotl(s1*5, 7) * 9
+		t := s1 << 17
+		s2 ^= s0
+		s3 ^= s1
+		s1 ^= s2
+		s0 ^= s3
+		s2 ^= t
+		s3 = rotl(s3, 45)
+	}
+	r.s[0], r.s[1], r.s[2], r.s[3] = s0, s1, s2, s3
+	r.i = 0
+}
+
 // Uint64 returns the next 64 random bits.
 func (r *Source) Uint64() uint64 {
-	s := &r.s
-	result := rotl(s[1]*5, 7) * 9
-	t := s[1] << 17
-	s[2] ^= s[0]
-	s[3] ^= s[1]
-	s[1] ^= s[2]
-	s[0] ^= s[3]
-	s[2] ^= t
-	s[3] = rotl(s[3], 45)
-	return result
+	if r.i == bufLen {
+		r.refill()
+	}
+	v := r.buf[r.i]
+	r.i++
+	return v
 }
 
 // Float64 returns a uniform value in [0, 1) with 53 bits of precision.
@@ -111,6 +142,43 @@ func (r *Source) Intn(n int) int {
 		v := r.Uint64()
 		hi, lo := mul64(v, bound)
 		if lo >= bound || lo >= (-bound)%bound {
+			return int(hi)
+		}
+	}
+}
+
+// Bounded is a precomputed uniform sampler over [0, n): the Lemire
+// rejection threshold (-n)%n — the one division in Intn — is paid once at
+// construction instead of on every draw. Intn accepts a draw when
+// lo >= bound || lo >= (-bound)%bound; the first disjunct is implied by the
+// second (the threshold is < bound), so Next's single comparison accepts
+// exactly the same draws and consumes exactly as many Uint64 values —
+// replacing Intn(n) with a Bounded leaves every fixed-seed stream
+// byte-identical. The victim-sampling tables in the simulator hold one
+// Bounded per population size.
+type Bounded struct {
+	bound  uint64
+	thresh uint64
+}
+
+// NewBounded returns a sampler for [0, n). It panics if n <= 0.
+func NewBounded(n int) Bounded {
+	if n <= 0 {
+		panic("rng: NewBounded with n <= 0")
+	}
+	b := uint64(n)
+	return Bounded{bound: b, thresh: (-b) % b}
+}
+
+// N returns the exclusive upper bound of the sampler's range.
+func (b Bounded) N() int { return int(b.bound) }
+
+// Next returns a uniform integer in [0, n), drawing from r.
+func (b Bounded) Next(r *Source) int {
+	for {
+		v := r.Uint64()
+		hi, lo := mul64(v, b.bound)
+		if lo >= b.thresh {
 			return int(hi)
 		}
 	}

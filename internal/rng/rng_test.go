@@ -236,3 +236,114 @@ func BenchmarkIntn(b *testing.B) {
 	}
 	_ = sink
 }
+
+// rawXoshiro is an unbatched reference copy of the xoshiro256** core, kept
+// in the test so the batching layer in Source can be checked against the
+// published algorithm rather than against itself.
+type rawXoshiro struct{ s [4]uint64 }
+
+func newRaw(seed uint64) *rawXoshiro {
+	x := seed
+	var r rawXoshiro
+	for i := range r.s {
+		r.s[i] = splitmix64(&x)
+	}
+	return &r
+}
+
+func (r *rawXoshiro) next() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// TestBatchingSequenceIdentity pins the batch buffer's contract: the
+// buffered Source emits exactly the unbatched xoshiro256** stream, across
+// multiple refills and after a mid-stream Reseed.
+func TestBatchingSequenceIdentity(t *testing.T) {
+	for _, seed := range []uint64{0, 1, 42, 1998} {
+		r, raw := New(seed), newRaw(seed)
+		for i := 0; i < 5*bufLen+7; i++ {
+			if got, want := r.Uint64(), raw.next(); got != want {
+				t.Fatalf("seed %d: draw %d = %#x, reference %#x", seed, i, got, want)
+			}
+		}
+		// Reseed mid-buffer: remaining buffered values must be discarded.
+		r.Reseed(seed + 100)
+		raw = newRaw(seed + 100)
+		for i := 0; i < bufLen+3; i++ {
+			if got, want := r.Uint64(), raw.next(); got != want {
+				t.Fatalf("seed %d after Reseed: draw %d = %#x, reference %#x", seed, i, got, want)
+			}
+		}
+	}
+}
+
+// TestBoundedMatchesIntn pins Bounded's contract: same values AND same
+// stream consumption as Intn, for bounds with and without rejection
+// regions (powers of two have threshold 0).
+func TestBoundedMatchesIntn(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 64, 127, 128, 1000003} {
+		a, b := New(uint64(n)), New(uint64(n))
+		smp := NewBounded(n)
+		if smp.N() != n {
+			t.Fatalf("NewBounded(%d).N() = %d", n, smp.N())
+		}
+		for i := 0; i < 20000; i++ {
+			if got, want := smp.Next(a), b.Intn(n); got != want {
+				t.Fatalf("n=%d draw %d: Bounded %d, Intn %d", n, i, got, want)
+			}
+		}
+		// Same stream position afterward: both must have consumed the same
+		// number of Uint64 draws (rejections included).
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("n=%d: stream positions diverged after identical draws", n)
+		}
+	}
+}
+
+func TestBoundedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewBounded(0) should panic")
+		}
+	}()
+	NewBounded(0)
+}
+
+// TestSourceAllocs pins the allocation budget: one alloc for New (the
+// Source itself, buffer included), none for Reseed or any sampler.
+func TestSourceAllocs(t *testing.T) {
+	if avg := testing.AllocsPerRun(100, func() { _ = New(1) }); avg > 1 {
+		t.Errorf("New allocates %.1f times, want <= 1", avg)
+	}
+	r := New(2)
+	smp := NewBounded(37)
+	if avg := testing.AllocsPerRun(100, func() {
+		r.Reseed(3)
+		for i := 0; i < 2*bufLen; i++ {
+			_ = r.Uint64()
+		}
+		_ = r.Exp(1)
+		_ = r.Intn(10)
+		_ = smp.Next(r)
+	}); avg != 0 {
+		t.Errorf("steady-state draws allocate %.2f times, want 0", avg)
+	}
+}
+
+func BenchmarkBoundedNext(b *testing.B) {
+	r := New(1)
+	smp := NewBounded(128)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += smp.Next(r)
+	}
+	_ = sink
+}

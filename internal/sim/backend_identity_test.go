@@ -1,0 +1,71 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/eventq"
+)
+
+// TestCrossBackendIdentity pins the event-queue backend contract at the
+// results layer: every engine must produce byte-identical Results under
+// the heap and calendar backends, because the two queues promise the same
+// pop order (FIFO tie-breaks included) and the engines draw random numbers
+// in event order. A divergence here means a backend reordered two events —
+// exactly the failure the eventq lockstep tests guard against, but caught
+// end-to-end, through the full engine, samplers, and metrics stack.
+func TestCrossBackendIdentity(t *testing.T) {
+	engines := []struct {
+		name string
+		kind EngineKind
+	}{
+		{"des", EngineDES},
+		{"fluid", EngineFluid},
+		{"hybrid", EngineHybrid},
+	}
+	for _, eng := range engines {
+		eng := eng
+		t.Run(eng.name, func(t *testing.T) {
+			t.Parallel()
+			for _, seed := range []uint64{7, 42, 1998} {
+				o := Options{
+					Engine:  eng.kind,
+					N:       64,
+					Lambda:  0.9,
+					Service: dist.NewExponential(1),
+					Policy:  PolicySteal,
+					T:       2,
+					Horizon: 400,
+					Warmup:  40,
+					Seed:    seed,
+				}
+				switch eng.kind {
+				case EngineDES:
+					// Exercise the samplers and the multi-victim path too.
+					o.D = 2
+					o.TailDepth = 6
+					o.SeriesEvery = 20
+					o.QueueHistDepth = 6
+				case EngineHybrid:
+					o.Tracked = 16
+					o.TailDepth = 6
+				}
+				oh, oc := o, o
+				oh.Queue = eventq.BackendHeap
+				oc.Queue = eventq.BackendCalendar
+				rh, err := Run(oh)
+				if err != nil {
+					t.Fatalf("seed %d: heap run: %v", seed, err)
+				}
+				rc, err := Run(oc)
+				if err != nil {
+					t.Fatalf("seed %d: calendar run: %v", seed, err)
+				}
+				if resultKey(rh) != resultKey(rc) {
+					t.Errorf("seed %d: heap and calendar backends diverge:\nheap:     %s\ncalendar: %s",
+						seed, resultKey(rh), resultKey(rc))
+				}
+			}
+		})
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"math"
 	"time"
 
+	"repro/internal/dist"
 	"repro/internal/eventq"
 	"repro/internal/metrics"
 	"repro/internal/rng"
@@ -25,32 +26,141 @@ const (
 	evProbe                        // hybrid engine: bulk thief probes a tracked victim
 )
 
-// proc is the per-processor state.
-type proc struct {
-	q          taskDeque
-	rate       float64 // service-rate multiplier
-	class      int32
-	awaiting   bool    // a stolen task is in flight to this processor
-	inFlight   float64 // arrival time of the in-flight task
-	emptyEpoch uint32  // bumped whenever the queue gains a task
+const (
+	// Fresh task deques are carved out of one contiguous arena with
+	// dequeArenaCap slots each (three-index slices, so an overfull deque
+	// copies out on append instead of clobbering its neighbor). Queue
+	// lengths under the stable loads the simulator runs stay far below 64,
+	// so per-processor queues never regrow — which is what lets the
+	// replication loop hold its allocs-per-run gate even though each
+	// replication sees a different random stream. Above
+	// dequeArenaMaxProcs processors the arena footprint (N·64·8 B) stops
+	// being worth it and deques start empty.
+	dequeArenaCap      = 64
+	dequeArenaMaxProcs = 4096
+)
+
+// procSoA holds the per-processor state as a struct of arrays: one slice
+// per field, indexed by processor, instead of one slice of structs. The
+// layout is chosen for the victim sampler, the hottest random-access read
+// in the engine: picking the most loaded of D uniform draws touches D
+// random processors, and with the lengths packed densely in qlen (16 per
+// cache line) those touches are near-free, where the equivalent
+// array-of-structs read dragged a ~100-byte struct line per draw. The
+// remaining slices keep each event's accesses on a handful of distinct
+// lines instead of one wide struct line per processor.
+//
+// qlen mirrors q[i].Len(); every queue mutation goes through pushBack,
+// popFront, or popBack to keep the mirror exact.
+type procSoA struct {
+	q          []taskDeque
+	qlen       []int32   // dense mirror of q[i].Len(), read by victim sampling
+	rate       []float64 // service-rate multiplier
+	class      []int32
+	awaiting   []bool    // a stolen task is in flight to this processor
+	inFlight   []float64 // arrival time of the in-flight task
+	emptyEpoch []uint32  // bumped whenever the queue gains a task
 
 	// Per-processor observability counters (metrics layer). busySince is
 	// only meaningful while the queue is non-empty.
-	stealAttempts  int64
-	stealSuccesses int64
-	busySince      float64
-	busyTime       float64 // accumulated post-warmup busy time
+	stealAttempts  []int64
+	stealSuccesses []int64
+	busySince      []float64
+	busyTime       []float64
+}
+
+// resize prepares the state for n processors, recycling every slice (and
+// each deque's buffer) from the previous run when large enough. All fields
+// reset to zero values except rate, which defaults to 1.
+func (ps *procSoA) resize(n int) {
+	if cap(ps.qlen) >= n {
+		ps.q = ps.q[:n]
+		ps.qlen = ps.qlen[:n]
+		ps.rate = ps.rate[:n]
+		ps.class = ps.class[:n]
+		ps.awaiting = ps.awaiting[:n]
+		ps.inFlight = ps.inFlight[:n]
+		ps.emptyEpoch = ps.emptyEpoch[:n]
+		ps.stealAttempts = ps.stealAttempts[:n]
+		ps.stealSuccesses = ps.stealSuccesses[:n]
+		ps.busySince = ps.busySince[:n]
+		ps.busyTime = ps.busyTime[:n]
+		for i := range ps.q {
+			ps.q[i].Reset()
+		}
+	} else {
+		ps.q = make([]taskDeque, n)
+		if n <= dequeArenaMaxProcs {
+			arena := make([]float64, n*dequeArenaCap)
+			for i := range ps.q {
+				ps.q[i].buf = arena[i*dequeArenaCap : i*dequeArenaCap : (i+1)*dequeArenaCap]
+			}
+		}
+		ps.qlen = make([]int32, n)
+		ps.rate = make([]float64, n)
+		ps.class = make([]int32, n)
+		ps.awaiting = make([]bool, n)
+		ps.inFlight = make([]float64, n)
+		ps.emptyEpoch = make([]uint32, n)
+		ps.stealAttempts = make([]int64, n)
+		ps.stealSuccesses = make([]int64, n)
+		ps.busySince = make([]float64, n)
+		ps.busyTime = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		ps.qlen[i] = 0
+		ps.rate[i] = 1
+		ps.class[i] = 0
+		ps.awaiting[i] = false
+		ps.inFlight[i] = 0
+		ps.emptyEpoch[i] = 0
+		ps.stealAttempts[i] = 0
+		ps.stealSuccesses[i] = 0
+		ps.busySince[i] = 0
+		ps.busyTime[i] = 0
+	}
+}
+
+// pushBack appends a task to p's queue, keeping the qlen mirror exact.
+func (ps *procSoA) pushBack(p int32, arrival float64) {
+	ps.q[p].PushBack(arrival)
+	ps.qlen[p]++
+}
+
+// popFront removes and returns p's task in service.
+func (ps *procSoA) popFront(p int32) float64 {
+	ps.qlen[p]--
+	return ps.q[p].PopFront()
+}
+
+// popBack removes and returns p's most recently queued task.
+func (ps *procSoA) popBack(p int32) float64 {
+	ps.qlen[p]--
+	return ps.q[p].PopBack()
 }
 
 // engine holds one simulation run.
 type engine struct {
-	o     Options
-	r     *rng.Source
-	q     *eventq.Queue
-	procs []proc
-	now   float64
+	o   Options
+	r   *rng.Source
+	q   eventq.Q
+	cal *eventq.Calendar // q's calendar, non-nil iff it is the backend; hot paths call it directly
+	ps  procSoA
+	now float64
 
 	classProcs [][]int32 // processor indices per class (victim sampling is global)
+
+	// Hot-path accelerators, fixed per run. svcExp > 0 marks an
+	// exponential service distribution whose samples the engine draws
+	// directly (bypassing the interface call — dist.Exponential.Sample is
+	// exactly r.Exp(rate), so the stream is unchanged). The Bounded
+	// samplers carry the precomputed Lemire threshold for each population
+	// the engine draws from; their accept/consume behavior is identical to
+	// Intn, so every random stream stays byte-identical.
+	svcExp    float64
+	pickN     rng.Bounded   // uniform draws over [0, N): victims, spawns
+	pickN1    rng.Bounded   // rebalance partner draws over [0, N-1)
+	classPick []rng.Bounded // arrival placement per class
 
 	// arrivals is the per-replication source of the custom arrival process
 	// (nil for the default merged Poisson stream, which keeps the legacy
@@ -83,7 +193,7 @@ type engine struct {
 }
 
 // init prepares e for a fresh run of o on the given stream (backend
-// interface), recycling the processor slice, task deques, event queue, and
+// interface), recycling the processor state, task deques, event queue, and
 // sampling buffers of any previous run. A recycled engine is
 // indistinguishable from a new one: the event sequence, random draws, and
 // results are byte-identical.
@@ -104,28 +214,25 @@ func (e *engine) init(o Options, stream *rng.Source) {
 	e.qhist = nil
 	e.qhistSamples = 0
 
-	if e.q == nil {
-		e.q = eventq.New(4 * o.N)
-	} else {
-		e.q.Reset()
-	}
-	if cap(e.procs) >= o.N {
-		e.procs = e.procs[:o.N]
-		for i := range e.procs {
-			pr := &e.procs[i]
-			pr.q.Reset()
-			*pr = proc{q: pr.q}
-		}
-	} else {
-		e.procs = make([]proc, o.N)
+	e.q.Configure(o.Queue, 4*o.N)
+	e.cal = e.q.Cal()
+	e.ps.resize(o.N)
+	if cap(e.stealBuf) == 0 {
+		e.stealBuf = make([]float64, 0, dequeArenaCap)
 	}
 	e.res.DrainTime = -1
 
+	e.svcExp = 0
+	if ex, ok := o.Service.(dist.Exponential); ok {
+		e.svcExp = ex.Rate
+	}
+	e.pickN = rng.NewBounded(o.N)
+	if o.N > 1 {
+		e.pickN1 = rng.NewBounded(o.N - 1)
+	}
+
 	// Assign classes.
 	if o.Classes == nil {
-		for i := range e.procs {
-			e.procs[i].rate = 1
-		}
 		if len(e.allIDs) != o.N {
 			e.allIDs = allProcs(o.N)
 		}
@@ -139,19 +246,27 @@ func (e *engine) init(o Options, stream *rng.Source) {
 				count = o.N - next
 			}
 			for j := 0; j < count && next < o.N; j++ {
-				e.procs[next].rate = c.Rate
-				e.procs[next].class = int32(ci)
+				e.ps.rate[next] = c.Rate
+				e.ps.class[next] = int32(ci)
 				e.classProcs[ci] = append(e.classProcs[ci], int32(next))
 				next++
 			}
 		}
 	}
+	e.classPick = e.classPick[:0]
+	for _, ids := range e.classProcs {
+		n := len(ids)
+		if n == 0 {
+			n = 1 // never drawn from: empty classes receive no arrivals
+		}
+		e.classPick = append(e.classPick, rng.NewBounded(n))
+	}
 
 	// Initial load: InitialLoad tasks everywhere, arrival time 0.
 	if o.InitialLoad > 0 {
-		for i := range e.procs {
+		for i := 0; i < o.N; i++ {
 			for k := 0; k < o.InitialLoad; k++ {
-				e.procs[i].q.PushBack(0)
+				e.ps.pushBack(int32(i), 0)
 			}
 			e.totalTasks += int64(o.InitialLoad)
 			e.scheduleDeparture(int32(i))
@@ -184,7 +299,7 @@ func (e *engine) init(o Options, stream *rng.Source) {
 	}
 	// Rebalancing chains, one per processor.
 	if o.Policy == PolicyRebalance {
-		for i := range e.procs {
+		for i := 0; i < o.N; i++ {
 			e.q.Push(eventq.Event{Time: e.r.Exp(o.RebalanceRate), Kind: evRebalance, Proc: int32(i)})
 		}
 	}
@@ -220,31 +335,30 @@ func (e *engine) accountLoad(t float64) {
 }
 
 // markBusy records the start of a busy period (queue went 0 → 1).
-func (e *engine) markBusy(pr *proc) {
-	pr.busySince = e.now
+func (e *engine) markBusy(p int32) {
+	e.ps.busySince[p] = e.now
 }
 
 // markIdle closes a busy period (queue went 1 → 0), accumulating the
 // post-warmup portion.
-func (e *engine) markIdle(pr *proc) {
-	from := pr.busySince
+func (e *engine) markIdle(p int32) {
+	from := e.ps.busySince[p]
 	if from < e.o.Warmup {
 		from = e.o.Warmup
 	}
 	if e.now > from {
-		pr.busyTime += e.now - from
+		e.ps.busyTime[p] += e.now - from
 	}
 }
 
 // addTask enqueues a task (with its original arrival time) at processor p,
 // starting service if the processor was idle.
 func (e *engine) addTask(p int32, arrival float64) {
-	pr := &e.procs[p]
-	pr.q.PushBack(arrival)
-	pr.emptyEpoch++
+	e.ps.pushBack(p, arrival)
+	e.ps.emptyEpoch[p]++
 	e.totalTasks++
-	if pr.q.Len() == 1 {
-		e.markBusy(pr)
+	if e.ps.qlen[p] == 1 {
+		e.markBusy(p)
 		e.scheduleDeparture(p)
 	}
 }
@@ -252,19 +366,28 @@ func (e *engine) addTask(p int32, arrival float64) {
 // scheduleDeparture samples a service time for the task now at the head of
 // p's queue.
 func (e *engine) scheduleDeparture(p int32) {
-	pr := &e.procs[p]
-	if pr.q.Len() == 0 {
+	if e.ps.qlen[p] == 0 {
 		return
 	}
-	s := e.o.Service.Sample(e.r) / pr.rate
-	e.q.Push(eventq.Event{Time: e.now + s, Kind: evDeparture, Proc: p})
+	var s float64
+	if e.svcExp > 0 {
+		s = e.r.Exp(e.svcExp)
+	} else {
+		s = e.o.Service.Sample(e.r)
+	}
+	s /= e.ps.rate[p]
+	dep := eventq.Event{Time: e.now + s, Kind: evDeparture, Proc: p}
+	if e.cal != nil {
+		e.cal.Push(dep)
+	} else {
+		e.q.Push(dep)
+	}
 }
 
 // completeTask removes the head task of p, records its sojourn, and starts
 // the next task.
 func (e *engine) completeTask(p int32) {
-	pr := &e.procs[p]
-	arrival := pr.q.PopFront()
+	arrival := e.ps.popFront(p)
 	e.totalTasks--
 	e.met.Departures++
 	if arrival >= e.o.Warmup {
@@ -275,10 +398,10 @@ func (e *engine) completeTask(p int32) {
 			e.sojournH.Add(sj)
 		}
 	}
-	if pr.q.Len() > 0 {
+	if e.ps.qlen[p] > 0 {
 		e.scheduleDeparture(p)
 	} else {
-		e.markIdle(pr)
+		e.markIdle(p)
 	}
 }
 
@@ -290,21 +413,22 @@ func (e *engine) completeTask(p int32) {
 // the thief would beat the n → ∞ prediction by a factor n/(n−1).
 func (e *engine) victim(thief int32) (int32, int) {
 	best := thief
-	bestLoad := -1
+	bestLoad := int32(-1)
+	qlen := e.ps.qlen
 	for i := 0; i < e.o.D; i++ {
-		v := int32(e.r.Intn(e.o.N))
-		if l := e.procs[v].q.Len(); l > bestLoad {
+		v := int32(e.pickN.Next(e.r))
+		if l := qlen[v]; l > bestLoad {
 			best, bestLoad = v, l
 		}
 	}
-	return best, bestLoad
+	return best, int(bestLoad)
 }
 
 // trySteal performs one steal attempt for a thief currently holding
 // `left` tasks. Returns true if a task (or K tasks) moved (or began moving).
 func (e *engine) trySteal(thief int32, left int) bool {
 	e.met.StealAttempts++
-	e.procs[thief].stealAttempts++
+	e.ps.stealAttempts[thief]++
 	v, load := e.victim(thief)
 	need := left + e.o.T
 	if load < need || load < 2 {
@@ -316,18 +440,16 @@ func (e *engine) trySteal(thief int32, left int) bool {
 		return false
 	}
 	e.met.StealSuccesses++
-	e.procs[thief].stealSuccesses++
-	vic := &e.procs[v]
+	e.ps.stealSuccesses[thief]++
 	if e.o.TransferRate > 0 {
 		// One task enters flight; the thief will not steal again until it
 		// lands.
-		arrival := vic.q.PopBack()
+		arrival := e.ps.popBack(v)
 		e.totalTasks-- // it leaves the victim's queue...
 		e.totalTasks++ // ...but stays in the system (in flight)
 		e.met.TransfersStarted++
-		pr := &e.procs[thief]
-		pr.awaiting = true
-		pr.inFlight = arrival
+		e.ps.awaiting[thief] = true
+		e.ps.inFlight[thief] = arrival
 		e.q.Push(eventq.Event{Time: e.now + e.r.Exp(e.o.TransferRate), Kind: evTransfer, Proc: thief})
 		return true
 	}
@@ -342,15 +464,14 @@ func (e *engine) trySteal(thief int32, left int) bool {
 	}
 	tmp := e.stealBuf[:0]
 	for j := 0; j < k; j++ {
-		tmp = append(tmp, vic.q.PopBack())
+		tmp = append(tmp, e.ps.popBack(v))
 	}
 	e.stealBuf = tmp
 	for j := len(tmp) - 1; j >= 0; j-- {
-		pr := &e.procs[thief]
-		pr.q.PushBack(tmp[j])
-		pr.emptyEpoch++
-		if pr.q.Len() == 1 {
-			e.markBusy(pr)
+		e.ps.pushBack(thief, tmp[j])
+		e.ps.emptyEpoch[thief]++
+		if e.ps.qlen[thief] == 1 {
+			e.markBusy(thief)
 			e.scheduleDeparture(thief)
 		}
 	}
@@ -362,11 +483,10 @@ func (e *engine) afterCompletion(p int32) {
 	if e.o.Policy != PolicySteal {
 		return
 	}
-	pr := &e.procs[p]
-	if pr.awaiting {
+	if e.ps.awaiting[p] {
 		return // a stolen task is already on its way
 	}
-	left := pr.q.Len()
+	left := int(e.ps.qlen[p])
 	if left > e.o.B {
 		return
 	}
@@ -374,12 +494,12 @@ func (e *engine) afterCompletion(p int32) {
 		return
 	}
 	// Failed attempt: idle processors may retry at RetryRate.
-	if e.o.RetryRate > 0 && pr.q.Len() == 0 {
+	if e.o.RetryRate > 0 && e.ps.qlen[p] == 0 {
 		e.q.Push(eventq.Event{
 			Time:  e.now + e.r.Exp(e.o.RetryRate),
 			Kind:  evRetry,
 			Proc:  p,
-			Epoch: pr.emptyEpoch,
+			Epoch: e.ps.emptyEpoch[p],
 		})
 	}
 }
@@ -388,24 +508,25 @@ func (e *engine) afterCompletion(p int32) {
 // possible; the initially larger side keeps the ceiling half. Tasks move
 // from the tail of the larger queue to the tail of the smaller one.
 func (e *engine) rebalance(p int32) {
-	partner := int32(e.r.IntnExcept(e.o.N, int(p)))
-	a, b := &e.procs[p], &e.procs[partner]
-	bi := partner
-	if a.q.Len() < b.q.Len() {
-		a, b = b, a
-		bi = p
+	partner := int32(e.pickN1.Next(e.r))
+	if partner >= p {
+		partner++
 	}
-	// a is the larger side; move tasks until a holds the ceiling half.
-	total := a.q.Len() + b.q.Len()
+	big, small := p, partner
+	if e.ps.qlen[big] < e.ps.qlen[small] {
+		big, small = small, big
+	}
+	// big is the larger side; move tasks until it holds the ceiling half.
+	total := int(e.ps.qlen[big] + e.ps.qlen[small])
 	keep := (total + 1) / 2
 	moved := int64(0)
-	for a.q.Len() > keep {
-		arrival := a.q.PopBack()
-		b.q.PushBack(arrival)
-		b.emptyEpoch++
-		if b.q.Len() == 1 {
-			e.markBusy(b)
-			e.scheduleDeparture(bi)
+	for int(e.ps.qlen[big]) > keep {
+		arrival := e.ps.popBack(big)
+		e.ps.pushBack(small, arrival)
+		e.ps.emptyEpoch[small]++
+		if e.ps.qlen[small] == 1 {
+			e.markBusy(small)
+			e.scheduleDeparture(small)
 		}
 		moved++
 	}
@@ -419,7 +540,7 @@ func (e *engine) rebalance(p int32) {
 func (e *engine) result() Result { return e.res }
 
 // stopCheckMask sets the cancellation polling cadence: the Stop flag is
-// loaded once every stopCheckMask+1 events. At ~150 ns/event that bounds
+// loaded once every stopCheckMask+1 events. At ~100 ns/event that bounds
 // the reaction time to abandonment at well under a millisecond while
 // keeping the hot loop's per-event cost to one predictable nil test.
 const stopCheckMask = 4095
@@ -432,7 +553,14 @@ func (e *engine) run() {
 		if o.Stop != nil && e.met.Events&stopCheckMask == stopCheckMask && o.Stop.Load() {
 			break
 		}
-		ev := e.q.PopMin()
+		// The calendar's PopMin fast path inlines here (an index increment
+		// into the drain buffer); the heap oracle takes the dispatch hop.
+		var ev eventq.Event
+		if e.cal != nil {
+			ev = e.cal.PopMin()
+		} else {
+			ev = e.q.PopMin()
+		}
 		if ev.Time > o.Horizon {
 			break
 		}
@@ -443,17 +571,22 @@ func (e *engine) run() {
 		switch ev.Kind {
 		case evArrival:
 			if e.arrivals != nil {
-				p := int32(e.r.Intn(o.N))
+				p := int32(e.pickN.Next(e.r))
 				e.addTask(p, e.now)
 				e.met.Arrivals++
 				if t := e.arrivals.Next(e.now, e.r); !math.IsInf(t, 1) {
-					e.q.Push(eventq.Event{Time: t, Kind: evArrival, Aux: 0})
+					next := eventq.Event{Time: t, Kind: evArrival, Aux: 0}
+					if e.cal != nil {
+						e.cal.Push(next)
+					} else {
+						e.q.Push(next)
+					}
 				}
 				break
 			}
 			class := int(ev.Aux)
 			ids := e.classProcs[class]
-			p := ids[e.r.Intn(len(ids))]
+			p := ids[e.classPick[class].Next(e.r)]
 			e.addTask(p, e.now)
 			e.met.Arrivals++
 			var rate float64
@@ -462,13 +595,18 @@ func (e *engine) run() {
 			} else {
 				rate = o.Classes[class].Lambda * float64(len(ids))
 			}
-			e.q.Push(eventq.Event{Time: e.now + e.r.Exp(rate), Kind: evArrival, Aux: ev.Aux})
+			next := eventq.Event{Time: e.now + e.r.Exp(rate), Kind: evArrival, Aux: ev.Aux}
+			if e.cal != nil {
+				e.cal.Push(next)
+			} else {
+				e.q.Push(next)
+			}
 
 		case evSpawn:
 			// Thinning: the spawn lands only if the sampled processor is
 			// busy, giving per-busy-processor rate LambdaInt.
-			p := int32(e.r.Intn(o.N))
-			if e.procs[p].q.Len() > 0 {
+			p := int32(e.pickN.Next(e.r))
+			if e.ps.qlen[p] > 0 {
 				e.addTask(p, e.now)
 				e.met.Spawns++
 			}
@@ -479,33 +617,33 @@ func (e *engine) run() {
 			e.afterCompletion(ev.Proc)
 
 		case evRetry:
-			pr := &e.procs[ev.Proc]
+			p := ev.Proc
 			// Stale if the processor gained work since the retry was armed.
-			if pr.emptyEpoch != ev.Epoch || pr.q.Len() > 0 || pr.awaiting {
+			if e.ps.emptyEpoch[p] != ev.Epoch || e.ps.qlen[p] > 0 || e.ps.awaiting[p] {
 				e.met.RetriesStale++
 				break
 			}
 			e.met.Retries++
-			if !e.trySteal(ev.Proc, 0) {
+			if !e.trySteal(p, 0) {
 				e.q.Push(eventq.Event{
 					Time:  e.now + e.r.Exp(o.RetryRate),
 					Kind:  evRetry,
-					Proc:  ev.Proc,
-					Epoch: pr.emptyEpoch,
+					Proc:  p,
+					Epoch: e.ps.emptyEpoch[p],
 				})
 			}
 
 		case evTransfer:
-			pr := &e.procs[ev.Proc]
-			pr.awaiting = false
+			p := ev.Proc
+			e.ps.awaiting[p] = false
 			e.met.TransfersCompleted++
 			// The task was already counted in totalTasks while in flight;
 			// hand it to the queue without recounting.
-			pr.q.PushBack(pr.inFlight)
-			pr.emptyEpoch++
-			if pr.q.Len() == 1 {
-				e.markBusy(pr)
-				e.scheduleDeparture(ev.Proc)
+			e.ps.pushBack(p, e.ps.inFlight[p])
+			e.ps.emptyEpoch[p]++
+			if e.ps.qlen[p] == 1 {
+				e.markBusy(p)
+				e.scheduleDeparture(p)
 			}
 
 		case evRebalance:
@@ -570,25 +708,24 @@ func (e *engine) finishMetrics(end float64, wall time.Duration) {
 	// Flush busy periods still open at the end of the run.
 	var busySum float64
 	e.met.PerProc = make([]metrics.ProcMetrics, o.N)
-	for i := range e.procs {
-		pr := &e.procs[i]
-		if pr.q.Len() > 0 {
-			from := pr.busySince
+	for i := 0; i < o.N; i++ {
+		if e.ps.qlen[i] > 0 {
+			from := e.ps.busySince[i]
 			if from < o.Warmup {
 				from = o.Warmup
 			}
 			if end > from {
-				pr.busyTime += end - from
+				e.ps.busyTime[i] += end - from
 			}
 		}
 		pm := &e.met.PerProc[i]
-		pm.StealAttempts = pr.stealAttempts
-		pm.StealSuccesses = pr.stealSuccesses
-		pm.BusyTime = pr.busyTime
+		pm.StealAttempts = e.ps.stealAttempts[i]
+		pm.StealSuccesses = e.ps.stealSuccesses[i]
+		pm.BusyTime = e.ps.busyTime[i]
 		if span > 0 {
-			pm.Utilization = pr.busyTime / span
+			pm.Utilization = e.ps.busyTime[i] / span
 		}
-		busySum += pr.busyTime
+		busySum += e.ps.busyTime[i]
 	}
 	if span > 0 {
 		e.met.Utilization = busySum / span / float64(o.N)

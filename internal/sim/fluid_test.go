@@ -179,8 +179,8 @@ func TestFluidRejectsUnsupported(t *testing.T) {
 		"classes": {func(o *Options) {
 			o.Classes = []Class{{Frac: 0.5, Lambda: 0.5, Rate: 1.5}, {Frac: 0.5, Lambda: 1, Rate: 1}}
 		}, "classes"},
-		"spawning":  {func(o *Options) { o.LambdaInt = 0.3 }, "spawning"},
-		"static":    {func(o *Options) { o.InitialLoad = 4 }, "static"},
+		"spawning":      {func(o *Options) { o.LambdaInt = 0.3 }, "spawning"},
+		"static":        {func(o *Options) { o.InitialLoad = 4 }, "static"},
 		"deterministic": {func(o *Options) { o.Service = dist.NewDeterministic(1) }, "phase-type"},
 		"overloaded":    {func(o *Options) { o.Service = dist.NewErlang(2, 1) }, "below 1"}, // E[S] = 2
 		"phasehalf":     {func(o *Options) { o.Service = dist.NewErlang(2, 2); o.Half = true }, "threshold"},

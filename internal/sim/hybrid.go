@@ -45,6 +45,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/eventq"
 	"repro/internal/metrics"
 	"repro/internal/ode"
@@ -117,10 +118,17 @@ func (tailsCoupler) EmptyingRateBound() float64 { return 1 }
 
 // hybridEngine is the tracked-sample-plus-fluid backend.
 type hybridEngine struct {
-	o     Options
-	r     *rng.Source
-	q     *eventq.Queue
-	procs []proc // the tracked sample
+	o   Options
+	r   *rng.Source
+	q   eventq.Q
+	cal *eventq.Calendar // q's calendar, non-nil iff it is the backend (see engine.cal)
+	ps  procSoA          // the tracked sample (struct-of-arrays, shared with the DES engine)
+
+	// Hot-path accelerators, mirroring the DES engine: direct exponential
+	// service sampling and a precomputed bounded sampler over the tracked
+	// population. Both leave every random stream byte-identical.
+	svcExp float64
+	pickT  rng.Bounded
 
 	// Fluid bulk. bulkTails and bulkTheta are snapshots of the coupler's
 	// tail vector and queue-emptying rate, refreshed after every fluid tick
@@ -194,24 +202,17 @@ func (h *hybridEngine) init(o Options, stream *rng.Source) {
 	h.scratch = ode.NewRK4Scratch(m.Dim())
 	h.refreshBulk()
 
-	if h.q == nil {
-		h.q = eventq.New(4 * o.Tracked)
-	} else {
-		h.q.Reset()
+	h.q.Configure(o.Queue, 4*o.Tracked)
+	h.cal = h.q.Cal()
+	h.ps.resize(o.Tracked)
+	if cap(h.stealBuf) == 0 {
+		h.stealBuf = make([]float64, 0, dequeArenaCap)
 	}
-	if cap(h.procs) >= o.Tracked {
-		h.procs = h.procs[:o.Tracked]
-		for i := range h.procs {
-			pr := &h.procs[i]
-			pr.q.Reset()
-			*pr = proc{q: pr.q}
-		}
-	} else {
-		h.procs = make([]proc, o.Tracked)
+	h.svcExp = 0
+	if ex, ok := o.Service.(dist.Exponential); ok {
+		h.svcExp = ex.Rate
 	}
-	for i := range h.procs {
-		h.procs[i].rate = 1
-	}
+	h.pickT = rng.NewBounded(o.Tracked)
 
 	h.trackedFrac = float64(o.Tracked) / float64(o.N)
 	h.alphaBar = 0
@@ -289,42 +290,50 @@ func (h *hybridEngine) accountLoad(t float64) {
 	h.loadSince = t
 }
 
-func (h *hybridEngine) markBusy(pr *proc) { pr.busySince = h.now }
+func (h *hybridEngine) markBusy(p int32) { h.ps.busySince[p] = h.now }
 
-func (h *hybridEngine) markIdle(pr *proc) {
-	from := pr.busySince
+func (h *hybridEngine) markIdle(p int32) {
+	from := h.ps.busySince[p]
 	if from < h.o.Warmup {
 		from = h.o.Warmup
 	}
 	if h.now > from {
-		pr.busyTime += h.now - from
+		h.ps.busyTime[p] += h.now - from
 	}
 }
 
 // addTask enqueues a task at tracked processor p.
 func (h *hybridEngine) addTask(p int32, arrival float64) {
-	pr := &h.procs[p]
-	pr.q.PushBack(arrival)
-	pr.emptyEpoch++
+	h.ps.pushBack(p, arrival)
+	h.ps.emptyEpoch[p]++
 	h.totalTasks++
-	if pr.q.Len() == 1 {
-		h.markBusy(pr)
+	if h.ps.qlen[p] == 1 {
+		h.markBusy(p)
 		h.scheduleDeparture(p)
 	}
 }
 
 func (h *hybridEngine) scheduleDeparture(p int32) {
-	pr := &h.procs[p]
-	if pr.q.Len() == 0 {
+	if h.ps.qlen[p] == 0 {
 		return
 	}
-	s := h.o.Service.Sample(h.r) / pr.rate
-	h.q.Push(eventq.Event{Time: h.now + s, Kind: evDeparture, Proc: p})
+	var s float64
+	if h.svcExp > 0 {
+		s = h.r.Exp(h.svcExp)
+	} else {
+		s = h.o.Service.Sample(h.r)
+	}
+	s /= h.ps.rate[p]
+	dep := eventq.Event{Time: h.now + s, Kind: evDeparture, Proc: p}
+	if h.cal != nil {
+		h.cal.Push(dep)
+	} else {
+		h.q.Push(dep)
+	}
 }
 
 func (h *hybridEngine) completeTask(p int32) {
-	pr := &h.procs[p]
-	arrival := pr.q.PopFront()
+	arrival := h.ps.popFront(p)
 	h.totalTasks--
 	h.met.Departures++
 	if arrival >= h.o.Warmup {
@@ -335,10 +344,10 @@ func (h *hybridEngine) completeTask(p int32) {
 			h.sojournH.Add(sj)
 		}
 	}
-	if pr.q.Len() > 0 {
+	if h.ps.qlen[p] > 0 {
 		h.scheduleDeparture(p)
 	} else {
-		h.markIdle(pr)
+		h.markIdle(p)
 	}
 }
 
@@ -373,10 +382,10 @@ func (h *hybridEngine) sampleBulkLoad() int {
 // attempt is resolved against the fluid tails.
 func (h *hybridEngine) trySteal(thief int32) bool {
 	h.met.StealAttempts++
-	h.procs[thief].stealAttempts++
+	h.ps.stealAttempts[thief]++
 	if h.r.Float64() < h.trackedFrac {
-		v := int32(h.r.Intn(h.o.Tracked))
-		load := h.procs[v].q.Len()
+		v := int32(h.pickT.Next(h.r))
+		load := int(h.ps.qlen[v])
 		if load < h.o.T || load < 2 {
 			if load < 2 {
 				h.met.StealFailEmpty++
@@ -386,20 +395,18 @@ func (h *hybridEngine) trySteal(thief int32) bool {
 			return false
 		}
 		h.met.StealSuccesses++
-		h.procs[thief].stealSuccesses++
-		vic := &h.procs[v]
+		h.ps.stealSuccesses[thief]++
 		k := h.stealCount(load)
 		tmp := h.stealBuf[:0]
 		for j := 0; j < k; j++ {
-			tmp = append(tmp, vic.q.PopBack())
+			tmp = append(tmp, h.ps.popBack(v))
 		}
 		h.stealBuf = tmp
 		for j := len(tmp) - 1; j >= 0; j-- {
-			pr := &h.procs[thief]
-			pr.q.PushBack(tmp[j])
-			pr.emptyEpoch++
-			if pr.q.Len() == 1 {
-				h.markBusy(pr)
+			h.ps.pushBack(thief, tmp[j])
+			h.ps.emptyEpoch[thief]++
+			if h.ps.qlen[thief] == 1 {
+				h.markBusy(thief)
 				h.scheduleDeparture(thief)
 			}
 		}
@@ -418,7 +425,7 @@ func (h *hybridEngine) trySteal(thief int32) bool {
 		return false
 	}
 	h.met.StealSuccesses++
-	h.procs[thief].stealSuccesses++
+	h.ps.stealSuccesses[thief]++
 	k := h.o.K
 	if h.o.Half {
 		k = (h.sampleBulkLoad() + 1) / 2
@@ -435,19 +442,18 @@ func (h *hybridEngine) afterCompletion(p int32) {
 	if h.o.Policy != PolicySteal {
 		return
 	}
-	pr := &h.procs[p]
-	if pr.q.Len() > 0 {
+	if h.ps.qlen[p] > 0 {
 		return // B = 0: only emptied processors steal
 	}
 	if h.trySteal(p) {
 		return
 	}
-	if h.o.RetryRate > 0 && pr.q.Len() == 0 {
+	if h.o.RetryRate > 0 && h.ps.qlen[p] == 0 {
 		h.q.Push(eventq.Event{
 			Time:  h.now + h.r.Exp(h.o.RetryRate),
 			Kind:  evRetry,
 			Proc:  p,
-			Epoch: pr.emptyEpoch,
+			Epoch: h.ps.emptyEpoch[p],
 		})
 	}
 }
@@ -461,15 +467,14 @@ func (h *hybridEngine) probe() {
 	if h.r.Float64()*h.alphaBar >= h.alpha() {
 		return // thinned: the bulk attempt rate is below the bound
 	}
-	v := int32(h.r.Intn(h.o.Tracked))
-	vic := &h.procs[v]
-	load := vic.q.Len()
+	v := int32(h.pickT.Next(h.r))
+	load := int(h.ps.qlen[v])
 	if load < h.o.T || load < 2 {
 		return
 	}
 	k := h.stealCount(load)
 	for j := 0; j < k; j++ {
-		vic.q.PopBack()
+		h.ps.popBack(v)
 		h.totalTasks--
 	}
 	h.met.BulkSteals++
@@ -501,13 +506,13 @@ func (h *hybridEngine) scheduleHybridSample() {
 
 func (h *hybridEngine) handleSample() {
 	if h.tails != nil {
-		h.tails.sample(h.procs)
+		h.tails.sample(h.ps.qlen)
 		h.tails.nSamples++
 	}
 	if h.qhist != nil {
 		top := len(h.qhist) - 1
-		for i := range h.procs {
-			l := h.procs[i].q.Len()
+		for _, ql := range h.ps.qlen {
+			l := int(ql)
 			if l > top {
 				l = top
 			}
@@ -538,7 +543,13 @@ func (h *hybridEngine) run() {
 		if o.Stop != nil && h.met.Events&stopCheckMask == stopCheckMask && o.Stop.Load() {
 			break
 		}
-		ev := h.q.PopMin()
+		// See engine.run: the calendar PopMin fast path inlines here.
+		var ev eventq.Event
+		if h.cal != nil {
+			ev = h.cal.PopMin()
+		} else {
+			ev = h.q.PopMin()
+		}
 		if ev.Time > o.Horizon {
 			break
 		}
@@ -548,28 +559,33 @@ func (h *hybridEngine) run() {
 
 		switch ev.Kind {
 		case evArrival:
-			p := int32(h.r.Intn(o.Tracked))
+			p := int32(h.pickT.Next(h.r))
 			h.addTask(p, h.now)
 			h.met.Arrivals++
-			h.q.Push(eventq.Event{Time: h.now + h.r.Exp(o.Lambda*float64(o.Tracked)), Kind: evArrival})
+			next := eventq.Event{Time: h.now + h.r.Exp(o.Lambda*float64(o.Tracked)), Kind: evArrival}
+			if h.cal != nil {
+				h.cal.Push(next)
+			} else {
+				h.q.Push(next)
+			}
 
 		case evDeparture:
 			h.completeTask(ev.Proc)
 			h.afterCompletion(ev.Proc)
 
 		case evRetry:
-			pr := &h.procs[ev.Proc]
-			if pr.emptyEpoch != ev.Epoch || pr.q.Len() > 0 {
+			p := ev.Proc
+			if h.ps.emptyEpoch[p] != ev.Epoch || h.ps.qlen[p] > 0 {
 				h.met.RetriesStale++
 				break
 			}
 			h.met.Retries++
-			if !h.trySteal(ev.Proc) {
+			if !h.trySteal(p) {
 				h.q.Push(eventq.Event{
 					Time:  h.now + h.r.Exp(o.RetryRate),
 					Kind:  evRetry,
-					Proc:  ev.Proc,
-					Epoch: pr.emptyEpoch,
+					Proc:  p,
+					Epoch: h.ps.emptyEpoch[p],
 				})
 			}
 
@@ -630,25 +646,24 @@ func (h *hybridEngine) finishMetrics(end float64, wall time.Duration) {
 
 	var busySum float64
 	h.met.PerProc = make([]metrics.ProcMetrics, o.Tracked)
-	for i := range h.procs {
-		pr := &h.procs[i]
-		if pr.q.Len() > 0 {
-			from := pr.busySince
+	for i := 0; i < o.Tracked; i++ {
+		if h.ps.qlen[i] > 0 {
+			from := h.ps.busySince[i]
 			if from < o.Warmup {
 				from = o.Warmup
 			}
 			if end > from {
-				pr.busyTime += end - from
+				h.ps.busyTime[i] += end - from
 			}
 		}
 		pm := &h.met.PerProc[i]
-		pm.StealAttempts = pr.stealAttempts
-		pm.StealSuccesses = pr.stealSuccesses
-		pm.BusyTime = pr.busyTime
+		pm.StealAttempts = h.ps.stealAttempts[i]
+		pm.StealSuccesses = h.ps.stealSuccesses[i]
+		pm.BusyTime = h.ps.busyTime[i]
 		if span > 0 {
-			pm.Utilization = pr.busyTime / span
+			pm.Utilization = h.ps.busyTime[i] / span
 		}
-		busySum += pr.busyTime
+		busySum += h.ps.busyTime[i]
 	}
 	if span > 0 {
 		h.met.Utilization = busySum / span / float64(o.Tracked)

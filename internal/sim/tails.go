@@ -22,16 +22,17 @@ func newTailSampler(depth int) *tailSampler {
 	return &tailSampler{depth: depth, sums: make([]float64, depth), counts: make([]int, depth+1)}
 }
 
-// sample records one snapshot of the processor loads.
-func (ts *tailSampler) sample(procs []proc) {
-	n := len(procs)
+// sample records one snapshot of the processor loads, read from the dense
+// queue-length mirror.
+func (ts *tailSampler) sample(qlen []int32) {
+	n := len(qlen)
 	// Count processors with load exactly l, then cumulate from the top.
 	counts := ts.counts
 	for i := range counts {
 		counts[i] = 0
 	}
-	for i := range procs {
-		l := procs[i].q.Len()
+	for _, ql := range qlen {
+		l := int(ql)
 		if l >= ts.depth {
 			l = ts.depth
 		}
@@ -86,13 +87,13 @@ func (e *engine) scheduleFirstSample() {
 // handleSample records a snapshot and re-arms the chain.
 func (e *engine) handleSample() {
 	if e.tails != nil {
-		e.tails.sample(e.procs)
+		e.tails.sample(e.ps.qlen)
 		e.tails.nSamples++
 	}
 	if e.qhist != nil {
 		top := len(e.qhist) - 1
-		for i := range e.procs {
-			l := e.procs[i].q.Len()
+		for _, ql := range e.ps.qlen {
+			l := int(ql)
 			if l > top {
 				l = top
 			}

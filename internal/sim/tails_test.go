@@ -89,12 +89,8 @@ func TestTailsNilWithoutDepth(t *testing.T) {
 func TestTailSamplerOverflowBucket(t *testing.T) {
 	// Loads at or beyond depth count toward every sampled tail index.
 	ts := newTailSampler(3)
-	procs := make([]proc, 4)
-	for i := 0; i < 3; i++ {
-		procs[0].q.PushBack(0) // load 3 (beyond depth? depth=3 → clamp)
-	}
-	procs[1].q.PushBack(0) // load 1
-	ts.sample(procs)
+	qlen := []int32{3, 1, 0, 0}
+	ts.sample(qlen)
 	ts.nSamples++
 	tails := ts.tails()
 	// s_0 = 1 (all), s_1 = 2/4, s_2 = 1/4 (only the load-3 processor).
